@@ -1,0 +1,26 @@
+"""Figure 10(c): CCZ fidelity threshold (paper §8.4 analysis).
+
+Sweeps the CCZ gate fidelity and recompiles the uf20 suite with Weaver at
+each point; baselines are flat lines (they avoid 3-qubit gates).  The
+paper reports a 0.9916 threshold where Weaver's EPS overtakes every
+baseline; the reproduced threshold should fall inside the swept band.
+"""
+
+from conftest import run_once
+
+from repro.evaluation import fig10c_ccz_threshold, format_table
+
+
+def test_fig10c_threshold(benchmark, store):
+    data = run_once(benchmark, lambda: fig10c_ccz_threshold(store))
+    print()
+    print(format_table(data["sweep"], title="Figure 10(c): Weaver EPS vs CCZ fidelity"))
+    print("baseline EPS:", {k: v for k, v in data["baselines"].items()})
+    print("best baseline:", data["best_baseline_eps"])
+    print("threshold:", data["threshold"])
+    sweep = data["sweep"]
+    # EPS must be monotonically increasing in the CCZ fidelity.
+    values = [point["weaver_eps"] for point in sweep]
+    assert values == sorted(values)
+    # Weaver overtakes the best baseline somewhere in (or below) the band.
+    assert data["threshold"] is not None

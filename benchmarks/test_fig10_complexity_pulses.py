@@ -1,0 +1,45 @@
+"""Figure 10(a)/(b) + Table 2: complexity curves and pulse counts (§8.2/8.3).
+
+10(a) plots the analytic step-count curves of Table 2 with K measured from
+real circuits; 10(b) compares the number of pulses in each FPQA compiler's
+output.  Expected shape: Weaver's curve is the lowest-order polynomial;
+DPQA emits the fewest pulses (at the sizes it finishes), Weaver next,
+Atomique and Geyser the most.
+"""
+
+from conftest import run_once
+
+from repro.evaluation import (
+    fig10a_complexity,
+    fig10b_pulses,
+    format_table,
+    table2_complexity,
+)
+
+
+def test_fig10a_complexity_curves(benchmark):
+    rows = run_once(benchmark, fig10a_complexity)
+    print()
+    print(format_table(rows, title="Figure 10(a): compilation complexity [steps]"))
+    for row in rows:
+        assert row["weaver"] < row["superconducting"]
+        assert row["weaver"] < row["geyser"]
+        # DPQA's exponent dwarfs everything (log10 column).
+        assert row["dpqa_log10"] > 100
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, table2_complexity)
+    print()
+    print(format_table(rows, title="Table 2: compilation complexity"))
+    assert rows[-1] == {"compiler": "weaver", "complexity": "O(N^2)"}
+
+
+def test_fig10b_pulse_counts(benchmark, store):
+    rows = run_once(benchmark, lambda: fig10b_pulses(store))
+    print()
+    print(format_table(rows, title="Figure 10(b): number of pulses vs size"))
+    first = rows[0]  # 20 variables: every FPQA compiler finishes
+    assert first["dpqa"] < first["weaver"] < first["atomique"] + first["geyser"]
+    # Weaver's pulse counts grow with size but stay defined everywhere.
+    assert all(row["weaver"] is not None for row in rows)

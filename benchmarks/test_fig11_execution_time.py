@@ -1,0 +1,38 @@
+"""Figure 11: execution time (paper §8.3, RQ2).
+
+Expected shape: superconducting executes fastest (fast gates), Geyser next
+(no movement), then Weaver, with Atomique and DPQA slowest among the
+finishers; at larger sizes Weaver's advantage over Atomique grows (global
+pulses amortize, SABRE movement does not).
+"""
+
+from conftest import run_once
+
+from repro.evaluation import (
+    fig11a_execution_fixed,
+    fig11b_execution_scaling,
+    format_table,
+)
+
+
+def test_fig11a_fixed_size(benchmark, store):
+    rows = run_once(benchmark, lambda: fig11a_execution_fixed(store))
+    print()
+    print(format_table(rows, title="Figure 11(a): execution time [s], uf20 suite"))
+    mean = rows[-1]
+    assert mean["superconducting"] < mean["weaver"]
+    assert mean["geyser"] < mean["weaver"]
+    assert mean["weaver"] < mean["atomique"] * 2.5  # same order at 20 vars
+
+
+def test_fig11b_scaling(benchmark, store):
+    rows = run_once(benchmark, lambda: fig11b_execution_scaling(store))
+    print()
+    print(format_table(rows, title="Figure 11(b): execution time [s] vs size"))
+    by_size = {row["num_vars"]: row for row in rows}
+    # Weaver beats Atomique decisively at scale (Fig. 11(b) shape).
+    assert by_size[100]["weaver"] < by_size[100]["atomique"]
+    assert by_size[250]["weaver"] < by_size[250]["atomique"]
+    # Execution time grows with size for Weaver.
+    weaver_series = [row["weaver"] for row in rows]
+    assert weaver_series[0] < weaver_series[-1]

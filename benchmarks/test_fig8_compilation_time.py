@@ -1,0 +1,42 @@
+"""Figure 8: compilation time (paper §8.2, RQ1).
+
+Regenerates both panels: (a) the ten fixed-size uf20 instances per
+compiler, and (b) the scaling sweep 20-250 variables.  Expected shape:
+Weaver ~ Atomique ~ Superconducting (seconds), Geyser and DPQA orders of
+magnitude slower and timing out ("X") above 20 variables; Superconducting
+stops at 100 variables (127-qubit backend).
+"""
+
+from conftest import run_once
+
+from repro.evaluation import (
+    fig8a_compilation_fixed,
+    fig8b_compilation_scaling,
+    format_table,
+)
+
+
+def test_fig8a_fixed_size(benchmark, store):
+    rows = run_once(benchmark, lambda: fig8a_compilation_fixed(store))
+    print()
+    print(format_table(rows, title="Figure 8(a): compilation time [s], uf20 suite"))
+    mean = rows[-1]
+    assert mean["weaver"] is not None and mean["weaver"] < 30.0
+    # The solver/composer pair is the slow end of the spectrum at 20 vars.
+    slow = max(mean["geyser"] or 0.0, mean["dpqa"] or 0.0)
+    assert slow > mean["weaver"]
+
+
+def test_fig8b_scaling(benchmark, store):
+    rows = run_once(benchmark, lambda: fig8b_compilation_scaling(store))
+    print()
+    print(format_table(rows, title="Figure 8(b): compilation time [s] vs size"))
+    by_size = {row["num_vars"]: row for row in rows}
+    # Geyser and DPQA time out above 20 variables (X marks in the paper).
+    assert by_size[50]["geyser"] is None
+    assert by_size[50]["dpqa"] is None
+    assert by_size[250]["geyser"] is None
+    # Superconducting is capped by the 127-qubit backend.
+    assert by_size[150]["superconducting"] is None
+    # Weaver compiles every size.
+    assert all(by_size[n]["weaver"] is not None for n in by_size)

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the compiler's hot paths (pytest-benchmark proper).
+
+These run multiple rounds and produce real statistics; they guard the
+complexity claims (DSatur O(N^2), Algorithm 2 O(N), QASM parsing O(K))
+against regressions.
+"""
+
+from repro.circuits import QuantumCircuit, circuit_unitary
+from repro.coloring import clause_conflict_graph, dsatur_coloring
+from repro.evaluation import load_workload
+from repro.fpqa import FPQAHardwareParams, zone_layout
+from repro.passes import WeaverFPQACompiler, plan_waves
+from repro.qaoa import qaoa_circuit
+from repro.qasm import circuit_to_qasm, qasm_to_circuit
+
+
+def test_bench_dsatur_uf50(benchmark):
+    formula = load_workload("uf50-01")
+    graph = clause_conflict_graph(formula)
+    colors = benchmark(dsatur_coloring, graph)
+    assert max(colors) >= 0
+
+
+def test_bench_conflict_graph_uf250(benchmark):
+    formula = load_workload("uf250-01")
+    graph = benchmark(clause_conflict_graph, formula)
+    assert graph.num_nodes == 1065
+
+
+def test_bench_wave_planning(benchmark):
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    xs = rng.permutation(200) * 10.0
+    sources = {a: (float(xs[a]), 0.0) for a in range(200)}
+    dests = {a: (a * 10.0, 40.0) for a in range(200)}
+    waves = benchmark(plan_waves, sources, dests, 5.0)
+    assert sum(len(w) for w in waves) == 200
+
+
+def test_bench_weaver_compile_uf20(benchmark):
+    formula = load_workload("uf20-01")
+    compiler = WeaverFPQACompiler()
+    result = benchmark.pedantic(
+        lambda: compiler.compile(formula), rounds=3, iterations=1
+    )
+    assert result.program.total_pulses > 0
+
+
+def test_bench_qasm_roundtrip(benchmark):
+    circuit = qaoa_circuit(load_workload("uf20-01"))
+    text = circuit_to_qasm(circuit)
+
+    def roundtrip():
+        return qasm_to_circuit(text)
+
+    parsed = benchmark(roundtrip)
+    assert parsed.num_qubits == 20
+
+
+def test_bench_unitary_simulation_10q(benchmark):
+    circuit = QuantumCircuit(10)
+    for q in range(10):
+        circuit.h(q)
+    for q in range(9):
+        circuit.cx(q, q + 1)
+    unitary = benchmark.pedantic(
+        lambda: circuit_unitary(circuit), rounds=3, iterations=1
+    )
+    assert unitary.shape == (1024, 1024)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Artifact entry point (paper appendix §A.4.1): regenerate all figures.
+
+    python run.py [--quick] [--no-ccz-sweep]
+
+``--quick`` restricts the sweep to one instance per size and skips the
+slow compilers' timeout demonstrations; without it, expect the run to
+take on the order of the benchmark suite (minutes, not the paper's 24 h).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))
+
+from repro.evaluation import EvaluationConfig  # noqa: E402
+from repro.evaluation.artifact import run_artifact  # noqa: E402
+from repro.evaluation.runner import DEFAULT_BUDGETS  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small, fast sweep")
+    parser.add_argument(
+        "--no-ccz-sweep", action="store_true", help="skip the Fig. 10(c) sweep"
+    )
+    parser.add_argument(
+        "--budget", type=float, default=60.0,
+        help="Geyser/DPQA compile budget in seconds (default 60)",
+    )
+    args = parser.parse_args()
+    budgets = dict(DEFAULT_BUDGETS)
+    budgets["geyser"] = args.budget
+    budgets["dpqa"] = args.budget
+    if args.quick:
+        config = EvaluationConfig(
+            compilers=("superconducting", "atomique", "weaver", "dpqa", "geyser"),
+            fixed_instances=tuple(f"uf20-{i:02d}" for i in range(1, 4)),
+            scaling_sizes=(20, 50, 75),
+            instances_per_size=1,
+            budgets=budgets,
+        )
+    else:
+        config = EvaluationConfig(budgets=budgets)
+    run_artifact(config, include_ccz_sweep=not args.no_ccz_sweep, verbose=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

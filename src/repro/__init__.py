@@ -1,0 +1,116 @@
+"""Weaver: a retargetable compiler framework for FPQA quantum architectures.
+
+Reproduction of Kirmemis et al., CGO 2025 (arXiv:2409.07870).  The public
+API mirrors the paper's three components:
+
+* **wQasm** (paper section 4) -- :func:`parse_wqasm`, :class:`WQasmProgram`,
+  and the OpenQASM front end in :mod:`repro.qasm`;
+* **wOptimizer** (section 5) -- :class:`WeaverFPQACompiler` /
+  :func:`compile_formula` with the clause-coloring, color-shuttling, and
+  gate-compression passes;
+* **wChecker** (section 6) -- :class:`WChecker` / :func:`check_program`.
+
+Quickstart::
+
+    from repro import satlib_instance, compile_formula, check_program
+
+    formula = satlib_instance("uf20-01")
+    result = compile_formula(formula)
+    report = check_program(result.program)
+    assert report.ok
+"""
+
+from .exceptions import (
+    AnnotationError,
+    CircuitError,
+    ColoringError,
+    CompilationError,
+    CompilationTimeout,
+    EquivalenceError,
+    FPQAConstraintError,
+    QasmSemanticError,
+    QasmSyntaxError,
+    RoutingError,
+    SatError,
+    SimulationError,
+    VerificationError,
+    WeaverError,
+)
+from .circuits import (
+    Gate,
+    Instruction,
+    QuantumCircuit,
+    circuit_statevector,
+    circuit_unitary,
+    circuits_equivalent,
+    measurement_distribution,
+)
+from .sat import (
+    Clause,
+    CnfFormula,
+    formula_polynomial,
+    parse_dimacs,
+    random_ksat,
+    satlib_instance,
+    to_dimacs,
+)
+from .qaoa import QaoaParameters, qaoa_circuit
+from .qasm import circuit_to_qasm, parse_qasm, qasm_to_circuit
+from .wqasm import WQasmProgram, parse_wqasm
+from .fpqa import FPQADevice, FPQAHardwareParams
+from .passes import WeaverFPQACompiler, compile_formula, nativize_circuit
+from .checker import CheckReport, WChecker, check_program
+from .superconducting import SuperconductingTranspiler, washington_backend
+from .metrics import program_duration_us, program_eps
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotationError",
+    "CheckReport",
+    "CircuitError",
+    "Clause",
+    "CnfFormula",
+    "ColoringError",
+    "CompilationError",
+    "CompilationTimeout",
+    "EquivalenceError",
+    "FPQAConstraintError",
+    "FPQADevice",
+    "FPQAHardwareParams",
+    "Gate",
+    "Instruction",
+    "QaoaParameters",
+    "QasmSemanticError",
+    "QasmSyntaxError",
+    "QuantumCircuit",
+    "RoutingError",
+    "SatError",
+    "SimulationError",
+    "SuperconductingTranspiler",
+    "VerificationError",
+    "WChecker",
+    "WQasmProgram",
+    "WeaverError",
+    "WeaverFPQACompiler",
+    "check_program",
+    "circuit_statevector",
+    "circuit_to_qasm",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "compile_formula",
+    "formula_polynomial",
+    "measurement_distribution",
+    "nativize_circuit",
+    "parse_dimacs",
+    "parse_qasm",
+    "parse_wqasm",
+    "program_duration_us",
+    "program_eps",
+    "qaoa_circuit",
+    "qasm_to_circuit",
+    "random_ksat",
+    "satlib_instance",
+    "to_dimacs",
+    "washington_backend",
+]

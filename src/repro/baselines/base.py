@@ -1,0 +1,105 @@
+"""Common interface and result record for all evaluated compilers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..exceptions import CompilationTimeout
+from ..qaoa.builder import QaoaParameters, qaoa_circuit
+from ..sat.cnf import CnfFormula
+
+
+@dataclass
+class BaselineResult:
+    """One (compiler, workload) evaluation record — a cell of Figures 8-12."""
+
+    compiler: str
+    workload: str
+    num_vars: int
+    num_clauses: int
+    compile_seconds: float = 0.0
+    execution_seconds: float | None = None
+    eps: float | None = None
+    num_pulses: int | None = None
+    timed_out: bool = False
+    error: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.timed_out and self.error is None
+
+
+class Deadline:
+    """Cooperative timeout shared across a compiler's inner loops."""
+
+    def __init__(self, budget_seconds: float | None, compiler: str):
+        self.compiler = compiler
+        self.budget_seconds = budget_seconds
+        self.start = time.perf_counter()
+
+    def check(self) -> None:
+        if (
+            self.budget_seconds is not None
+            and time.perf_counter() - self.start > self.budget_seconds
+        ):
+            raise CompilationTimeout(self.compiler, self.budget_seconds)
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.start
+
+
+class BaselineCompiler:
+    """Interface every evaluated compiler implements."""
+
+    #: Display name used in figures.
+    name = "baseline"
+
+    def compile_formula(
+        self,
+        formula: CnfFormula,
+        parameters: QaoaParameters | None = None,
+        deadline: Deadline | None = None,
+    ) -> BaselineResult:
+        raise NotImplementedError
+
+    def _qaoa(self, formula: CnfFormula, parameters: QaoaParameters | None = None):
+        """The shared workload lowering: MAX-3SAT -> QAOA circuit (§A.4.1)."""
+        return qaoa_circuit(formula, parameters or QaoaParameters(), measure=True)
+
+
+def run_with_timeout(
+    compiler: BaselineCompiler,
+    formula: CnfFormula,
+    parameters: QaoaParameters | None = None,
+    budget_seconds: float | None = None,
+) -> BaselineResult:
+    """Run a compiler under a budget, converting timeouts into result rows.
+
+    The paper marks budget violations with "X" in the figures; here they
+    become ``timed_out=True`` rows.
+    """
+    deadline = Deadline(budget_seconds, compiler.name)
+    try:
+        result = compiler.compile_formula(formula, parameters, deadline)
+    except CompilationTimeout:
+        return BaselineResult(
+            compiler=compiler.name,
+            workload=formula.name,
+            num_vars=formula.num_vars,
+            num_clauses=formula.num_clauses,
+            compile_seconds=deadline.elapsed,
+            timed_out=True,
+        )
+    except Exception as exc:  # noqa: BLE001 — report, don't crash the sweep
+        return BaselineResult(
+            compiler=compiler.name,
+            workload=formula.name,
+            num_vars=formula.num_vars,
+            num_clauses=formula.num_clauses,
+            compile_seconds=deadline.elapsed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return result

@@ -1,0 +1,81 @@
+"""DPQA interchange format (paper §A.4.1, step 6).
+
+The original artifact converts quantum circuits into "the format required
+by the DPQA compiler ... a .json file with sets of two-qubit gates".  This
+module reproduces that exporter/importer so workloads can be handed to a
+DPQA-style solver (ours or an external one) and results compared.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..circuits import QuantumCircuit
+from ..exceptions import CompilationError
+
+
+def circuit_to_dpqa_json(circuit: QuantumCircuit, name: str | None = None) -> str:
+    """Serialize the 2-qubit gate set of ``circuit`` as DPQA-style JSON.
+
+    Gates are grouped into commuting sets by qubit-disjointness in program
+    order (the greedy layering DPQA's examples use); single-qubit gates
+    are not part of the format and are counted in metadata only.
+    """
+    sets: list[list[list[int]]] = []
+    current: list[list[int]] = []
+    busy: set[int] = set()
+    oneq = 0
+    for inst in circuit.instructions:
+        if not inst.gate.is_unitary:
+            continue
+        if len(inst.qubits) == 1:
+            oneq += 1
+            continue
+        if len(inst.qubits) > 2:
+            raise CompilationError(
+                "DPQA format holds 2-qubit gates only; decompose first"
+            )
+        pair = [int(min(inst.qubits)), int(max(inst.qubits))]
+        if busy & set(pair):
+            sets.append(current)
+            current = []
+            busy = set()
+        current.append(pair)
+        busy |= set(pair)
+    if current:
+        sets.append(current)
+    payload = {
+        "name": name or circuit.name,
+        "num_qubits": circuit.num_qubits,
+        "gate_sets": sets,
+        "metadata": {
+            "num_2q_gates": sum(len(s) for s in sets),
+            "num_1q_gates": oneq,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def dpqa_json_to_pairs(text: str) -> tuple[int, list[list[tuple[int, int]]]]:
+    """Parse DPQA-style JSON back into (num_qubits, gate sets)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CompilationError(f"malformed DPQA JSON: {exc}") from exc
+    try:
+        num_qubits = int(payload["num_qubits"])
+        sets = [
+            [(int(a), int(b)) for a, b in gate_set]
+            for gate_set in payload["gate_sets"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CompilationError(f"malformed DPQA JSON payload: {exc}") from exc
+    for gate_set in sets:
+        busy: set[int] = set()
+        for a, b in gate_set:
+            if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise CompilationError(f"invalid gate pair ({a}, {b})")
+            if busy & {a, b}:
+                raise CompilationError("gates within a set must be disjoint")
+            busy |= {a, b}
+    return num_qubits, sets

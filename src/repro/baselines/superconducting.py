@@ -1,0 +1,58 @@
+"""Superconducting baseline: the Qiskit-style transpiler path (§8.1).
+
+Limited to the 127 qubits of the Washington model — the paper runs this
+baseline only up to 100 variables for the same reason (Fig. 8 caption).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..exceptions import RoutingError
+from ..qaoa.builder import QaoaParameters
+from ..sat.cnf import CnfFormula
+from ..superconducting.backend import SuperconductingBackend, washington_backend
+from ..superconducting.transpiler import SuperconductingTranspiler
+from .base import BaselineCompiler, BaselineResult, Deadline
+
+
+class SuperconductingCompiler(BaselineCompiler):
+    name = "superconducting"
+
+    def __init__(self, backend: SuperconductingBackend | None = None, seed: int = 0):
+        self.backend = backend or washington_backend()
+        self.seed = seed
+
+    def compile_formula(
+        self,
+        formula: CnfFormula,
+        parameters: QaoaParameters | None = None,
+        deadline: Deadline | None = None,
+    ) -> BaselineResult:
+        start = time.perf_counter()
+        if formula.num_vars > self.backend.num_qubits:
+            raise RoutingError(
+                f"{formula.num_vars} variables exceed the "
+                f"{self.backend.num_qubits}-qubit backend"
+            )
+        circuit = self._qaoa(formula, parameters)
+        transpiler = SuperconductingTranspiler(self.backend, seed=self.seed)
+        result = transpiler.transpile(circuit)
+        elapsed = time.perf_counter() - start
+        if deadline is not None:
+            deadline.check()
+        return BaselineResult(
+            compiler=self.name,
+            workload=formula.name,
+            num_vars=formula.num_vars,
+            num_clauses=formula.num_clauses,
+            compile_seconds=elapsed,
+            execution_seconds=result.duration_us * 1e-6,
+            eps=result.eps,
+            num_pulses=None,  # not an FPQA target
+            extra={
+                "num_swaps": result.num_swaps,
+                "counts": result.counts,
+                "depth": result.circuit.depth(),
+            },
+        )

@@ -1,0 +1,58 @@
+"""Adapter exposing the real Weaver pipeline through the baseline API."""
+
+from __future__ import annotations
+
+from ..fpqa.hardware import FPQAHardwareParams
+from ..metrics.fidelity import program_eps
+from ..metrics.timing import program_duration_us
+from ..passes.woptimizer import WeaverFPQACompiler
+from ..qaoa.builder import QaoaParameters
+from ..sat.cnf import CnfFormula
+from .base import BaselineCompiler, BaselineResult, Deadline
+
+
+class WeaverCompiler(BaselineCompiler):
+    name = "weaver"
+
+    def __init__(
+        self,
+        hardware: FPQAHardwareParams | None = None,
+        compression: bool | None = None,
+        coloring_algorithm: str = "dsatur",
+    ):
+        self.hardware = hardware or FPQAHardwareParams()
+        self.compression = compression
+        self.coloring_algorithm = coloring_algorithm
+
+    def compile_formula(
+        self,
+        formula: CnfFormula,
+        parameters: QaoaParameters | None = None,
+        deadline: Deadline | None = None,
+    ) -> BaselineResult:
+        compiler = WeaverFPQACompiler(
+            hardware=self.hardware,
+            compression=self.compression,
+            coloring_algorithm=self.coloring_algorithm,
+        )
+        result = compiler.compile(formula, parameters or QaoaParameters(), measure=True)
+        if deadline is not None:
+            deadline.check()
+        program = result.program
+        duration_us = program_duration_us(program, self.hardware)
+        eps = program_eps(program, self.hardware, duration_us)
+        return BaselineResult(
+            compiler=self.name,
+            workload=formula.name,
+            num_vars=formula.num_vars,
+            num_clauses=formula.num_clauses,
+            compile_seconds=result.compile_seconds,
+            execution_seconds=duration_us * 1e-6,
+            eps=eps,
+            num_pulses=program.total_pulses,
+            extra={
+                "num_colors": result.stats["clause-coloring"]["num_colors"],
+                "pulse_counts": program.pulse_counts(),
+                "use_compression": result.stats["gate-compression"]["use_compression"],
+            },
+        )

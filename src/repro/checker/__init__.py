@@ -1,0 +1,34 @@
+"""wChecker: equivalence checking for retargeted FPQA programs (paper §6).
+
+The checker replays a wQasm program's FPQA annotation stream through the
+:class:`repro.fpqa.FPQADevice` simulator, translating pulses into logical
+gates (pulse-to-gate conversion, Figure 9), and then verifies:
+
+1. every pulse implements exactly the logical gates the program claims
+   (per-operation check, any program size); and
+2. the reconstructed circuit is functionally equivalent to a reference —
+   dense unitaries up to :data:`repro.linalg.MAX_UNITARY_QUBITS` qubits,
+   random-statevector probing beyond that.
+"""
+
+from .pulse_to_gate import PulseToGateConverter, reconstruct_circuit
+from .unitary_check import EquivalenceMethod, equivalence_check
+from .checker import CheckReport, WChecker, check_program
+from .statistics import (
+    distributions_equivalent,
+    hellinger_fidelity,
+    sampled_distribution,
+)
+
+__all__ = [
+    "CheckReport",
+    "EquivalenceMethod",
+    "PulseToGateConverter",
+    "WChecker",
+    "check_program",
+    "distributions_equivalent",
+    "equivalence_check",
+    "hellinger_fidelity",
+    "reconstruct_circuit",
+    "sampled_distribution",
+]

@@ -1,0 +1,70 @@
+"""Distribution-level equivalence: Hellinger fidelity (paper §2.2, [28]).
+
+The paper's fidelity metric builds on Qiskit's ``hellinger_fidelity``:
+compare the output distributions of two circuits rather than their
+unitaries.  This is the right tool for *measured* programs (unitary
+comparison is undefined once measurements collapse the state) and for
+sampled hardware results.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, measurement_distribution
+from ..exceptions import VerificationError
+
+
+def hellinger_fidelity(
+    p: Mapping[str, float], q: Mapping[str, float], atol: float = 1e-9
+) -> float:
+    """Hellinger fidelity ``(sum_i sqrt(p_i q_i))^2`` of two distributions.
+
+    1.0 for identical distributions, 0.0 for disjoint support; tolerant of
+    missing keys (treated as probability zero).
+    """
+    for name, dist in (("p", p), ("q", q)):
+        total = sum(dist.values())
+        if abs(total - 1.0) > 1e-6:
+            raise VerificationError(
+                f"distribution {name} sums to {total}, not 1"
+            )
+        if any(v < -atol for v in dist.values()):
+            raise VerificationError(f"distribution {name} has negative mass")
+    overlap = 0.0
+    for key in set(p) | set(q):
+        overlap += math.sqrt(max(p.get(key, 0.0), 0.0) * max(q.get(key, 0.0), 0.0))
+    return overlap**2
+
+
+def sampled_distribution(
+    circuit: QuantumCircuit, shots: int = 4096, seed: int = 0
+) -> dict[str, float]:
+    """Finite-shot estimate of a circuit's output distribution."""
+    exact = measurement_distribution(circuit)
+    keys = list(exact)
+    probs = np.array([exact[k] for k in keys])
+    probs = probs / probs.sum()
+    rng = np.random.default_rng(seed)
+    counts = rng.multinomial(shots, probs)
+    return {k: c / shots for k, c in zip(keys, counts) if c}
+
+
+def distributions_equivalent(
+    a: QuantumCircuit,
+    b: QuantumCircuit,
+    threshold: float = 0.999,
+) -> tuple[bool, float]:
+    """Whether two circuits' ideal output distributions agree.
+
+    A weaker check than unitary equivalence (diagonal phases are
+    invisible) but applicable to measured circuits and cheap at any width
+    the statevector simulator can reach.  Returns (verdict, fidelity).
+    """
+    fidelity = hellinger_fidelity(
+        measurement_distribution(a), measurement_distribution(b)
+    )
+    return (fidelity >= threshold, fidelity)

@@ -1,0 +1,66 @@
+"""Unitary equivalence checking with size-adaptive strategies.
+
+The challenge (§3.1 #3) is the exponential cost of representing quantum
+states classically.  The checker therefore picks the strongest affordable
+method: exact dense unitaries for small circuits, random-statevector
+probing for medium ones, and reports the method used so callers can judge
+the evidence.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, circuit_statevector, circuit_unitary
+from ..linalg import (
+    MAX_STATEVECTOR_QUBITS,
+    MAX_UNITARY_QUBITS,
+    allclose_up_to_global_phase,
+    random_statevector,
+)
+
+
+class EquivalenceMethod(enum.Enum):
+    UNITARY = "unitary"
+    STATEVECTOR_PROBE = "statevector-probe"
+    TOO_LARGE = "too-large"
+
+
+def equivalence_check(
+    a: QuantumCircuit,
+    b: QuantumCircuit,
+    atol: float = 1e-7,
+    probes: int = 3,
+    seed: int = 11,
+    max_probe_qubits: int = MAX_STATEVECTOR_QUBITS,
+) -> tuple[bool | None, EquivalenceMethod]:
+    """Check functional equivalence up to global phase.
+
+    Returns ``(verdict, method)``; verdict is ``None`` when the circuits
+    exceed the affordable methods, in which case callers should rely on
+    the per-operation structural check instead.  ``max_probe_qubits``
+    bounds the (expensive) statevector probing; set it below
+    ``MAX_UNITARY_QUBITS`` to disable probing entirely.
+    """
+    if a.num_qubits != b.num_qubits:
+        return (False, EquivalenceMethod.UNITARY)
+    n = a.num_qubits
+    a = a.without_measurements()
+    b = b.without_measurements()
+    if n <= MAX_UNITARY_QUBITS:
+        same = allclose_up_to_global_phase(
+            circuit_unitary(a), circuit_unitary(b), atol=atol
+        )
+        return (bool(same), EquivalenceMethod.UNITARY)
+    if n <= min(max_probe_qubits, MAX_STATEVECTOR_QUBITS):
+        rng = np.random.default_rng(seed)
+        for _ in range(probes):
+            probe = random_statevector(n, rng)
+            out_a = circuit_statevector(a, probe)
+            out_b = circuit_statevector(b, probe)
+            if not allclose_up_to_global_phase(out_a, out_b, atol=max(atol, 1e-6)):
+                return (False, EquivalenceMethod.STATEVECTOR_PROBE)
+        return (True, EquivalenceMethod.STATEVECTOR_PROBE)
+    return (None, EquivalenceMethod.TOO_LARGE)

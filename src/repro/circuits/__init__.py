@@ -1,0 +1,40 @@
+"""Quantum circuit intermediate representation and simulation substrate.
+
+This package replaces the subset of Qiskit the Weaver paper relies on: a
+gate library with exact matrices, a mutable circuit IR, a dependency DAG,
+and dense unitary / statevector simulators used by the wChecker.
+"""
+
+from .gates import (
+    Gate,
+    GATE_ALIASES,
+    STANDARD_GATE_NAMES,
+    controlled_z_matrix,
+    gate_matrix,
+    make_gate,
+)
+from .circuit import Instruction, QuantumCircuit
+from .dag import CircuitDag, dependency_layers
+from .unitary import (
+    circuit_unitary,
+    circuit_statevector,
+    circuits_equivalent,
+    measurement_distribution,
+)
+
+__all__ = [
+    "Gate",
+    "GATE_ALIASES",
+    "STANDARD_GATE_NAMES",
+    "Instruction",
+    "QuantumCircuit",
+    "CircuitDag",
+    "dependency_layers",
+    "circuit_unitary",
+    "circuit_statevector",
+    "circuits_equivalent",
+    "controlled_z_matrix",
+    "gate_matrix",
+    "make_gate",
+    "measurement_distribution",
+]

@@ -1,0 +1,316 @@
+"""Mutable quantum-circuit IR used throughout the compiler.
+
+The IR is deliberately minimal: a flat, ordered list of instructions over
+integer qubit indices.  Structured control flow is out of scope (the paper's
+QAOA workloads are straight-line circuits).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from ..exceptions import CircuitError
+from .gates import Gate, make_gate
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate application: an abstract gate bound to concrete qubits."""
+
+    gate: Gate
+    qubits: tuple[int, ...]
+    clbits: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubits in {self.qubits}")
+        if self.gate.name not in ("measure", "barrier", "reset"):
+            if len(self.qubits) != self.gate.num_qubits:
+                raise CircuitError(
+                    f"gate {self.gate.name!r} expects {self.gate.num_qubits} "
+                    f"qubits, got {len(self.qubits)}"
+                )
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+    @property
+    def params(self) -> tuple[float, ...]:
+        return self.gate.params
+
+    def remap(self, mapping: Sequence[int] | dict[int, int]) -> "Instruction":
+        """Return a copy with qubit indices sent through ``mapping``."""
+        if isinstance(mapping, dict):
+            qubits = tuple(mapping[q] for q in self.qubits)
+        else:
+            qubits = tuple(mapping[q] for q in self.qubits)
+        return Instruction(self.gate, qubits, self.clbits)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        qs = ", ".join(f"q[{q}]" for q in self.qubits)
+        return f"{self.gate} {qs}"
+
+
+class QuantumCircuit:
+    """An ordered sequence of instructions over ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "circuit"):
+        if num_qubits < 0 or num_clbits < 0:
+            raise CircuitError("qubit/clbit counts must be non-negative")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self.instructions: list[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        gate: Gate | str,
+        qubits: Sequence[int],
+        clbits: Sequence[int] = (),
+        params: Sequence[float] = (),
+    ) -> "QuantumCircuit":
+        """Append ``gate`` on ``qubits``; returns ``self`` for chaining."""
+        if isinstance(gate, str):
+            gate = make_gate(gate, tuple(params), num_qubits=len(qubits))
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range for {self.num_qubits}-qubit circuit"
+                )
+        for c in clbits:
+            if not 0 <= c < self.num_clbits:
+                raise CircuitError(
+                    f"clbit {c} out of range for {self.num_clbits}-clbit circuit"
+                )
+        self.instructions.append(Instruction(gate, tuple(qubits), tuple(clbits)))
+        return self
+
+    # Convenience constructors for the common gate set -----------------
+    def id(self, q: int) -> "QuantumCircuit":
+        return self.append("id", (q,))
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.append("x", (q,))
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.append("y", (q,))
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.append("z", (q,))
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.append("h", (q,))
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.append("s", (q,))
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        return self.append("sdg", (q,))
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.append("t", (q,))
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.append("tdg", (q,))
+
+    def sx(self, q: int) -> "QuantumCircuit":
+        return self.append("sx", (q,))
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.append("rx", (q,), params=(theta,))
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.append("ry", (q,), params=(theta,))
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.append("rz", (q,), params=(theta,))
+
+    def p(self, lam: float, q: int) -> "QuantumCircuit":
+        return self.append("p", (q,), params=(lam,))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        return self.append("u3", (q,), params=(theta, phi, lam))
+
+    def raman(self, x: float, y: float, z: float, q: int) -> "QuantumCircuit":
+        return self.append("raman", (q,), params=(x, y, z))
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.append("cx", (control, target))
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append("cz", (a, b))
+
+    def cp(self, lam: float, a: int, b: int) -> "QuantumCircuit":
+        return self.append("cp", (a, b), params=(lam,))
+
+    def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.append("rzz", (a, b), params=(theta,))
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.append("swap", (a, b))
+
+    def ccx(self, c1: int, c2: int, target: int) -> "QuantumCircuit":
+        return self.append("ccx", (c1, c2, target))
+
+    def ccz(self, a: int, b: int, c: int) -> "QuantumCircuit":
+        return self.append("ccz", (a, b, c))
+
+    def mcz(self, qubits: Sequence[int]) -> "QuantumCircuit":
+        return self.append("mcz", tuple(qubits))
+
+    def measure(self, q: int, c: int) -> "QuantumCircuit":
+        return self.append(Gate("measure", 1), (q,), (c,))
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure qubit ``i`` into clbit ``i``, growing clbits if needed."""
+        if self.num_clbits < self.num_qubits:
+            self.num_clbits = self.num_qubits
+        for q in range(self.num_qubits):
+            self.measure(q, q)
+        return self
+
+    def barrier(self, qubits: Sequence[int] | None = None) -> "QuantumCircuit":
+        qs = tuple(qubits) if qubits is not None else tuple(range(self.num_qubits))
+        self.instructions.append(Instruction(Gate("barrier", len(qs) or 1), qs))
+        return self
+
+    # ------------------------------------------------------------------
+    # Whole-circuit operations
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        out.instructions = list(self.instructions)
+        return out
+
+    def compose(
+        self, other: "QuantumCircuit", qubits: Sequence[int] | None = None
+    ) -> "QuantumCircuit":
+        """Append all of ``other`` onto ``self`` (optionally remapped)."""
+        if qubits is None:
+            if other.num_qubits > self.num_qubits:
+                raise CircuitError("composed circuit has more qubits than target")
+            mapping = list(range(other.num_qubits))
+        else:
+            if len(qubits) != other.num_qubits:
+                raise CircuitError("qubit mapping length mismatch in compose")
+            mapping = list(qubits)
+        for inst in other.instructions:
+            self.append(inst.gate, [mapping[q] for q in inst.qubits], inst.clbits)
+        return self
+
+    def inverse(self) -> "QuantumCircuit":
+        """Circuit implementing the inverse unitary (no measurements)."""
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, f"{self.name}_dg")
+        for inst in reversed(self.instructions):
+            if inst.gate.name == "barrier":
+                out.instructions.append(inst)
+                continue
+            if not inst.gate.is_unitary:
+                raise CircuitError("cannot invert a circuit with measurements")
+            out.append(inst.gate.inverse(), inst.qubits)
+        return out
+
+    def remapped(self, mapping: Sequence[int] | dict[int, int]) -> "QuantumCircuit":
+        """Copy with every qubit index sent through ``mapping``."""
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
+        out.instructions = [inst.remap(mapping) for inst in self.instructions]
+        return out
+
+    def without_measurements(self) -> "QuantumCircuit":
+        """Copy with measure/barrier/reset instructions removed."""
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, self.name)
+        out.instructions = [i for i in self.instructions if i.gate.is_unitary]
+        return out
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def count_ops(self) -> Counter:
+        """Histogram of gate names (barriers excluded)."""
+        return Counter(i.name for i in self.instructions if i.name != "barrier")
+
+    def num_gates(self, arity: int | None = None) -> int:
+        """Number of unitary gates, optionally filtered by qubit count."""
+        total = 0
+        for inst in self.instructions:
+            if not inst.gate.is_unitary:
+                continue
+            if arity is None or len(inst.qubits) == arity:
+                total += 1
+        return total
+
+    @property
+    def size(self) -> int:
+        """Number of non-barrier instructions (measurements included)."""
+        return sum(1 for i in self.instructions if i.name != "barrier")
+
+    def depth(self) -> int:
+        """Circuit depth counting all non-barrier instructions."""
+        front = [0] * max(self.num_qubits, 1)
+        for inst in self.instructions:
+            if inst.name == "barrier":
+                if inst.qubits:
+                    level = max(front[q] for q in inst.qubits)
+                    for q in inst.qubits:
+                        front[q] = level
+                continue
+            level = max(front[q] for q in inst.qubits) + 1
+            for q in inst.qubits:
+                front[q] = level
+        return max(front) if front else 0
+
+    def qubits_used(self) -> set[int]:
+        """Set of qubit indices touched by at least one instruction."""
+        used: set[int] = set()
+        for inst in self.instructions:
+            used.update(inst.qubits)
+        return used
+
+    def two_qubit_pairs(self) -> list[tuple[int, int]]:
+        """Ordered list of (sorted) qubit pairs of all 2-qubit gates."""
+        pairs = []
+        for inst in self.instructions:
+            if inst.gate.is_unitary and len(inst.qubits) == 2:
+                a, b = inst.qubits
+                pairs.append((min(a, b), max(a, b)))
+        return pairs
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self.num_clbits == other.num_clbits
+            and self.instructions == other.instructions
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"ops={len(self.instructions)})"
+        )
+
+    @classmethod
+    def from_instructions(
+        cls,
+        num_qubits: int,
+        instructions: Iterable[Instruction],
+        num_clbits: int = 0,
+        name: str = "circuit",
+    ) -> "QuantumCircuit":
+        out = cls(num_qubits, num_clbits, name)
+        for inst in instructions:
+            out.append(inst.gate, inst.qubits, inst.clbits)
+        return out

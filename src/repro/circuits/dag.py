@@ -1,0 +1,122 @@
+"""Dependency DAG over circuit instructions.
+
+The paper (§4.2) distinguishes logical gates, which may execute in parallel
+"if their dependencies are met and they do not share qubits, following the
+order dictated by a dependency graph", from FPQA annotations, which are
+strictly sequential.  This module provides that dependency graph and the
+ASAP layering used by schedulers and the execution-time model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .circuit import Instruction, QuantumCircuit
+
+
+class CircuitDag:
+    """Directed acyclic dependency graph over a circuit's instructions.
+
+    Node ``i`` is the ``i``-th instruction; an edge ``i -> j`` means ``j``
+    must run after ``i`` because they share a qubit (or a classical bit).
+    Only *direct* dependencies are stored: for each qubit, consecutive users
+    are linked.
+    """
+
+    def __init__(self, circuit: QuantumCircuit):
+        self.circuit = circuit
+        n = len(circuit.instructions)
+        self.successors: list[list[int]] = [[] for _ in range(n)]
+        self.predecessors: list[list[int]] = [[] for _ in range(n)]
+        last_use: dict[str, int] = {}
+        for idx, inst in enumerate(circuit.instructions):
+            deps = set()
+            for q in inst.qubits:
+                key = f"q{q}"
+                if key in last_use:
+                    deps.add(last_use[key])
+                last_use[key] = idx
+            for c in inst.clbits:
+                key = f"c{c}"
+                if key in last_use:
+                    deps.add(last_use[key])
+                last_use[key] = idx
+            for dep in sorted(deps):
+                self.successors[dep].append(idx)
+                self.predecessors[idx].append(dep)
+
+    def __len__(self) -> int:
+        return len(self.successors)
+
+    def front_layer(self) -> list[int]:
+        """Indices of instructions with no predecessors."""
+        return [i for i, preds in enumerate(self.predecessors) if not preds]
+
+    def topological_order(self) -> list[int]:
+        """A topological ordering (instruction order is already one)."""
+        return list(range(len(self.successors)))
+
+    def asap_layers(self) -> list[list[int]]:
+        """Partition instructions into as-soon-as-possible parallel layers.
+
+        Barriers synchronize every qubit they touch.  Two instructions land
+        in the same layer only when no dependency path connects them, i.e.
+        they can execute simultaneously.
+        """
+        n = len(self.successors)
+        level = [0] * n
+        for idx in range(n):
+            for pred in self.predecessors[idx]:
+                level[idx] = max(level[idx], level[pred] + 1)
+        layers: dict[int, list[int]] = {}
+        for idx, lvl in enumerate(level):
+            layers.setdefault(lvl, []).append(idx)
+        return [layers[lvl] for lvl in sorted(layers)]
+
+
+def dependency_layers(circuit: QuantumCircuit) -> list[list[Instruction]]:
+    """ASAP layers of ``circuit`` as instruction lists (barriers dropped)."""
+    dag = CircuitDag(circuit)
+    layers = []
+    for layer in dag.asap_layers():
+        insts = [
+            circuit.instructions[i]
+            for i in layer
+            if circuit.instructions[i].name != "barrier"
+        ]
+        if insts:
+            layers.append(insts)
+    return layers
+
+
+def parallel_2q_layers(circuit: QuantumCircuit) -> list[list[Instruction]]:
+    """ASAP layers restricted to multi-qubit gates.
+
+    Single-qubit gates are ignored (FPQAs execute them with fast Raman
+    pulses); the result drives Rydberg-stage scheduling in the baselines.
+    """
+    multiq = QuantumCircuit(circuit.num_qubits, circuit.num_clbits)
+    for inst in circuit.instructions:
+        if inst.gate.is_unitary and len(inst.qubits) >= 2:
+            multiq.append(inst.gate, inst.qubits)
+    return dependency_layers(multiq)
+
+
+def critical_path_length(
+    circuit: QuantumCircuit, durations: dict[str, float] | None = None
+) -> float:
+    """Length of the weighted critical path through the dependency DAG.
+
+    ``durations`` maps gate name to a duration; missing names count as 1.
+    This is the idealized (fully parallel) execution time of the circuit.
+    """
+    durations = durations or {}
+    dag = CircuitDag(circuit)
+    n = len(dag)
+    finish = [0.0] * n
+    for idx in range(n):
+        inst = circuit.instructions[idx]
+        dur = durations.get(inst.name, 1.0) if inst.name != "barrier" else 0.0
+        start = max((finish[p] for p in dag.predecessors[idx]), default=0.0)
+        finish[idx] = start + dur
+    return max(finish, default=0.0)

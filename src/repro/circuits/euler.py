@@ -1,0 +1,73 @@
+"""ZYX Euler decomposition of single-qubit unitaries.
+
+An FPQA Raman pulse applies ``Rz(z) @ Ry(y) @ Rx(x)`` (paper Table 1), so
+any single-qubit gate compiles to *one* local pulse once we can extract the
+(x, y, z) angles.  We go through the SU(2) -> SO(3) covering map and read
+off yaw-pitch-roll angles, which is numerically robust away from the
+gimbal-lock pitch and handled explicitly at the poles.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from ..exceptions import CircuitError
+
+_PAULIS = (
+    np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex),
+    np.array([[0.0, -1j], [1j, 0.0]], dtype=complex),
+    np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex),
+)
+
+
+def _to_su2(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise CircuitError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+    det = np.linalg.det(matrix)
+    if abs(det) < 1e-12:
+        raise CircuitError("matrix is singular; not a unitary")
+    return matrix / cmath.sqrt(det)
+
+
+def su2_to_so3(matrix: np.ndarray) -> np.ndarray:
+    """The SO(3) rotation corresponding to an SU(2) element.
+
+    ``R[i][j] = (1/2) tr(sigma_i U sigma_j U^dagger)``.
+    """
+    u = _to_su2(matrix)
+    u_dag = u.conj().T
+    rotation = np.empty((3, 3))
+    for i, sigma_i in enumerate(_PAULIS):
+        for j, sigma_j in enumerate(_PAULIS):
+            rotation[i, j] = 0.5 * np.trace(sigma_i @ u @ sigma_j @ u_dag).real
+    return rotation
+
+
+def zyx_euler_angles(matrix: np.ndarray) -> tuple[float, float, float]:
+    """Angles ``(x, y, z)`` with ``Rz(z) Ry(y) Rx(x) ~ matrix`` up to phase.
+
+    The rotation convention matches the ``raman`` gate: ``R*(theta) =
+    exp(-i*theta*sigma/2)``, composed X first, then Y, then Z.
+    """
+    rotation = su2_to_so3(matrix)
+    # ZYX (yaw-pitch-roll) extraction from a rotation matrix.
+    sin_pitch = -rotation[2, 0]
+    sin_pitch = min(1.0, max(-1.0, sin_pitch))
+    pitch = math.asin(sin_pitch)
+    if abs(abs(sin_pitch) - 1.0) < 1e-9:
+        # Gimbal lock: roll and yaw are degenerate; put everything in yaw.
+        roll = 0.0
+        yaw = math.atan2(-rotation[0, 1], rotation[1, 1])
+    else:
+        roll = math.atan2(rotation[2, 1], rotation[2, 2])
+        yaw = math.atan2(rotation[1, 0], rotation[0, 0])
+    return (roll, pitch, yaw)
+
+
+def raman_angles_for(matrix: np.ndarray) -> tuple[float, float, float]:
+    """Raman pulse angles implementing ``matrix`` up to global phase."""
+    return zyx_euler_angles(matrix)

@@ -1,0 +1,273 @@
+"""Gate library: names, parameters, exact matrices, inverses.
+
+Matrices follow the convention documented in :mod:`repro.linalg`: for a gate
+applied to qubits ``(q0, q1, ...)``, ``q0`` is the most significant bit of
+the matrix index, so ``CX`` (control listed first) maps ``|c t>`` to
+``|c, t xor c>``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import CircuitError
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+def _u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Standard OpenQASM ``U(theta, phi, lambda)`` matrix."""
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array(
+        [
+            [cos, -np.exp(1j * lam) * sin],
+            [np.exp(1j * phi) * sin, np.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def _raman_matrix(x: float, y: float, z: float) -> np.ndarray:
+    """FPQA Raman rotation ``Rz(z) @ Ry(y) @ Rx(x)`` (paper Table 1)."""
+    return _rz_matrix(z) @ _ry_matrix(y) @ _rx_matrix(x)
+
+
+def _rx_matrix(theta: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array([[cos, -1j * sin], [-1j * sin, cos]], dtype=complex)
+
+
+def _ry_matrix(theta: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array([[cos, -sin], [sin, cos]], dtype=complex)
+
+
+def _rz_matrix(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-0.5j * theta), 0.0], [0.0, np.exp(0.5j * theta)]], dtype=complex
+    )
+
+
+def _p_matrix(lam: float) -> np.ndarray:
+    return np.array([[1.0, 0.0], [0.0, np.exp(1j * lam)]], dtype=complex)
+
+
+def _rzz_matrix(theta: float) -> np.ndarray:
+    phase = np.exp(0.5j * theta)
+    return np.diag([phase.conjugate(), phase, phase, phase.conjugate()]).astype(complex)
+
+
+def _cp_matrix(lam: float) -> np.ndarray:
+    return np.diag([1.0, 1.0, 1.0, np.exp(1j * lam)]).astype(complex)
+
+
+def controlled_z_matrix(num_qubits: int) -> np.ndarray:
+    """Matrix of the ``C^{n-1}Z`` gate: ``-1`` phase on the all-ones state.
+
+    For ``num_qubits == 1`` this degenerates to plain ``Z``; for 2 it is
+    ``CZ``; for 3 it is ``CCZ`` — the gate an FPQA Rydberg pulse natively
+    applies to a cluster of interacting atoms (paper §2.3, §4.1).
+    """
+    if num_qubits < 1:
+        raise CircuitError("controlled-Z needs at least one qubit")
+    diag = np.ones(2**num_qubits, dtype=complex)
+    diag[-1] = -1.0
+    return np.diag(diag)
+
+
+_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+_Y = np.array([[0.0, -1j], [1j, 0.0]], dtype=complex)
+_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+_H = np.array([[_SQRT2_INV, _SQRT2_INV], [_SQRT2_INV, -_SQRT2_INV]], dtype=complex)
+_S = np.diag([1.0, 1j]).astype(complex)
+_SDG = np.diag([1.0, -1j]).astype(complex)
+_T = np.diag([1.0, np.exp(0.25j * math.pi)]).astype(complex)
+_TDG = np.diag([1.0, np.exp(-0.25j * math.pi)]).astype(complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+_SXDG = _SX.conj().T
+_CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+_CCX = np.eye(8, dtype=complex)
+_CCX[6, 6] = _CCX[7, 7] = 0.0
+_CCX[6, 7] = _CCX[7, 6] = 1.0
+
+# name -> (num_qubits, num_params, matrix builder)
+_FIXED = {
+    "id": (1, 0, lambda: np.eye(2, dtype=complex)),
+    "x": (1, 0, lambda: _X),
+    "y": (1, 0, lambda: _Y),
+    "z": (1, 0, lambda: _Z),
+    "h": (1, 0, lambda: _H),
+    "s": (1, 0, lambda: _S),
+    "sdg": (1, 0, lambda: _SDG),
+    "t": (1, 0, lambda: _T),
+    "tdg": (1, 0, lambda: _TDG),
+    "sx": (1, 0, lambda: _SX),
+    "sxdg": (1, 0, lambda: _SXDG),
+    "cx": (2, 0, lambda: _CX),
+    "cz": (2, 0, lambda: controlled_z_matrix(2)),
+    "swap": (2, 0, lambda: _SWAP),
+    "ccx": (3, 0, lambda: _CCX),
+    "ccz": (3, 0, lambda: controlled_z_matrix(3)),
+}
+
+_PARAMETRIC = {
+    "rx": (1, 1, _rx_matrix),
+    "ry": (1, 1, _ry_matrix),
+    "rz": (1, 1, _rz_matrix),
+    "p": (1, 1, _p_matrix),
+    "u3": (1, 3, _u3_matrix),
+    "raman": (1, 3, _raman_matrix),
+    "rzz": (2, 1, _rzz_matrix),
+    "cp": (2, 1, _cp_matrix),
+}
+
+#: Names of every gate with a fixed arity known to the library (excludes
+#: the variable-arity ``mcz`` and the non-unitary ``measure``/``barrier``).
+STANDARD_GATE_NAMES = tuple(sorted(set(_FIXED) | set(_PARAMETRIC)))
+
+#: OpenQASM spellings accepted by the parser for library gates.
+GATE_ALIASES = {
+    "u": "u3",
+    "phase": "p",
+    "cnot": "cx",
+    "toffoli": "ccx",
+    "i": "id",
+}
+
+_SELF_INVERSE = {"id", "x", "y", "z", "h", "cx", "cz", "swap", "ccx", "ccz", "mcz"}
+_INVERSE_PAIRS = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t", "sx": "sxdg", "sxdg": "sx"}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An abstract gate: a name, an arity, and numeric parameters.
+
+    Instances are immutable and hashable so they can key caches and appear
+    in sets; the matrix is computed on demand.
+    """
+
+    name: str
+    num_qubits: int
+    params: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.name in _FIXED:
+            arity, nparams, _ = _FIXED[self.name]
+        elif self.name in _PARAMETRIC:
+            arity, nparams, _ = _PARAMETRIC[self.name]
+        elif self.name == "mcz":
+            arity, nparams = self.num_qubits, 0
+            if self.num_qubits < 1:
+                raise CircuitError("mcz needs at least one qubit")
+        elif self.name in ("measure", "barrier", "reset"):
+            return  # non-unitary markers: any arity, no params
+        else:
+            raise CircuitError(f"unknown gate {self.name!r}")
+        if self.num_qubits != arity:
+            raise CircuitError(
+                f"gate {self.name!r} acts on {arity} qubit(s), got {self.num_qubits}"
+            )
+        if len(self.params) != nparams:
+            raise CircuitError(
+                f"gate {self.name!r} takes {nparams} parameter(s), got {len(self.params)}"
+            )
+
+    @property
+    def is_unitary(self) -> bool:
+        """Whether this gate has a matrix (False for measure/barrier/reset)."""
+        return self.name not in ("measure", "barrier", "reset")
+
+    def matrix(self) -> np.ndarray:
+        """The exact unitary matrix of this gate."""
+        if self.name in _FIXED:
+            return _FIXED[self.name][2]().copy()
+        if self.name in _PARAMETRIC:
+            return _PARAMETRIC[self.name][2](*self.params)
+        if self.name == "mcz":
+            return controlled_z_matrix(self.num_qubits)
+        raise CircuitError(f"gate {self.name!r} has no matrix")
+
+    def inverse(self) -> "Gate":
+        """The gate implementing the inverse unitary."""
+        if self.name in _SELF_INVERSE:
+            return self
+        if self.name in _INVERSE_PAIRS:
+            return Gate(_INVERSE_PAIRS[self.name], self.num_qubits)
+        if self.name in ("rx", "ry", "rz", "p", "rzz", "cp"):
+            return Gate(self.name, self.num_qubits, (-self.params[0],))
+        if self.name == "u3":
+            theta, phi, lam = self.params
+            return Gate("u3", 1, (-theta, -lam, -phi))
+        if self.name == "raman":
+            x, y, z = self.params
+            # (Rz Ry Rx)^-1 = Rx(-x) Ry(-y) Rz(-z); no single raman gate
+            # expresses that in general, so fall back to u3 via the matrix.
+            inv = np.asarray(self.matrix()).conj().T
+            return _u3_from_matrix(inv)
+        raise CircuitError(f"gate {self.name!r} has no inverse")
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        if self.params:
+            args = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"{self.name}({args})"
+        return self.name
+
+
+def _u3_from_matrix(matrix: np.ndarray) -> Gate:
+    """Recover a ``u3`` gate equal to ``matrix`` up to global phase."""
+    # Normalize so the (0, 0) entry is real non-negative.
+    mat = np.asarray(matrix, dtype=complex)
+    if abs(mat[0, 0]) > 1e-12:
+        mat = mat * (abs(mat[0, 0]) / mat[0, 0])
+    else:
+        mat = mat * (abs(mat[1, 0]) / mat[1, 0])
+    theta = 2.0 * math.atan2(abs(mat[1, 0]), abs(mat[0, 0]))
+    if abs(mat[1, 0]) < 1e-12:
+        phi = 0.0
+        lam = float(np.angle(mat[1, 1]))
+    elif abs(mat[0, 0]) < 1e-12:
+        phi = float(np.angle(mat[1, 0]))
+        lam = float(np.angle(-mat[0, 1])) - phi
+    else:
+        phi = float(np.angle(mat[1, 0]))
+        lam = float(np.angle(-mat[0, 1]))
+    return Gate("u3", 1, (theta, phi, lam))
+
+
+def u3_from_matrix(matrix: np.ndarray) -> Gate:
+    """Public wrapper: single-qubit ``u3`` equivalent (up to global phase)."""
+    return _u3_from_matrix(matrix)
+
+
+def make_gate(name: str, params: tuple[float, ...] = (), num_qubits: int | None = None) -> Gate:
+    """Construct a gate by (possibly aliased) name.
+
+    ``num_qubits`` is only needed for variable-arity gates (``mcz``); fixed
+    gates infer it from the registry.
+    """
+    name = GATE_ALIASES.get(name, name)
+    if name in _FIXED:
+        return Gate(name, _FIXED[name][0], tuple(params))
+    if name in _PARAMETRIC:
+        return Gate(name, _PARAMETRIC[name][0], tuple(params))
+    if name == "mcz":
+        if num_qubits is None:
+            raise CircuitError("mcz requires an explicit qubit count")
+        return Gate("mcz", num_qubits)
+    raise CircuitError(f"unknown gate {name!r}")
+
+
+def gate_matrix(name: str, params: tuple[float, ...] = (), num_qubits: int | None = None) -> np.ndarray:
+    """Matrix of a gate by name; see :func:`make_gate`."""
+    return make_gate(name, params, num_qubits).matrix()

@@ -1,0 +1,74 @@
+"""Seeded random circuit generation for tests and fuzzing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from .circuit import QuantumCircuit
+
+#: Gate menu with (name, arity, param count).
+_MENU = [
+    ("h", 1, 0),
+    ("x", 1, 0),
+    ("s", 1, 0),
+    ("t", 1, 0),
+    ("sx", 1, 0),
+    ("rx", 1, 1),
+    ("ry", 1, 1),
+    ("rz", 1, 1),
+    ("u3", 1, 3),
+    ("cx", 2, 0),
+    ("cz", 2, 0),
+    ("swap", 2, 0),
+    ("rzz", 2, 1),
+    ("cp", 2, 1),
+    ("ccx", 3, 0),
+    ("ccz", 3, 0),
+]
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    seed: int = 0,
+    max_arity: int = 3,
+    measure: bool = False,
+) -> QuantumCircuit:
+    """A uniformly random circuit over the standard gate menu.
+
+    Deterministic for a given seed; used by property tests that check
+    compiler passes preserve unitaries on arbitrary inputs.
+    """
+    if num_qubits < 1:
+        raise CircuitError("random circuit needs at least one qubit")
+    rng = np.random.default_rng(seed)
+    menu = [m for m in _MENU if m[1] <= min(max_arity, num_qubits)]
+    circuit = QuantumCircuit(num_qubits, name=f"random-{seed}")
+    for _ in range(num_gates):
+        name, arity, n_params = menu[rng.integers(0, len(menu))]
+        qubits = rng.choice(num_qubits, size=arity, replace=False)
+        params = tuple(float(a) for a in rng.uniform(-np.pi, np.pi, size=n_params))
+        circuit.append(name, [int(q) for q in qubits], params=params)
+    if measure:
+        circuit.measure_all()
+    return circuit
+
+
+def random_diagonal_circuit(
+    num_qubits: int, num_gates: int, seed: int = 0
+) -> QuantumCircuit:
+    """Random circuit of commuting diagonal gates (QAOA-cost-like)."""
+    rng = np.random.default_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random-diagonal-{seed}")
+    for _ in range(num_gates):
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            circuit.rz(float(rng.uniform(-np.pi, np.pi)), int(rng.integers(num_qubits)))
+        elif kind == 1 and num_qubits >= 2:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.rzz(float(rng.uniform(-np.pi, np.pi)), int(a), int(b))
+        elif num_qubits >= 2:
+            a, b = rng.choice(num_qubits, size=2, replace=False)
+            circuit.cz(int(a), int(b))
+    return circuit

@@ -1,0 +1,120 @@
+"""Dense unitary and statevector simulation of circuits.
+
+This is the computational core of the wChecker (§6): building the unitary
+matrices of the original and retargeted circuits and comparing them up to a
+global phase.  Exact unitaries are limited to
+:data:`repro.linalg.MAX_UNITARY_QUBITS` qubits; beyond that the checker
+falls back to random-statevector probing (see :mod:`repro.checker`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..linalg import (
+    MAX_STATEVECTOR_QUBITS,
+    MAX_UNITARY_QUBITS,
+    allclose_up_to_global_phase,
+    apply_gate_to_state,
+    apply_gate_to_unitary,
+)
+from .circuit import QuantumCircuit
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Exact ``2**n x 2**n`` unitary of a measurement-free circuit."""
+    n = circuit.num_qubits
+    if n > MAX_UNITARY_QUBITS:
+        raise SimulationError(
+            f"cannot build a dense unitary for {n} qubits "
+            f"(limit {MAX_UNITARY_QUBITS}); use statevector probing"
+        )
+    unitary = np.eye(2**n, dtype=complex)
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        if not inst.gate.is_unitary:
+            raise SimulationError(
+                f"cannot compute the unitary of a circuit containing {inst.name!r}"
+            )
+        unitary = apply_gate_to_unitary(inst.gate.matrix(), inst.qubits, unitary, n)
+    return unitary
+
+
+def circuit_statevector(
+    circuit: QuantumCircuit, initial_state: np.ndarray | None = None
+) -> np.ndarray:
+    """Statevector after running ``circuit`` (measurements are skipped)."""
+    n = circuit.num_qubits
+    if n > MAX_STATEVECTOR_QUBITS:
+        raise SimulationError(
+            f"cannot simulate a statevector for {n} qubits "
+            f"(limit {MAX_STATEVECTOR_QUBITS})"
+        )
+    if initial_state is None:
+        state = np.zeros(2**n, dtype=complex)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial_state, dtype=complex)
+        if state.shape != (2**n,):
+            raise SimulationError(
+                f"initial state has shape {state.shape}, expected ({2**n},)"
+            )
+    for inst in circuit.instructions:
+        if not inst.gate.is_unitary:
+            continue
+        state = apply_gate_to_state(inst.gate.matrix(), inst.qubits, state, n)
+    return state
+
+
+def measurement_distribution(circuit: QuantumCircuit) -> dict[str, float]:
+    """Ideal output distribution over bitstrings (little-endian keys).
+
+    The returned keys are bitstrings with qubit 0 as the *leftmost*
+    character, e.g. ``"110010"`` in the paper's Figure 1 means qubits 0, 1
+    and 4 measured as 1.  Probabilities below 1e-12 are dropped.
+    """
+    state = circuit_statevector(circuit)
+    probs = np.abs(state) ** 2
+    n = circuit.num_qubits
+    dist: dict[str, float] = {}
+    for basis, p in enumerate(probs):
+        if p < 1e-12:
+            continue
+        bits = "".join("1" if (basis >> q) & 1 else "0" for q in range(n))
+        dist[bits] = float(p)
+    return dist
+
+
+def circuits_equivalent(
+    a: QuantumCircuit,
+    b: QuantumCircuit,
+    atol: float = 1e-8,
+    probes: int = 4,
+    seed: int = 7,
+) -> bool:
+    """Whether two circuits implement the same unitary up to global phase.
+
+    Small circuits are compared exactly; circuits above the dense-unitary
+    limit are compared by applying both to ``probes`` random statevectors
+    (a one-sided Monte-Carlo check with overwhelming detection probability
+    for structured compiler bugs).
+    """
+    if a.num_qubits != b.num_qubits:
+        return False
+    a = a.without_measurements()
+    b = b.without_measurements()
+    n = a.num_qubits
+    if n <= MAX_UNITARY_QUBITS:
+        return allclose_up_to_global_phase(circuit_unitary(a), circuit_unitary(b), atol)
+    rng = np.random.default_rng(seed)
+    from ..linalg import random_statevector  # local import to avoid cycle noise
+
+    for _ in range(probes):
+        probe = random_statevector(n, rng)
+        out_a = circuit_statevector(a, probe)
+        out_b = circuit_statevector(b, probe)
+        if not allclose_up_to_global_phase(out_a, out_b, atol=max(atol, 1e-7)):
+            return False
+    return True

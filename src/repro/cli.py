@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``   DIMACS CNF -> wQasm program (+ metrics on stderr)
+``check``     verify a wQasm file with the wChecker
+``export``    DIMACS CNF -> DPQA-format JSON (artifact step 6)
+``bench``     run the laptop-scale artifact sweep (same as run.py --quick)
+
+Examples::
+
+    python -m repro compile problem.cnf -o program.wqasm
+    python -m repro check program.wqasm
+    python -m repro export problem.cnf -o gates.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baselines.dpqa_format import circuit_to_dpqa_json
+from .checker import check_program
+from .exceptions import WeaverError
+from .metrics import program_duration_us, program_eps
+from .passes import compile_formula, nativize_circuit
+from .qaoa import QaoaParameters, qaoa_circuit
+from .sat import parse_dimacs
+from .wqasm import parse_wqasm
+
+
+def _load_formula(path: str):
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_dimacs(text, name=Path(path).stem)
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    formula = _load_formula(args.input)
+    parameters = QaoaParameters((args.gamma,), (args.beta,))
+    result = compile_formula(
+        formula,
+        parameters=parameters,
+        compression=None if args.compression == "auto" else args.compression == "on",
+        measure=not args.no_measure,
+    )
+    text = result.program.to_wqasm()
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+    program = result.program
+    print(
+        f"compiled {formula.name}: {formula.num_vars} vars, "
+        f"{formula.num_clauses} clauses -> {program.total_pulses} pulses, "
+        f"{program_duration_us(program) / 1e3:.2f} ms, "
+        f"EPS {program_eps(program):.4g} "
+        f"({result.compile_seconds * 1e3:.0f} ms compile)",
+        file=sys.stderr,
+    )
+    if args.verify:
+        report = check_program(program, reference=result.native_circuit)
+        print(f"wChecker: ok={report.ok}", file=sys.stderr)
+        if not report.ok:
+            return 1
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    text = Path(args.input).read_text(encoding="utf-8")
+    program = parse_wqasm(text, name=Path(args.input).stem)
+    report = check_program(program)
+    print(f"operations checked: {report.operations_checked}")
+    print(f"reconstruction method: {report.reconstructed_method}")
+    print(f"ok: {report.ok}")
+    for failure in report.operation_failures[:10]:
+        print(f"  {failure}")
+    return 0 if report.ok else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    formula = _load_formula(args.input)
+    circuit = nativize_circuit(qaoa_circuit(formula, measure=False))
+    payload = circuit_to_dpqa_json(circuit, name=formula.name)
+    if args.output:
+        Path(args.output).write_text(payload, encoding="utf-8")
+    else:
+        sys.stdout.write(payload + "\n")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .evaluation import EvaluationConfig
+    from .evaluation.artifact import run_artifact
+
+    config = EvaluationConfig(
+        fixed_instances=tuple(f"uf20-{i:02d}" for i in range(1, 4)),
+        scaling_sizes=(20, 50),
+        instances_per_size=1,
+    )
+    run_artifact(config, include_ccz_sweep=False, verbose=True)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="DIMACS CNF -> wQasm")
+    p_compile.add_argument("input", help="DIMACS .cnf file")
+    p_compile.add_argument("-o", "--output", help="wQasm output path (default stdout)")
+    p_compile.add_argument("--gamma", type=float, default=0.7, help="QAOA gamma")
+    p_compile.add_argument("--beta", type=float, default=0.35, help="QAOA beta")
+    p_compile.add_argument(
+        "--compression", choices=("auto", "on", "off"), default="auto"
+    )
+    p_compile.add_argument("--no-measure", action="store_true")
+    p_compile.add_argument("--verify", action="store_true", help="run the wChecker")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_check = sub.add_parser("check", help="verify a wQasm file")
+    p_check.add_argument("input", help="wQasm file")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_export = sub.add_parser("export", help="DIMACS CNF -> DPQA JSON")
+    p_export.add_argument("input", help="DIMACS .cnf file")
+    p_export.add_argument("-o", "--output", help="JSON output path (default stdout)")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_bench = sub.add_parser("bench", help="quick artifact sweep")
+    p_bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (WeaverError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Clause conflict graphs and DSatur greedy coloring (paper Algorithm 1)."""
+
+from .conflict_graph import ConflictGraph, clause_conflict_graph
+from .dsatur import dsatur_coloring, greedy_sequential_coloring, validate_coloring
+
+__all__ = [
+    "ConflictGraph",
+    "clause_conflict_graph",
+    "dsatur_coloring",
+    "greedy_sequential_coloring",
+    "validate_coloring",
+]

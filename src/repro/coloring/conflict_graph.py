@@ -1,0 +1,76 @@
+"""Clause conflict graph: nodes are clauses, edges mean shared variables.
+
+This is the graph built by Algorithm 1 of the paper: two clauses conflict
+when they mention a common variable, in which case their cost-Hamiltonian
+fragments touch a common qubit and cannot execute in the same Rydberg
+stage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..exceptions import ColoringError
+from ..sat.cnf import Clause, CnfFormula
+
+
+class ConflictGraph:
+    """Simple undirected graph over ``n`` integer nodes (adjacency sets)."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 0:
+            raise ColoringError("node count must be non-negative")
+        self.num_nodes = num_nodes
+        self.adjacency: list[set[int]] = [set() for _ in range(num_nodes)]
+
+    def add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            raise ColoringError(f"self-loop on node {u}")
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise ColoringError(f"edge ({u}, {v}) out of range")
+        self.adjacency[u].add(v)
+        self.adjacency[v].add(u)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self.adjacency[u]
+
+    def degree(self, node: int) -> int:
+        return len(self.adjacency[node])
+
+    def neighbors(self, node: int) -> set[int]:
+        return self.adjacency[node]
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(adj) for adj in self.adjacency) // 2
+
+    def edges(self) -> list[tuple[int, int]]:
+        out = []
+        for u in range(self.num_nodes):
+            for v in self.adjacency[u]:
+                if u < v:
+                    out.append((u, v))
+        return out
+
+    def max_degree(self) -> int:
+        return max((len(adj) for adj in self.adjacency), default=0)
+
+
+def clause_conflict_graph(clauses: Sequence[Clause] | CnfFormula) -> ConflictGraph:
+    """Build the clause conflict graph of Algorithm 1.
+
+    Edge ``(i, j)`` exists iff clause ``i`` and clause ``j`` share at least
+    one variable.  Construction is O(total literals) via a variable ->
+    clauses index rather than the quadratic pairwise loop of the pseudocode.
+    """
+    clause_list = list(clauses.clauses) if isinstance(clauses, CnfFormula) else list(clauses)
+    graph = ConflictGraph(len(clause_list))
+    by_variable: dict[int, list[int]] = {}
+    for idx, clause in enumerate(clause_list):
+        for var in clause.variables:
+            by_variable.setdefault(var, []).append(idx)
+    for users in by_variable.values():
+        for i, u in enumerate(users):
+            for v in users[i + 1 :]:
+                graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,44 @@
+"""Evaluation harness regenerating every table and figure of paper §8."""
+
+from .workloads import (
+    FIXED_SIZE_INSTANCES,
+    SCALING_SIZES,
+    load_workload,
+    scaling_instances,
+)
+from .runner import DEFAULT_BUDGETS, EvaluationConfig, ResultStore
+from .figures import (
+    fig8a_compilation_fixed,
+    fig8b_compilation_scaling,
+    fig10a_complexity,
+    fig10b_pulses,
+    fig10c_ccz_threshold,
+    fig11a_execution_fixed,
+    fig11b_execution_scaling,
+    fig12a_eps_fixed,
+    fig12b_eps_scaling,
+)
+from .tables import table2_complexity
+from .reporting import format_table, format_value
+
+__all__ = [
+    "DEFAULT_BUDGETS",
+    "EvaluationConfig",
+    "FIXED_SIZE_INSTANCES",
+    "ResultStore",
+    "SCALING_SIZES",
+    "fig10a_complexity",
+    "fig10b_pulses",
+    "fig10c_ccz_threshold",
+    "fig11a_execution_fixed",
+    "fig11b_execution_scaling",
+    "fig12a_eps_fixed",
+    "fig12b_eps_scaling",
+    "fig8a_compilation_fixed",
+    "fig8b_compilation_scaling",
+    "format_table",
+    "format_value",
+    "load_workload",
+    "scaling_instances",
+    "table2_complexity",
+]

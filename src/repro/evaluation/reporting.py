@@ -1,0 +1,51 @@
+"""Plain-text rendering of figure/table rows.
+
+Timed-out or unavailable cells print as ``X``, matching the figure
+annotations in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Render one cell: numbers in compact scientific form, None as X."""
+    if value is None:
+        return "X"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if math.isinf(value):
+            return "inf"
+        magnitude = abs(value)
+        if 1e-3 <= magnitude < 1e5:
+            return f"{value:.{precision}g}"
+        return f"{value:.{max(precision - 2, 1)}e}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], title: str | None = None) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)\n" if title else "(empty)\n"
+    columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), max(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines) + "\n"

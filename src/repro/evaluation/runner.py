@@ -1,0 +1,130 @@
+"""Evaluation runner: compile (compiler x workload) cells with budgets.
+
+The paper's experiment harness runs each compiler over the benchmark suite
+under a 20-hour timeout (§8.1).  At laptop scale the default budget is 60
+seconds — the same compilers hit it in the same places (Geyser and DPQA
+above 20 variables).  Every run is cached in the :class:`ResultStore`, so
+all figures derive from a single compile of each cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import ALL_COMPILERS
+from ..baselines.base import BaselineCompiler, BaselineResult, run_with_timeout
+from .workloads import (
+    FIXED_SIZE_INSTANCES,
+    SCALING_SIZES,
+    load_workload,
+    scaling_instances,
+)
+
+#: Per-compiler compile budgets in seconds.  Mirrors the paper's single
+#: 20 h budget, scaled to laptop runs; Geyser and DPQA genuinely exceed it
+#: beyond 20 variables.
+DEFAULT_BUDGETS: dict[str, float] = {
+    "weaver": 300.0,
+    "atomique": 300.0,
+    "superconducting": 600.0,
+    "geyser": 60.0,
+    "dpqa": 60.0,
+}
+
+#: The superconducting backend has 127 qubits; the paper stops that
+#: baseline at 100 variables (Fig. 8 caption).
+SUPERCONDUCTING_MAX_VARS = 127
+
+#: Sizes at which the exponential/quadratic compilers are actually
+#: attempted; beyond the first timeout size they are recorded as timed out
+#: without burning the budget again (monotone work growth).
+ATTEMPT_LIMIT = {"geyser": 50, "dpqa": 50}
+
+
+@dataclass
+class EvaluationConfig:
+    """Knobs for a full evaluation sweep."""
+
+    compilers: tuple[str, ...] = (
+        "superconducting",
+        "atomique",
+        "weaver",
+        "dpqa",
+        "geyser",
+    )
+    fixed_instances: tuple[str, ...] = FIXED_SIZE_INSTANCES
+    scaling_sizes: tuple[int, ...] = SCALING_SIZES
+    instances_per_size: int = 3
+    budgets: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_BUDGETS))
+
+
+class ResultStore:
+    """Cache of (compiler, workload) -> :class:`BaselineResult`."""
+
+    def __init__(self, config: EvaluationConfig | None = None):
+        self.config = config or EvaluationConfig()
+        self.results: dict[tuple[str, str], BaselineResult] = {}
+        self._instances: dict[str, BaselineCompiler] = {}
+
+    def _compiler(self, name: str) -> BaselineCompiler:
+        if name not in self._instances:
+            if name not in ALL_COMPILERS:
+                raise KeyError(f"unknown compiler {name!r}")
+            self._instances[name] = ALL_COMPILERS[name]()
+        return self._instances[name]
+
+    def run(self, compiler: str, workload: str) -> BaselineResult:
+        """Compile one cell (cached)."""
+        key = (compiler, workload)
+        if key in self.results:
+            return self.results[key]
+        formula = load_workload(workload)
+        limit = ATTEMPT_LIMIT.get(compiler)
+        if limit is not None and formula.num_vars > limit:
+            result = BaselineResult(
+                compiler=compiler,
+                workload=workload,
+                num_vars=formula.num_vars,
+                num_clauses=formula.num_clauses,
+                compile_seconds=self.config.budgets.get(compiler, 60.0),
+                timed_out=True,
+            )
+        elif (
+            compiler == "superconducting"
+            and formula.num_vars > SUPERCONDUCTING_MAX_VARS
+        ):
+            result = BaselineResult(
+                compiler=compiler,
+                workload=workload,
+                num_vars=formula.num_vars,
+                num_clauses=formula.num_clauses,
+                error="exceeds 127-qubit backend",
+            )
+        else:
+            result = run_with_timeout(
+                self._compiler(compiler),
+                formula,
+                budget_seconds=self.config.budgets.get(compiler),
+            )
+        self.results[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def fixed_size_results(self, compiler: str) -> list[BaselineResult]:
+        """All ten uf20 cells for one compiler (Figures 8a/11a/12a)."""
+        return [self.run(compiler, name) for name in self.config.fixed_instances]
+
+    def scaling_results(
+        self, compiler: str, num_vars: int
+    ) -> list[BaselineResult]:
+        """The cells of one scaling data point (Figures 8b/10b/11b/12b)."""
+        names = scaling_instances(num_vars, self.config.instances_per_size)
+        return [self.run(compiler, name) for name in names]
+
+
+def mean_of(values: list[float | None]) -> float | None:
+    """Mean of the non-``None`` entries, or ``None`` if empty."""
+    usable = [v for v in values if v is not None]
+    if not usable:
+        return None
+    return sum(usable) / len(usable)

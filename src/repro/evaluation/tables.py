@@ -1,0 +1,17 @@
+"""Table generators (paper Table 2)."""
+
+from __future__ import annotations
+
+from ..metrics.complexity import COMPLEXITY_TABLE
+
+
+def table2_complexity() -> list[dict]:
+    """Table 2: compilation complexity per compiler.
+
+    N is the number of benchmark variables; K the number of circuit
+    operations (generally K >> N).
+    """
+    order = ["qiskit", "atomique", "geyser", "dpqa", "weaver"]
+    return [
+        {"compiler": name, "complexity": COMPLEXITY_TABLE[name]} for name in order
+    ]

@@ -1,0 +1,34 @@
+"""Benchmark workloads (paper §8.1): SATLIB-shaped MAX-3SAT instances.
+
+Two experiment families: ten fixed-size 20-variable instances
+(``uf20-01`` … ``uf20-10``), and a scaling sweep over 20–250 variables
+with several instances per size averaged per data point.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..sat.cnf import CnfFormula
+from ..sat.generator import SATLIB_SHAPES, satlib_instance
+
+#: The ten fixed-size instances of Figures 8(a), 11(a), 12(a).
+FIXED_SIZE_INSTANCES: tuple[str, ...] = tuple(
+    f"uf20-{i:02d}" for i in range(1, 11)
+)
+
+#: The variable-size sweep of Figures 8(b), 10, 11(b), 12(b).
+SCALING_SIZES: tuple[int, ...] = (20, 50, 75, 100, 150, 250)
+
+
+@lru_cache(maxsize=None)
+def load_workload(name: str) -> CnfFormula:
+    """Load (generate deterministically) a workload by SATLIB-style name."""
+    return satlib_instance(name)
+
+
+def scaling_instances(num_vars: int, count: int = 3) -> list[str]:
+    """Instance names for one scaling data point (paper averages 10)."""
+    if num_vars not in SATLIB_SHAPES:
+        raise ValueError(f"no SATLIB shape for {num_vars} variables")
+    return [f"uf{num_vars}-{i:02d}" for i in range(1, count + 1)]

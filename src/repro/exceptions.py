@@ -1,0 +1,85 @@
+"""Exception hierarchy for the Weaver reproduction.
+
+Every package raises a subclass of :class:`WeaverError` so that callers can
+catch framework errors without also swallowing programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class WeaverError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CircuitError(WeaverError):
+    """Invalid circuit construction or manipulation (bad qubit index, ...)."""
+
+
+class SimulationError(WeaverError):
+    """Unitary/statevector simulation cannot proceed (too many qubits, ...)."""
+
+
+class QasmSyntaxError(WeaverError):
+    """OpenQASM / wQasm source text failed to lex or parse."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class QasmSemanticError(WeaverError):
+    """OpenQASM / wQasm source parsed but violates semantic rules."""
+
+
+class AnnotationError(WeaverError):
+    """A wQasm FPQA annotation violates its pre-condition (Table 1)."""
+
+
+class FPQAConstraintError(WeaverError):
+    """An FPQA device operation violates a hardware constraint.
+
+    Examples: AOD rows crossing during a shuttle, traps closer than the
+    minimum spacing, transferring onto an occupied trap.
+    """
+
+
+class SatError(WeaverError):
+    """Malformed CNF formula or DIMACS input."""
+
+
+class ColoringError(WeaverError):
+    """Graph coloring produced or received invalid data."""
+
+
+class CompilationError(WeaverError):
+    """A compiler pipeline could not produce a valid program."""
+
+
+class CompilationTimeout(CompilationError):
+    """A compiler exceeded its time budget (Geyser/DPQA on large inputs)."""
+
+    def __init__(self, compiler: str, budget_seconds: float):
+        super().__init__(
+            f"{compiler} exceeded its compilation budget of {budget_seconds:.3g}s"
+        )
+        self.compiler = compiler
+        self.budget_seconds = budget_seconds
+
+
+class RoutingError(CompilationError):
+    """Qubit mapping/routing failed (disconnected coupling map, ...)."""
+
+
+class EquivalenceError(WeaverError):
+    """wChecker determined two programs are not functionally equivalent."""
+
+
+class VerificationError(WeaverError):
+    """wChecker could not complete verification (unsupported instruction...)."""

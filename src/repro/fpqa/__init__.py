@@ -1,0 +1,47 @@
+"""FPQA (Field-Programmable Qubit Array) device substrate.
+
+Models the neutral-atom hardware of paper §2.3: a fixed SLM trap layer, a
+reconfigurable AOD row/column grid, atom transfer between layers, row and
+column shuttling, and the two control pulses (Raman and Rydberg).  The
+:class:`FPQADevice` state machine validates every operation against the
+pre-conditions of Table 1 and resolves which gates a global Rydberg pulse
+applies, which is exactly the simulation the wChecker performs (§6).
+"""
+
+from .hardware import FPQAHardwareParams
+from .instructions import (
+    AodInit,
+    BindAtom,
+    FPQAInstruction,
+    ParallelShuttle,
+    RamanGlobal,
+    RamanLocal,
+    RydbergPulse,
+    Shuttle,
+    ShuttleMove,
+    SlmInit,
+    Transfer,
+    instruction_duration_us,
+)
+from .device import FPQADevice, RydbergCluster
+from .geometry import ZoneGeometry, zone_layout
+
+__all__ = [
+    "AodInit",
+    "BindAtom",
+    "FPQADevice",
+    "FPQAHardwareParams",
+    "FPQAInstruction",
+    "ParallelShuttle",
+    "RamanGlobal",
+    "RamanLocal",
+    "RydbergCluster",
+    "RydbergPulse",
+    "Shuttle",
+    "ShuttleMove",
+    "SlmInit",
+    "Transfer",
+    "ZoneGeometry",
+    "instruction_duration_us",
+    "zone_layout",
+]

@@ -1,0 +1,236 @@
+"""Zone geometry for color-group execution (paper Figure 5).
+
+Weaver arranges each color group in its own spatial zone, placed on a
+diagonal so consecutive zones never share AOD rows or columns.  Within a
+zone, every clause gets a *slot*: an equilateral triangle of atom sites
+(two controls on top, the target below) whose side fits inside the Rydberg
+radius, with slots spaced far enough apart that neighboring clauses never
+interact.  Above each slot sits a pair of *stage* positions where control
+atoms rest between pulses — far enough from the target that a Rydberg
+pulse there applies only the control-control CZ.
+
+All distance invariants are asserted at construction time so that any
+parameter combination that could produce unintended interactions fails
+fast instead of miscompiling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import FPQAConstraintError
+from .hardware import FPQAHardwareParams
+
+
+@dataclass(frozen=True)
+class ZoneGeometry:
+    """Derived placement constants for a given hardware configuration."""
+
+    hardware: FPQAHardwareParams
+    #: Side of the clause triangle; all three atoms pairwise this far apart.
+    triangle_side_um: float = field(default=0.0)
+    #: Vertical rise of the control row above the target row.
+    control_height_um: float = field(default=0.0)
+    #: Extra rise separating controls from targets during the CZ stage.
+    separation_offset_um: float = field(default=0.0)
+    #: Horizontal gap between the two parked (stage-trap) controls; wider
+    #: than the Rydberg radius so parked atoms never form spurious clusters
+    #: while later zones execute.
+    stage_gap_um: float = field(default=0.0)
+    #: Horizontal distance between adjacent clause slots in a zone.
+    slot_pitch_um: float = field(default=0.0)
+    #: Vertical distance between consecutive zones.
+    zone_pitch_um: float = field(default=0.0)
+    #: Horizontal offset added per zone row (the paper's diagonal layout).
+    diagonal_step_um: float = field(default=0.0)
+    #: Spacing of the home-row traps where atoms start and idle.
+    home_pitch_um: float = field(default=0.0)
+    #: Zones per grid row (0 = single diagonal column of zones).  Packing
+    #: zones into a near-square grid keeps shuttle travel short.
+    zones_per_row: int = 0
+    #: Clause slots reserved per zone cell when gridding (must cover the
+    #: largest color group).
+    slots_per_zone: int = 1
+
+    def __post_init__(self) -> None:
+        hw = self.hardware
+        side = self.triangle_side_um or _default_side(hw)
+        object.__setattr__(self, "triangle_side_um", side)
+        object.__setattr__(self, "control_height_um", side * math.sqrt(3.0) / 2.0)
+        sep = self.separation_offset_um or 2.0 * hw.rydberg_radius_um
+        object.__setattr__(self, "separation_offset_um", sep)
+        gap = self.stage_gap_um or 1.5 * hw.rydberg_radius_um
+        object.__setattr__(self, "stage_gap_um", gap)
+        pitch = self.slot_pitch_um or (gap + hw.safe_spacing_um)
+        object.__setattr__(self, "slot_pitch_um", pitch)
+        zone_height = self.control_height_um + sep
+        zpitch = self.zone_pitch_um or (zone_height + hw.safe_spacing_um)
+        object.__setattr__(self, "zone_pitch_um", zpitch)
+        object.__setattr__(
+            self, "diagonal_step_um", self.diagonal_step_um or hw.min_trap_spacing_um
+        )
+        default_home = max(
+            hw.min_trap_spacing_um, 1.25 * hw.rydberg_radius_um
+        )
+        object.__setattr__(
+            self, "home_pitch_um", self.home_pitch_um or default_home
+        )
+        self._validate()
+
+    def _validate(self) -> None:
+        hw = self.hardware
+        side = self.triangle_side_um
+        if side < hw.min_trap_spacing_um:
+            raise FPQAConstraintError(
+                f"triangle side {side} um below minimum trap spacing"
+            )
+        if side > hw.rydberg_radius_um:
+            raise FPQAConstraintError(
+                f"triangle side {side} um exceeds the Rydberg radius; the "
+                "clause atoms would not interact"
+            )
+        if self.stage_gap_um <= hw.rydberg_radius_um:
+            raise FPQAConstraintError(
+                "stage gap within the Rydberg radius: parked controls would "
+                "form spurious clusters during later pulses"
+            )
+        # In the b-target hover stage, atom `a` waits one stage gap away from
+        # the hovering `b` and must be out of range of the target too.
+        if math.hypot(self.stage_gap_um, side) <= hw.rydberg_radius_um:
+            raise FPQAConstraintError("hover stage: waiting atom within target range")
+        # Neighboring slots must never interact, even at the widest stance.
+        clearance = self.slot_pitch_um - self.stage_gap_um
+        if clearance <= hw.rydberg_radius_um:
+            raise FPQAConstraintError(
+                f"slot pitch {self.slot_pitch_um} um leaves a {clearance:.2f} um "
+                "gap between neighboring clauses, inside the Rydberg radius"
+            )
+        # During the CZ stage the controls must be out of the target's range.
+        reach = math.hypot(side / 2.0, self.control_height_um + self.separation_offset_um)
+        if reach <= hw.rydberg_radius_um:
+            raise FPQAConstraintError(
+                "separation offset too small: staged controls would still "
+                "interact with the target"
+            )
+        if self.zone_pitch_um <= self.control_height_um + self.separation_offset_um + hw.rydberg_radius_um:
+            raise FPQAConstraintError("zones too close: cross-zone interactions possible")
+        if self.home_pitch_um <= hw.rydberg_radius_um:
+            raise FPQAConstraintError("home traps inside each other's Rydberg radius")
+
+    # ------------------------------------------------------------------
+    # Site positions
+    # ------------------------------------------------------------------
+    def home_position(self, variable: int, num_variables: int | None = None) -> tuple[float, float]:
+        """Idle trap of 0-based ``variable`` on the home row (y = 0).
+
+        A single row gives every atom a distinct x coordinate, which keeps
+        Algorithm 2's order-preserving waves wide: atoms sharing an x
+        cannot ride in the same wave (their AOD columns would collide).
+        """
+        return (variable * self.home_pitch_um, 0.0)
+
+    def zone_cell_width_um(self) -> float:
+        """Horizontal extent reserved for one zone cell in grid layout."""
+        return (
+            self.slots_per_zone * self.slot_pitch_um
+            + 2.0 * self.hardware.safe_spacing_um
+        )
+
+    def zone_origin(self, color: int) -> tuple[float, float]:
+        """Bottom-left reference point of zone ``color``.
+
+        With ``zones_per_row == 0`` zones stack on a pure diagonal (one per
+        row, shifted by the diagonal step).  Otherwise they pack into a
+        near-square grid — shorter shuttle travel — keeping the paper's
+        diagonal shear between grid rows so consecutive zones never share
+        AOD rows or columns.
+        """
+        if self.zones_per_row <= 0:
+            return (
+                color * self.diagonal_step_um,
+                (color + 1) * self.zone_pitch_um,
+            )
+        row, col = divmod(color, self.zones_per_row)
+        return (
+            col * self.zone_cell_width_um() + row * self.diagonal_step_um,
+            (row + 1) * self.zone_pitch_um,
+        )
+
+    def slot_center_x(self, color: int, slot: int) -> float:
+        return self.zone_origin(color)[0] + slot * self.slot_pitch_um
+
+    def target_position(self, color: int, slot: int) -> tuple[float, float]:
+        """SLM site of the clause target during zone execution."""
+        origin_x, origin_y = self.zone_origin(color)
+        return (origin_x + slot * self.slot_pitch_um, origin_y)
+
+    def control_positions(
+        self, color: int, slot: int
+    ) -> tuple[tuple[float, float], tuple[float, float]]:
+        """AOD sites of the two controls at the CCZ (triangle) stage."""
+        x = self.slot_center_x(color, slot)
+        y = self.zone_origin(color)[1] + self.control_height_um
+        half = self.triangle_side_um / 2.0
+        return ((x - half, y), (x + half, y))
+
+    def stage_positions(
+        self, color: int, slot: int
+    ) -> tuple[tuple[float, float], tuple[float, float]]:
+        """SLM rest sites of the controls, ``stage_gap`` apart (no cluster)."""
+        x = self.slot_center_x(color, slot)
+        y = self.stage_row_y(color)
+        half = self.stage_gap_um / 2.0
+        return ((x - half, y), (x + half, y))
+
+    def pair_positions(
+        self, color: int, slot: int
+    ) -> tuple[tuple[float, float], tuple[float, float]]:
+        """AOD sites of the controls during the CZ (pair) pulses."""
+        x = self.slot_center_x(color, slot)
+        y = self.stage_row_y(color)
+        half = self.triangle_side_um / 2.0
+        return ((x - half, y), (x + half, y))
+
+    def bt_positions(
+        self, color: int, slot: int
+    ) -> tuple[tuple[float, float], tuple[float, float]]:
+        """AOD sites for the b-target interaction stage (uncompressed path).
+
+        ``b`` hovers directly above the target within the Rydberg radius;
+        ``a`` waits a full stage gap to the left, out of range of both.
+        """
+        x = self.slot_center_x(color, slot)
+        y = self.bt_row_y(color)
+        return ((x - self.stage_gap_um, y), (x, y))
+
+    def at_positions(
+        self, color: int, slot: int
+    ) -> tuple[tuple[float, float], tuple[float, float]]:
+        """AOD sites for the a-target interaction stage (uncompressed path)."""
+        x = self.slot_center_x(color, slot)
+        y = self.bt_row_y(color)
+        return ((x, y), (x + self.stage_gap_um, y))
+
+    def triangle_row_y(self, color: int) -> float:
+        return self.zone_origin(color)[1] + self.control_height_um
+
+    def stage_row_y(self, color: int) -> float:
+        return self.triangle_row_y(color) + self.separation_offset_um
+
+    def bt_row_y(self, color: int) -> float:
+        """Row height where a hovering atom sits within range of a target."""
+        return self.zone_origin(color)[1] + self.triangle_side_um
+
+
+def _default_side(hardware: FPQAHardwareParams) -> float:
+    """Largest triangle side at least min spacing and within the radius."""
+    side = 0.75 * hardware.rydberg_radius_um
+    return max(side, hardware.min_trap_spacing_um)
+
+
+def zone_layout(
+    hardware: FPQAHardwareParams | None = None, **overrides: float
+) -> ZoneGeometry:
+    """Convenience constructor with optional field overrides."""
+    return ZoneGeometry(hardware or FPQAHardwareParams(), **overrides)

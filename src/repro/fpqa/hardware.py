@@ -1,0 +1,120 @@
+"""FPQA hardware parameters.
+
+The paper keeps Weaver hardware-agnostic by representing "the FPQA device
+as a class with adjustable hardware parameters" (§7) and takes default
+numbers for Rubidium atoms from Schmid et al. 2024 [83] and Evered et al.
+2023 [26].  The defaults below follow those sources: ~0.5 µs single-qubit
+Raman gates at 99.9% fidelity, ~0.27 µs Rydberg CZ at 99.5%, CCZ at 98%
+(the "currently used CCZ error of 0.98" in §8.4), 5–10 µm minimum trap
+spacing, and second-scale coherence times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..exceptions import FPQAConstraintError
+
+
+@dataclass(frozen=True)
+class FPQAHardwareParams:
+    """All tunable hardware constants of the FPQA model.
+
+    Distances are micrometers, times microseconds, fidelities are success
+    probabilities in ``[0, 1]``.
+    """
+
+    # Geometry -----------------------------------------------------------
+    min_trap_spacing_um: float = 5.0
+    rydberg_radius_um: float = 8.0
+    #: Atoms closer than this but farther than the Rydberg radius still
+    #: crosstalk; zones are separated by at least this distance
+    #: (1.5x the Rydberg radius by default).
+    safe_spacing_um: float = 12.0
+    #: Maximum SLM<->AOD distance for an atom transfer (Table 1 @transfer).
+    transfer_max_distance_um: float = 2.0
+    #: Tolerance when checking the equidistance pre-condition of a CCZ
+    #: cluster (§7: digital computation assumes equidistant atoms).
+    equidistance_tolerance_um: float = 0.5
+
+    # Timing --------------------------------------------------------------
+    raman_local_duration_us: float = 0.5
+    raman_global_duration_us: float = 0.5
+    rydberg_pulse_duration_us: float = 0.27
+    transfer_duration_us: float = 15.0
+    #: AOD movement speed cap; kept for reference and validation.
+    aod_speed_um_per_us: float = 0.55
+    #: Acceleration limit for loaded moves.  Loaded shuttle time follows
+    #: the constant-acceleration model used by Atomique [102]:
+    #: ``t = 2 * sqrt(d / a)`` for distance ``d``.
+    aod_acceleration_um_per_us2: float = 2.75e-3
+    #: Speed for *empty* trap moves: repositioning an unloaded AOD row or
+    #: column is only limited by the deflector drive, not by keeping an
+    #: atom trapped, so it is orders of magnitude faster.
+    aod_empty_speed_um_per_us: float = 55.0
+    #: Fixed settle overhead per (parallel) shuttle operation.
+    shuttle_settle_us: float = 5.0
+    measurement_duration_us: float = 5000.0
+
+    # Fidelities -----------------------------------------------------------
+    fidelity_raman_local: float = 0.9997
+    fidelity_raman_global: float = 0.99995
+    fidelity_cz: float = 0.995
+    fidelity_ccz: float = 0.98
+    fidelity_transfer: float = 0.9995
+    fidelity_measurement: float = 0.998
+
+    # Coherence -------------------------------------------------------------
+    t1_us: float = 4_000_000.0  # 4 s
+    t2_us: float = 1_500_000.0  # 1.5 s
+
+    def __post_init__(self) -> None:
+        if self.min_trap_spacing_um <= 0:
+            raise FPQAConstraintError("minimum trap spacing must be positive")
+        if self.rydberg_radius_um < self.min_trap_spacing_um:
+            raise FPQAConstraintError(
+                "Rydberg radius below the minimum trap spacing leaves no "
+                "usable interaction geometry"
+            )
+        if self.aod_speed_um_per_us <= 0:
+            raise FPQAConstraintError("AOD speed must be positive")
+        for name in (
+            "fidelity_raman_local",
+            "fidelity_raman_global",
+            "fidelity_cz",
+            "fidelity_ccz",
+            "fidelity_transfer",
+            "fidelity_measurement",
+        ):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise FPQAConstraintError(f"{name} must be in (0, 1], got {value}")
+
+    def with_overrides(self, **kwargs: float) -> "FPQAHardwareParams":
+        """Copy with selected fields replaced (e.g. CCZ fidelity sweeps)."""
+        return replace(self, **kwargs)
+
+    def shuttle_duration_us(self, distance_um: float, loaded: bool = True) -> float:
+        """Travel time for a shuttle move of ``distance_um``.
+
+        Loaded moves follow the constant-acceleration model of [102]
+        (``t = 2 sqrt(d/a)``): keeping the atom trapped limits
+        acceleration, not velocity.  Unloaded moves use the fast
+        empty-trap speed.
+        """
+        import math
+
+        if loaded:
+            travel = 2.0 * math.sqrt(abs(distance_um) / self.aod_acceleration_um_per_us2)
+        else:
+            travel = abs(distance_um) / self.aod_empty_speed_um_per_us
+        return travel + self.shuttle_settle_us
+
+    def cluster_fidelity(self, size: int) -> float:
+        """Fidelity of one Rydberg-pulse gate on a cluster of ``size`` atoms."""
+        if size == 2:
+            return self.fidelity_cz
+        if size == 3:
+            return self.fidelity_ccz
+        # Larger native gates degrade multiplicatively per extra atom.
+        return self.fidelity_ccz ** (size - 2)

@@ -1,0 +1,156 @@
+"""Execution traces: time-resolved atom positions for FPQA programs.
+
+Debugging aid for compiled wQasm programs: replays the instruction stream
+through the device model and records, for every instruction, the wall
+clock, the instruction kind, and each atom's position.  Traces export to
+JSON for external plotting, and :func:`render_frame` draws an ASCII map of
+a moment in the program — handy for eyeballing zone choreography.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..exceptions import VerificationError
+from .device import FPQADevice
+from .hardware import FPQAHardwareParams
+from .instructions import (
+    FPQAInstruction,
+    ParallelShuttle,
+    RamanGlobal,
+    RamanLocal,
+    RydbergPulse,
+    Shuttle,
+    Transfer,
+    instruction_duration_us,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instruction's footprint in the trace."""
+
+    index: int
+    kind: str
+    time_us: float
+    duration_us: float
+    positions: dict[int, tuple[float, float]]
+    detail: str = ""
+
+
+@dataclass
+class ExecutionTrace:
+    """The full position-over-time record of one program."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @property
+    def total_duration_us(self) -> float:
+        if not self.events:
+            return 0.0
+        last = self.events[-1]
+        return last.time_us + last.duration_us
+
+    def atom_path(self, qubit: int) -> list[tuple[float, float, float]]:
+        """(time, x, y) samples of one atom across the program."""
+        path = []
+        for event in self.events:
+            if qubit in event.positions:
+                x, y = event.positions[qubit]
+                path.append((event.time_us, x, y))
+        return path
+
+    def total_travel_um(self, qubit: int) -> float:
+        """Total distance the atom moved over the program."""
+        path = self.atom_path(qubit)
+        travel = 0.0
+        for (_, x1, y1), (_, x2, y2) in zip(path, path[1:]):
+            travel += ((x2 - x1) ** 2 + (y2 - y1) ** 2) ** 0.5
+        return travel
+
+    def to_json(self) -> str:
+        payload = [
+            {
+                "index": e.index,
+                "kind": e.kind,
+                "time_us": e.time_us,
+                "duration_us": e.duration_us,
+                "detail": e.detail,
+                "positions": {str(q): list(p) for q, p in e.positions.items()},
+            }
+            for e in self.events
+        ]
+        return json.dumps(payload, indent=2)
+
+
+def _kind(instruction: FPQAInstruction) -> str:
+    if isinstance(instruction, RamanLocal):
+        return "raman_local"
+    if isinstance(instruction, RamanGlobal):
+        return "raman_global"
+    if isinstance(instruction, RydbergPulse):
+        return "rydberg"
+    if isinstance(instruction, (Shuttle, ParallelShuttle)):
+        return "shuttle"
+    if isinstance(instruction, Transfer):
+        return "transfer"
+    return "setup"
+
+
+def trace_program(program, hardware: FPQAHardwareParams | None = None) -> ExecutionTrace:
+    """Replay ``program`` and record an :class:`ExecutionTrace`.
+
+    Accepts a :class:`repro.wqasm.WQasmProgram`; raises if its instruction
+    stream violates a device constraint (the trace doubles as a replayer).
+    """
+    hardware = hardware or FPQAHardwareParams()
+    device = FPQADevice(hardware)
+    trace = ExecutionTrace()
+    clock = 0.0
+    for index, instruction in enumerate(program.fpqa_instructions()):
+        result = device.apply(instruction)
+        duration = instruction_duration_us(instruction, hardware)
+        detail = ""
+        if isinstance(instruction, RydbergPulse) and result is not None:
+            detail = "clusters: " + "; ".join(
+                ",".join(f"q{q}" for q in cluster.qubits) for cluster in result
+            )
+        trace.events.append(
+            TraceEvent(
+                index=index,
+                kind=_kind(instruction),
+                time_us=clock,
+                duration_us=duration,
+                positions=device.atom_positions(),
+                detail=detail,
+            )
+        )
+        clock += duration
+    return trace
+
+
+def render_frame(event: TraceEvent, width: int = 72, height: int = 20) -> str:
+    """ASCII map of atom positions at one trace event.
+
+    Atoms print as their qubit index modulo 10; collisions print ``*``.
+    """
+    if not event.positions:
+        raise VerificationError("event has no atoms to render")
+    xs = [p[0] for p in event.positions.values()]
+    ys = [p[1] for p in event.positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for qubit, (x, y) in sorted(event.positions.items()):
+        col = int((x - min_x) / span_x * (width - 1))
+        row = int((max_y - y) / span_y * (height - 1))
+        cell = grid[row][col]
+        grid[row][col] = "*" if cell != " " else str(qubit % 10)
+    header = (
+        f"t={event.time_us:.1f}us  {event.kind}"
+        + (f"  [{event.detail}]" if event.detail else "")
+    )
+    return header + "\n" + "\n".join("".join(line) for line in grid)

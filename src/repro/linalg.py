@@ -1,0 +1,157 @@
+"""Small linear-algebra helpers shared across the library.
+
+Conventions
+-----------
+* Statevectors use *little-endian* qubit ordering: basis index ``b`` encodes
+  qubit ``i`` in bit ``i`` (``b = sum(x_i << i)``), matching Qiskit.
+* Gate matrices are written in *gate-local big-endian* order: for a gate
+  applied to qubits ``(q0, q1, ..)``, ``q0`` is the most significant bit of
+  the gate-matrix index.  This is the textbook convention, e.g. ``CX`` with
+  control listed first is ``|c t> -> |c, t xor c>``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .exceptions import SimulationError
+
+#: Largest qubit count for which we build dense 2^n x 2^n unitaries.
+MAX_UNITARY_QUBITS = 13
+
+#: Largest qubit count for which we build dense statevectors.
+MAX_STATEVECTOR_QUBITS = 24
+
+_ATOL = 1e-9
+
+
+def kron_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Kronecker product of ``matrices`` left-to-right."""
+    out = np.array([[1.0 + 0.0j]])
+    for mat in matrices:
+        out = np.kron(out, mat)
+    return out
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Whether ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    dim = matrix.shape[0]
+    return bool(np.allclose(matrix.conj().T @ matrix, np.eye(dim), atol=atol))
+
+
+def global_phase_between(u: np.ndarray, v: np.ndarray, atol: float = 1e-8) -> complex | None:
+    """Return phase ``p`` with ``u ~= p * v`` or ``None`` if not proportional.
+
+    Used for equivalence-up-to-global-phase checks in the wChecker.
+    """
+    u = np.asarray(u, dtype=complex)
+    v = np.asarray(v, dtype=complex)
+    if u.shape != v.shape:
+        return None
+    flat_v = v.ravel()
+    idx = int(np.argmax(np.abs(flat_v)))
+    if abs(flat_v[idx]) < atol:
+        # v is (numerically) zero; equal only if u is too.
+        return 1.0 + 0.0j if np.allclose(u, 0, atol=atol) else None
+    phase = u.ravel()[idx] / flat_v[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return None
+    if np.allclose(u, phase * v, atol=atol):
+        return complex(phase)
+    return None
+
+
+def allclose_up_to_global_phase(u: np.ndarray, v: np.ndarray, atol: float = 1e-8) -> bool:
+    """Whether two operators/states are equal up to a global phase."""
+    return global_phase_between(u, v, atol=atol) is not None
+
+
+def _gate_axes(qubits: Sequence[int], num_qubits: int) -> list[int]:
+    """Tensor axes for ``qubits`` when a state is reshaped to ``(2,)*n``.
+
+    With little-endian state ordering, reshaping a ``2**n`` vector to
+    ``(2,)*n`` puts qubit ``n-1`` on axis 0 and qubit 0 on axis ``n-1``.
+    Gate-matrix index bit 0 of the gate (``q0``, most significant) must be
+    contracted against the axis of ``q0``.
+    """
+    return [num_qubits - 1 - q for q in qubits]
+
+
+def apply_gate_to_state(
+    matrix: np.ndarray, qubits: Sequence[int], state: np.ndarray, num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit ``matrix`` on ``qubits`` to a ``2**n`` statevector."""
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"matrix shape {matrix.shape} does not match {k} qubit(s)"
+        )
+    if len(set(qubits)) != k:
+        raise SimulationError(f"duplicate qubits in {tuple(qubits)}")
+    tensor = np.asarray(state, dtype=complex).reshape((2,) * num_qubits)
+    axes = _gate_axes(qubits, num_qubits)
+    gate_tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    # tensordot puts the gate's output axes first; move them back in place.
+    moved = np.moveaxis(moved, list(range(k)), axes)
+    return moved.reshape(-1)
+
+def apply_gate_to_unitary(
+    matrix: np.ndarray, qubits: Sequence[int], unitary: np.ndarray, num_qubits: int
+) -> np.ndarray:
+    """Left-multiply a gate on ``qubits`` into an accumulated ``unitary``.
+
+    ``unitary`` has shape ``(2**n, 2**n)``; each column is treated as a
+    statevector and the gate applied to all of them at once.
+    """
+    k = len(qubits)
+    dim = 2**num_qubits
+    if matrix.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"matrix shape {matrix.shape} does not match {k} qubit(s)"
+        )
+    tensor = np.asarray(unitary, dtype=complex).reshape((2,) * num_qubits + (dim,))
+    axes = _gate_axes(qubits, num_qubits)
+    gate_tensor = np.asarray(matrix, dtype=complex).reshape((2,) * (2 * k))
+    moved = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    moved = np.moveaxis(moved, list(range(k)), axes)
+    return moved.reshape(dim, dim)
+
+
+def expand_gate(matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Dense ``2**n x 2**n`` embedding of ``matrix`` acting on ``qubits``."""
+    if num_qubits > MAX_UNITARY_QUBITS:
+        raise SimulationError(
+            f"refusing to build a dense unitary on {num_qubits} qubits "
+            f"(limit {MAX_UNITARY_QUBITS})"
+        )
+    eye = np.eye(2**num_qubits, dtype=complex)
+    return apply_gate_to_unitary(matrix, qubits, eye, num_qubits)
+
+
+def random_statevector(num_qubits: int, rng: np.random.Generator) -> np.ndarray:
+    """Haar-ish random normalized statevector (Gaussian method)."""
+    vec = rng.normal(size=2**num_qubits) + 1j * rng.normal(size=2**num_qubits)
+    return vec / np.linalg.norm(vec)
+
+
+def fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """State fidelity ``|<a|b>|^2`` of two pure states."""
+    return float(abs(np.vdot(state_a, state_b)) ** 2)
+
+
+def projector_phase_polynomial(num_qubits: int) -> np.ndarray:
+    """Diagonal of ``Z`` on each basis state for ``num_qubits`` qubits.
+
+    Returns an array of shape ``(2**n, n)`` whose entry ``[b, i]`` is the
+    eigenvalue ``(-1)**bit_i(b)`` of ``Z_i``.  Useful to evaluate diagonal
+    cost Hamiltonians without building matrices.
+    """
+    basis = np.arange(2**num_qubits)
+    bits = (basis[:, None] >> np.arange(num_qubits)[None, :]) & 1
+    return 1.0 - 2.0 * bits

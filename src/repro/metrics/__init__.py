@@ -1,0 +1,24 @@
+"""Evaluation metrics: execution time, EPS fidelity, pulse counts,
+compilation-complexity step counts (paper §8 and Table 2)."""
+
+from .timing import program_duration_us
+from .fidelity import program_eps
+from .complexity import (
+    COMPLEXITY_TABLE,
+    atomique_steps,
+    dpqa_log10_steps,
+    geyser_steps,
+    qiskit_steps,
+    weaver_steps,
+)
+
+__all__ = [
+    "COMPLEXITY_TABLE",
+    "atomique_steps",
+    "dpqa_log10_steps",
+    "geyser_steps",
+    "program_duration_us",
+    "program_eps",
+    "qiskit_steps",
+    "weaver_steps",
+]

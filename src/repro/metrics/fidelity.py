@@ -1,0 +1,70 @@
+"""EPS (Estimated Probability of Success) model for FPQA programs (§8.4).
+
+"EPS measures the likelihood that a circuit runs correctly in one
+execution, calculated by accumulating the errors of **each pulse
+operation**."  The error unit is the *pulse*, not the gate instance: one
+global Rydberg pulse entangles every in-range cluster simultaneously and
+contributes a single error term (rated by the highest gate order it
+drives), which is precisely how FPQA parallelism converts into fidelity —
+the effect Weaver's clause coloring exploits and Figure 12(b) shows
+compounding with circuit size.  Raman pulses count individually when
+locally addressed and once when global; a batch of simultaneous trap
+transfers is one handoff event; idle decoherence ``exp(-T/T2)`` applies
+per atom over the program duration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..fpqa.hardware import FPQAHardwareParams
+from ..fpqa.instructions import (
+    ParallelShuttle,
+    RamanGlobal,
+    RamanLocal,
+    RydbergPulse,
+    Shuttle,
+    Transfer,
+)
+from ..wqasm.program import WQasmProgram
+from .timing import program_duration_us
+
+
+def program_eps(
+    program: WQasmProgram,
+    hardware: FPQAHardwareParams | None = None,
+    duration_us: float | None = None,
+) -> float:
+    """Estimated probability of one fully-correct execution.
+
+    Rydberg pulse fidelity depends on the largest cluster it drove (CZ vs
+    CCZ), which the program records alongside each pulse; those records
+    are exactly what the wChecker validates, so they are trustworthy here.
+    """
+    hardware = hardware or FPQAHardwareParams()
+    log_eps = 0.0
+    previous_was_transfer = False
+    for operation in program.operations:
+        for instruction in operation.instructions:
+            is_transfer = isinstance(instruction, Transfer)
+            if is_transfer and not previous_was_transfer:
+                log_eps += math.log(hardware.fidelity_transfer)
+            previous_was_transfer = is_transfer
+            if isinstance(instruction, RamanLocal):
+                log_eps += math.log(hardware.fidelity_raman_local)
+            elif isinstance(instruction, RamanGlobal):
+                log_eps += math.log(hardware.fidelity_raman_global)
+            elif isinstance(instruction, RydbergPulse):
+                largest = max(
+                    (len(gate.qubits) for gate in operation.gates), default=0
+                )
+                if largest >= 2:
+                    log_eps += math.log(hardware.cluster_fidelity(largest))
+            elif isinstance(instruction, (Shuttle, ParallelShuttle)):
+                pass  # movement noise enters through idle decoherence below
+    if duration_us is None:
+        duration_us = program_duration_us(program, hardware)
+    log_eps += -duration_us * program.num_qubits / hardware.t2_us
+    if program.measured:
+        log_eps += program.num_qubits * math.log(hardware.fidelity_measurement)
+    return math.exp(log_eps)

@@ -1,0 +1,48 @@
+"""Execution-time model for FPQA programs (paper §8.3).
+
+"We measure how long the quantum circuit runs on a quantum device by
+adding the times of each pulse and shuttling operation, considering the
+maximum movement speed."  wQasm annotations are strictly sequential
+(§4.2), so the program duration is the sum of instruction durations — with
+two physically-motivated exceptions: a :class:`ParallelShuttle` costs its
+longest member move, and a global Raman pulse costs one pulse regardless
+of atom count.  A final readout is added for measured programs.
+"""
+
+from __future__ import annotations
+
+from ..fpqa.hardware import FPQAHardwareParams
+from ..fpqa.instructions import Transfer, instruction_duration_us
+from ..wqasm.program import WQasmProgram
+
+
+def program_duration_us(
+    program: WQasmProgram, hardware: FPQAHardwareParams | None = None
+) -> float:
+    """Total wall-clock duration of ``program`` in microseconds.
+
+    Consecutive atom transfers are batched into one transfer window: a
+    trap handoff is performed by ramping trap depths, which moves every
+    aligned atom simultaneously.
+    """
+    hardware = hardware or FPQAHardwareParams()
+    total = 0.0
+    previous_was_transfer = False
+    for instruction in program.fpqa_instructions():
+        if isinstance(instruction, Transfer):
+            if not previous_was_transfer:
+                total += hardware.transfer_duration_us
+            previous_was_transfer = True
+            continue
+        previous_was_transfer = False
+        total += instruction_duration_us(instruction, hardware)
+    if program.measured:
+        total += hardware.measurement_duration_us
+    return total
+
+
+def program_duration_seconds(
+    program: WQasmProgram, hardware: FPQAHardwareParams | None = None
+) -> float:
+    """Total duration in seconds (the unit of Figure 11)."""
+    return program_duration_us(program, hardware) * 1e-6

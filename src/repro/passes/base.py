@@ -1,0 +1,75 @@
+"""Pass framework: context object, pass interface, pass manager.
+
+Extensibility is Weaver's first design goal (§3.1 Challenge #1): new
+FPQA capabilities should slot in as additional passes.  A pass reads and
+writes fields of the shared :class:`CompilationContext` and records
+statistics; the :class:`PassManager` runs passes in order and aggregates
+timing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..exceptions import CompilationError
+from ..fpqa.geometry import ZoneGeometry
+from ..fpqa.hardware import FPQAHardwareParams
+from ..qaoa.builder import QaoaParameters
+from ..sat.cnf import CnfFormula
+
+
+@dataclass
+class CompilationContext:
+    """Mutable state threaded through the wOptimizer passes."""
+
+    formula: CnfFormula
+    parameters: QaoaParameters
+    hardware: FPQAHardwareParams
+    geometry: ZoneGeometry
+    #: Whether a layout pass may replace ``geometry`` with a coloring-aware
+    #: grid layout (False when the caller supplied explicit geometry).
+    auto_geometry: bool = True
+    #: Force compression on/off; ``None`` lets the pass decide from the
+    #: hardware fidelities (§5.4).
+    compression_override: bool | None = None
+    #: Results deposited by passes, keyed by well-known names.
+    properties: dict[str, Any] = field(default_factory=dict)
+    #: Per-pass statistics (counts, durations) for reporting.
+    stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def require(self, key: str) -> Any:
+        """Fetch a property a previous pass must have produced."""
+        if key not in self.properties:
+            raise CompilationError(
+                f"pass ordering error: property {key!r} has not been produced"
+            )
+        return self.properties[key]
+
+
+class CompilerPass:
+    """Base class for wOptimizer passes."""
+
+    #: Human-readable pass name (used in stats and error messages).
+    name = "pass"
+
+    def run(self, context: CompilationContext) -> None:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pass pipeline, timing each stage."""
+
+    def __init__(self, passes: list[CompilerPass]):
+        if not passes:
+            raise CompilationError("pass manager needs at least one pass")
+        self.passes = list(passes)
+
+    def run(self, context: CompilationContext) -> CompilationContext:
+        for compiler_pass in self.passes:
+            start = time.perf_counter()
+            compiler_pass.run(context)
+            elapsed = time.perf_counter() - start
+            context.stats.setdefault(compiler_pass.name, {})["seconds"] = elapsed
+        return context

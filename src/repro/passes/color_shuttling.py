@@ -1,0 +1,261 @@
+"""Color shuttling pass (paper §5.3, Algorithm 2).
+
+Between color zones, atoms move from their parked positions to the next
+zone's sites.  Movement uses the AOD: a carrier row plus one column per
+moving atom.  Because AOD rows/columns may never cross (Table 1), atoms
+can only move *in parallel* when their left-to-right order is the same at
+the source and the destination; Algorithm 2 therefore partitions the move
+set into order-preserving *waves*, greedily extracting, in destination
+order, chains of atoms whose source order matches.
+
+Each wave executes as: park the columns, align wave columns over the
+sorted source positions, dip the carrier row to each distinct source
+height and transfer the atoms in, glide the columns to the destination
+positions, then drop targets into slot traps and controls into stage
+traps.  The AOD is empty between waves, which keeps every alignment
+trivially order-safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import CompilationError
+from .base import CompilationContext, CompilerPass
+from .clause_coloring import ColoringResult
+
+Position = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ShuttleWave:
+    """One order-preserving parallel move of atoms (Algorithm 2's ``W``)."""
+
+    atoms: tuple[int, ...]
+    sources: tuple[Position, ...]
+    destinations: tuple[Position, ...]
+
+    def __post_init__(self) -> None:
+        xs_src = [p[0] for p in self.sources]
+        xs_dst = [p[0] for p in self.destinations]
+        if sorted(xs_src) != xs_src or any(
+            b <= a for a, b in zip(xs_src, xs_src[1:])
+        ):
+            raise CompilationError("wave sources are not strictly x-ordered")
+        if any(b <= a for a, b in zip(xs_dst, xs_dst[1:])):
+            raise CompilationError("wave destinations are not strictly x-ordered")
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def max_travel_um(self) -> float:
+        return max(
+            max(abs(sx - dx), abs(sy - dy))
+            for (sx, sy), (dx, dy) in zip(self.sources, self.destinations)
+        )
+
+
+def plan_waves(
+    sources: dict[int, Position],
+    destinations: dict[int, Position],
+    min_gap_um: float = 0.0,
+) -> list[ShuttleWave]:
+    """Partition a move set into order-preserving waves (Algorithm 2).
+
+    Atoms are visited in destination x-order; each wave greedily absorbs
+    every not-yet-scheduled atom whose source x exceeds the previous wave
+    member's source x ("order between a_i and a_j is same in S and F").
+    ``min_gap_um`` additionally enforces the minimum AOD column spacing
+    between wave members at both endpoints, so one column per atom can sit
+    over every source and every destination simultaneously.
+    """
+    if set(sources) != set(destinations):
+        raise CompilationError("sources and destinations disagree on the move set")
+    pending = sorted(destinations, key=lambda atom: destinations[atom][0])
+    dest_xs = [destinations[a][0] for a in pending]
+    if len(set(dest_xs)) != len(dest_xs):
+        raise CompilationError("two atoms share a destination x coordinate")
+    waves: list[ShuttleWave] = []
+    while pending:
+        wave_atoms: list[int] = []
+        last_source_x = float("-inf")
+        last_dest_x = float("-inf")
+        remaining: list[int] = []
+        for atom in pending:
+            source_x = sources[atom][0]
+            dest_x = destinations[atom][0]
+            gap_ok = (
+                source_x >= last_source_x + max(min_gap_um, 1e-9)
+                and dest_x >= last_dest_x + max(min_gap_um, 1e-9)
+            )
+            if gap_ok:
+                wave_atoms.append(atom)
+                last_source_x = source_x
+                last_dest_x = dest_x
+            else:
+                remaining.append(atom)
+        if not wave_atoms:
+            raise CompilationError(
+                "wave planning stalled: atoms closer than the minimum column gap"
+            )
+        waves.append(
+            ShuttleWave(
+                atoms=tuple(wave_atoms),
+                sources=tuple(sources[a] for a in wave_atoms),
+                destinations=tuple(destinations[a] for a in wave_atoms),
+            )
+        )
+        pending = remaining
+    return waves
+
+
+def reorder_groups_for_shuttling(
+    coloring: ColoringResult,
+    geometry,
+    home: dict[int, Position],
+) -> None:
+    """Fix clause order and atom roles to maximize parallel shuttling.
+
+    §5.3: "the implementation of the shuttling instruction ... is trivial
+    if the order of clauses within a color is fixed before compilation
+    time."  Two free choices make Algorithm 2's waves wide; both are set
+    from where each atom is parked *when its zone begins*:
+
+    * clauses within a color are ordered left-to-right by the mean parked
+      x of their atoms, and
+    * within each clause the leftmost parked atom becomes control ``a``,
+      the middle one the target, and the rightmost control ``b`` — the
+      destination x-order of a slot is exactly ``a < t < b``.
+
+    Both choices only permute symmetric roles (the CCZ/CZ fragments are
+    re-derived from the reordered signs), so correctness is untouched;
+    the wChecker re-verifies the emitted program regardless.  Must run
+    exactly once, before any planning, because it rewrites placements.
+    """
+    from .clause_coloring import ClausePlacement
+
+    parked = dict(home)
+    for color, group in enumerate(coloring.groups):
+        def mean_x(clause_index: int) -> float:
+            placement = coloring.placements[clause_index]
+            return sum(parked[q][0] for q in placement.qubits) / len(placement.qubits)
+
+        ordered = sorted(group, key=mean_x)
+        coloring.groups[color] = ordered
+        for slot, clause_index in enumerate(ordered):
+            placement = coloring.placements[clause_index]
+            sign_of = dict(zip(placement.qubits, placement.signs))
+            by_x = sorted(placement.qubits, key=lambda q: parked[q][0])
+            if placement.arity == 3:
+                # (a, b, t) with a leftmost, t middle, b rightmost.
+                new_qubits = (by_x[0], by_x[2], by_x[1])
+            else:
+                new_qubits = tuple(by_x)
+            coloring.placements[clause_index] = ClausePlacement(
+                clause_index=clause_index,
+                color=color,
+                slot=slot,
+                qubits=new_qubits,
+                signs=tuple(sign_of[q] for q in new_qubits),
+                weight=placement.weight,
+            )
+        parked.update(zone_destinations(coloring, geometry, color))
+
+
+def zone_destinations(
+    coloring: ColoringResult, geometry, color: int
+) -> dict[int, Position]:
+    """SLM parking destinations of every atom used by zone ``color``.
+
+    Unit clauses need only a local Raman pulse, which reaches an atom
+    anywhere, so their atoms are not moved at all.
+    """
+    destinations: dict[int, Position] = {}
+    for placement in coloring.group_placements(color):
+        if placement.arity == 1:
+            continue
+        stage = geometry.stage_positions(color, placement.slot)
+        if placement.arity == 3:
+            a, b, t = placement.qubits
+            destinations[a] = stage[0]
+            destinations[b] = stage[1]
+            destinations[t] = geometry.target_position(color, placement.slot)
+        else:
+            a, b = placement.qubits
+            destinations[a] = stage[0]
+            destinations[b] = stage[1]
+    return destinations
+
+
+def plan_zone_moves(
+    coloring: ColoringResult,
+    geometry,
+    parked: dict[int, Position],
+    min_gap_um: float = 0.0,
+) -> tuple[list["ZoneMovePlan"], dict[int, Position]]:
+    """Plan the waves for every color starting from ``parked`` positions.
+
+    Returns the per-zone plans and the final parked map (needed to chain
+    QAOA layers: layer ``p+1`` starts where layer ``p`` left the atoms).
+    """
+    parked = dict(parked)
+    plans: list[ZoneMovePlan] = []
+    for color in range(coloring.num_colors):
+        destinations = zone_destinations(coloring, geometry, color)
+        moving = {
+            atom: pos for atom, pos in destinations.items() if parked[atom] != pos
+        }
+        waves = plan_waves(
+            {atom: parked[atom] for atom in moving}, moving, min_gap_um
+        )
+        plans.append(ZoneMovePlan(color=color, waves=waves))
+        parked.update(destinations)
+    return plans, parked
+
+
+@dataclass
+class ZoneMovePlan:
+    """All waves required to populate one color zone."""
+
+    color: int
+    waves: list[ShuttleWave]
+
+    @property
+    def num_moved_atoms(self) -> int:
+        return sum(len(w) for w in self.waves)
+
+
+class ColorShuttlingPass(CompilerPass):
+    """Compute the static shuttle plan for every color zone.
+
+    Positions are fully deterministic given the coloring, so the plan is
+    computed up front: the pass tracks where each atom is parked after each
+    zone and derives the Algorithm-2 waves for the next one.  The code
+    generator later replays this plan on the device.
+    """
+
+    name = "color-shuttling"
+
+    def run(self, context: CompilationContext) -> None:
+        coloring: ColoringResult = context.require("coloring")
+        geometry = context.geometry
+        num_vars = context.formula.num_vars
+        home: dict[int, Position] = {
+            var: geometry.home_position(var, num_vars) for var in range(num_vars)
+        }
+        reorder_groups_for_shuttling(coloring, geometry, home)
+        plans, parked = plan_zone_moves(
+            coloring, geometry, home, context.hardware.min_trap_spacing_um
+        )
+        context.properties["shuttle_plan"] = plans
+        context.properties["final_parked"] = parked
+        context.stats.setdefault(self.name, {}).update(
+            {
+                "total_waves": sum(len(p.waves) for p in plans),
+                "total_moved_atoms": sum(p.num_moved_atoms for p in plans),
+                "max_wave": max(
+                    (len(w) for p in plans for w in p.waves), default=0
+                ),
+            }
+        )

@@ -1,0 +1,192 @@
+"""3-qubit gate compression pass (paper §5.4, Figure 7).
+
+Decides whether each clause's cost fragment should use the native-CCZ
+compressed form (2 CCZ + 2 CZ pulses plus Raman rotations) or the plain
+CNOT-ladder form (10 CZ pulses and extra shuttling), based on the hardware
+fidelity parameters: "the compression stage first determines whether using
+the compression is beneficial" (§5.4).
+
+The module also centralizes the per-clause Raman angle algebra shared by
+the code generator and the wChecker tests.  All matrices were derived in
+:mod:`repro.qaoa.cost` and are re-verified against ``exp(-i*gamma*P_C)``
+by the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..circuits.gates import gate_matrix
+from ..fpqa.hardware import FPQAHardwareParams
+from .base import CompilationContext, CompilerPass
+from .clause_coloring import ClausePlacement
+
+_H = gate_matrix("h")
+
+#: Raman (single-qubit) pulses per 3-literal clause in each mode, used by
+#: the benefit estimate below.
+RAMANS_COMPRESSED_3LIT = 8
+RAMANS_LADDER_3LIT = 13
+#: Entangling pulses per 3-literal clause: 2 CCZ + 2 CZ vs 10 CZ.
+PULSES_COMPRESSED = (2, 2)  # (ccz, cz)
+PULSES_LADDER = (0, 10)
+
+
+def fragment_fidelity_compressed(hardware: FPQAHardwareParams) -> float:
+    """Estimated success probability of one compressed clause fragment."""
+    return (
+        hardware.fidelity_ccz ** PULSES_COMPRESSED[0]
+        * hardware.fidelity_cz ** PULSES_COMPRESSED[1]
+        * hardware.fidelity_raman_local**RAMANS_COMPRESSED_3LIT
+    )
+
+
+def fragment_fidelity_ladder(hardware: FPQAHardwareParams) -> float:
+    """Estimated success probability of one CNOT-ladder clause fragment."""
+    return (
+        hardware.fidelity_cz ** PULSES_LADDER[1]
+        * hardware.fidelity_raman_local**RAMANS_LADDER_3LIT
+    )
+
+
+def compression_beneficial(hardware: FPQAHardwareParams) -> bool:
+    """Whether CCZ compression beats the CZ ladder on this hardware."""
+    return fragment_fidelity_compressed(hardware) >= fragment_fidelity_ladder(hardware)
+
+
+@dataclass(frozen=True)
+class FragmentSchedule:
+    """The compression decision plus its fidelity evidence."""
+
+    use_compression: bool
+    fidelity_compressed: float
+    fidelity_ladder: float
+
+
+class GateCompressionPass(CompilerPass):
+    """Choose the per-clause lowering mode from hardware fidelities."""
+
+    name = "gate-compression"
+
+    def run(self, context: CompilationContext) -> None:
+        hardware = context.hardware
+        compressed = fragment_fidelity_compressed(hardware)
+        ladder = fragment_fidelity_ladder(hardware)
+        if context.compression_override is not None:
+            use_compression = context.compression_override
+        else:
+            use_compression = compressed >= ladder
+        schedule = FragmentSchedule(
+            use_compression=use_compression,
+            fidelity_compressed=compressed,
+            fidelity_ladder=ladder,
+        )
+        context.properties["fragments"] = schedule
+        context.stats.setdefault(self.name, {}).update(
+            {
+                "use_compression": use_compression,
+                "fidelity_compressed": compressed,
+                "fidelity_ladder": ladder,
+            }
+        )
+
+
+# ----------------------------------------------------------------------
+# Raman pulse algebra for clause fragments
+# ----------------------------------------------------------------------
+def _rz(angle: float) -> np.ndarray:
+    return gate_matrix("rz", (angle,))
+
+
+def _rx(angle: float) -> np.ndarray:
+    return gate_matrix("rx", (angle,))
+
+
+def control_flip_needed(sign: float) -> bool:
+    """Whether a control with literal ``sign`` needs X conjugation.
+
+    Derived in :mod:`repro.qaoa.cost`: the CCX sandwich needs the effective
+    Z sign ``f = -s``, so positive literals are conjugated.
+    """
+    return sign > 0
+
+
+def compressed_raman_matrices(
+    placement: ClausePlacement, gamma: float
+) -> dict[str, np.ndarray | None]:
+    """Raman pulse matrices for one 3-literal clause, compressed mode.
+
+    Keys: ``ctrl_pre_a/b`` (X flip or None), ``target_pre`` (H),
+    ``target_mid`` (between the CCZ pulses), ``target_post``,
+    ``ctrl_post_a/b``, ``b_pre``/``b_mid``/``b_post`` (CZ-ladder stage).
+    """
+    gamma = gamma * placement.weight  # weighted MAX-SAT
+    sa, sb, st = placement.signs
+    x = gate_matrix("x")
+    out: dict[str, np.ndarray | None] = {
+        "ctrl_pre_a": x if control_flip_needed(sa) else None,
+        "ctrl_pre_b": x if control_flip_needed(sb) else None,
+        "target_pre": _H,
+        "target_mid": _H @ _rz(-gamma * st / 2.0) @ _H,
+        "target_post": _rz(gamma * st / 2.0) @ _H,
+        "ctrl_post_a": _rz(gamma * sa / 4.0) @ (x if control_flip_needed(sa) else np.eye(2)),
+        "ctrl_post_b": _rz(gamma * sb / 4.0) @ (x if control_flip_needed(sb) else np.eye(2)),
+        "b_pre": _H,
+        "b_mid": _rx(gamma * sa * sb / 4.0),
+        "b_post": _H,
+    }
+    return out
+
+
+def ladder_raman_matrices(
+    placement: ClausePlacement, gamma: float
+) -> dict[str, np.ndarray]:
+    """Raman pulse matrices for one 3-literal clause, CNOT-ladder mode.
+
+    The zone executor visits stances ``pair -> bt -> pair -> bt -> at`` and
+    needs: quad(a,b) on the pair stance, the cubic term opened/closed by
+    ``CX(a,b)`` with its inner ``CX(b,t) RZ CX(b,t)`` on the bt stance,
+    then quad(b,t) and quad(a,t) on hover stances, plus linear RZ pulses.
+    """
+    gamma = gamma * placement.weight  # weighted MAX-SAT
+    sa, sb, st = placement.signs
+    return {
+        "pair_b_pre": _H,
+        "pair_b_mid": _rx(gamma * sa * sb / 4.0),
+        "pair_b_post": _H,
+        "cubic_b_side": _H,  # both sides of each CX(a, b) CZ pulse
+        "cubic_t_pre": _H,
+        "cubic_t_mid": _rx(gamma * sa * sb * st / 4.0),
+        "cubic_t_post": _H,
+        "bt_t_pre": _H,
+        "bt_t_mid": _rx(gamma * sb * st / 4.0),
+        "bt_t_post": _H,
+        "at_t_pre": _H,
+        "at_t_mid": _rx(gamma * sa * st / 4.0),
+        "at_t_post": _H,
+        "lin_a": _rz(gamma * sa / 4.0),
+        "lin_b": _rz(gamma * sb / 4.0),
+        "lin_t": _rz(gamma * st / 4.0),
+    }
+
+
+def pair_raman_matrices(
+    placement: ClausePlacement, gamma: float
+) -> dict[str, np.ndarray]:
+    """Raman pulse matrices for a 2-literal clause (CZ-ladder pair)."""
+    gamma = gamma * placement.weight  # weighted MAX-SAT
+    sa, sb = placement.signs
+    return {
+        "b_pre": _H,
+        "b_mid": _rx(gamma * sa * sb / 2.0),
+        "b_post": _rz(gamma * sb / 2.0) @ _H,
+        "a_post": _rz(gamma * sa / 2.0),
+    }
+
+
+def unit_raman_matrix(placement: ClausePlacement, gamma: float) -> np.ndarray:
+    """Raman pulse matrix for a unit clause: a single RZ."""
+    (s,) = placement.signs
+    return _rz(gamma * placement.weight * s)

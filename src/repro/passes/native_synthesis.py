@@ -1,0 +1,158 @@
+"""Hardware-agnostic native gate synthesis (Figure 3, "Native Gate Synthesis").
+
+Rewrites an arbitrary circuit into the basis ``{U3, CZ}`` shared by the
+superconducting and FPQA paths (§7: "setting the appropriate basis gate
+set, B = {U3, CZ}").  Multi-qubit gates are expanded through standard
+decompositions; consecutive single-qubit gates on the same qubit are fused
+into one ``U3``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..circuits.gates import u3_from_matrix
+from ..exceptions import CompilationError
+
+_NATIVE_BASIS = ("u3", "cz")
+
+
+def _ccz_with_cz_and_u3(circuit: QuantumCircuit, a: int, b: int, c: int) -> None:
+    """Standard 6-CX Toffoli skeleton, rewritten for a CCZ with CZ links.
+
+    ``CCZ = H_c . CCX . H_c`` and each ``CX(x, y) = H_y CZ(x, y) H_y``; the
+    Hadamard pairs around the target collapse, yielding six CZ gates plus
+    single-qubit rotations.
+    """
+    t = math.pi / 4.0
+
+    def h(q: int) -> None:
+        circuit.u3(math.pi / 2.0, 0.0, math.pi, q)
+
+    def rz(angle: float, q: int) -> None:
+        circuit.u3(0.0, 0.0, angle, q)
+
+    def cx(x: int, y: int) -> None:
+        h(y)
+        circuit.cz(x, y)
+        h(y)
+
+    # CCX(a, b, c) with the outer H_c pair removed gives CCZ directly.
+    cx(b, c)
+    rz(-t, c)
+    cx(a, c)
+    rz(t, c)
+    cx(b, c)
+    rz(-t, c)
+    cx(a, c)
+    rz(t, b)
+    rz(t, c)
+    cx(a, b)
+    rz(t, a)
+    rz(-t, b)
+    cx(a, b)
+
+
+def nativize_circuit(circuit: QuantumCircuit, fuse: bool = True) -> QuantumCircuit:
+    """Rewrite ``circuit`` into the ``{U3, CZ}`` native basis."""
+    native = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, name=f"{circuit.name}-native"
+    )
+    for inst in circuit.instructions:
+        name = inst.name
+        if name in ("barrier", "measure", "reset"):
+            native.instructions.append(inst)
+            continue
+        qubits = inst.qubits
+        if len(qubits) == 1:
+            gate = u3_from_matrix(inst.gate.matrix())
+            native.append(gate, qubits)
+            continue
+        if name == "cz":
+            native.cz(*qubits)
+            continue
+        if name == "cx":
+            control, target = qubits
+            native.u3(math.pi / 2.0, 0.0, math.pi, target)
+            native.cz(control, target)
+            native.u3(math.pi / 2.0, 0.0, math.pi, target)
+            continue
+        if name == "swap":
+            a, b = qubits
+            for control, target in ((a, b), (b, a), (a, b)):
+                native.u3(math.pi / 2.0, 0.0, math.pi, target)
+                native.cz(control, target)
+                native.u3(math.pi / 2.0, 0.0, math.pi, target)
+            continue
+        if name == "rzz":
+            a, b = qubits
+            (theta,) = inst.params
+            native.u3(math.pi / 2.0, 0.0, math.pi, b)
+            native.cz(a, b)
+            native.u3(math.pi / 2.0, 0.0, math.pi, b)
+            native.u3(0.0, 0.0, theta, b)
+            native.u3(math.pi / 2.0, 0.0, math.pi, b)
+            native.cz(a, b)
+            native.u3(math.pi / 2.0, 0.0, math.pi, b)
+            continue
+        if name == "cp":
+            a, b = qubits
+            (lam,) = inst.params
+            # CP(lam) = RZ(lam/2)_a RZ(lam/2)_b exp(i lam/4 Z Z) — compile
+            # via the ladder with an extra frame of single-qubit phases.
+            native.u3(0.0, 0.0, lam / 2.0, a)
+            native.u3(0.0, 0.0, lam / 2.0, b)
+            native.u3(math.pi / 2.0, 0.0, math.pi, b)
+            native.cz(a, b)
+            native.u3(math.pi / 2.0, 0.0, math.pi, b)
+            native.u3(0.0, 0.0, -lam / 2.0, b)
+            native.u3(math.pi / 2.0, 0.0, math.pi, b)
+            native.cz(a, b)
+            native.u3(math.pi / 2.0, 0.0, math.pi, b)
+            continue
+        if name == "ccz":
+            _ccz_with_cz_and_u3(native, *qubits)
+            continue
+        if name == "ccx":
+            a, b, c = qubits
+            native.u3(math.pi / 2.0, 0.0, math.pi, c)
+            _ccz_with_cz_and_u3(native, a, b, c)
+            native.u3(math.pi / 2.0, 0.0, math.pi, c)
+            continue
+        raise CompilationError(f"no native synthesis rule for gate {name!r}")
+    if fuse:
+        native = fuse_single_qubit_runs(native)
+    return native
+
+
+def fuse_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse consecutive single-qubit unitaries on each qubit into one U3.
+
+    Fusions that reduce to the identity are dropped entirely.
+    """
+    fused = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, name=circuit.name)
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        if np.allclose(matrix * np.exp(-1j * np.angle(matrix[0, 0] or 1.0)), np.eye(2), atol=1e-10):
+            return
+        fused.append(u3_from_matrix(matrix), (qubit,))
+
+    for inst in circuit.instructions:
+        if inst.gate.is_unitary and len(inst.qubits) == 1:
+            qubit = inst.qubits[0]
+            matrix = inst.gate.matrix()
+            pending[qubit] = matrix @ pending.get(qubit, np.eye(2, dtype=complex))
+            continue
+        for qubit in inst.qubits:
+            flush(qubit)
+        fused.instructions.append(inst)
+    for qubit in list(pending):
+        flush(qubit)
+    return fused

@@ -1,0 +1,632 @@
+"""The Weaver FPQA compiler: pass pipeline plus code generation.
+
+Given a MAX-3SAT formula and QAOA parameters, this module runs the three
+wOptimizer passes (clause coloring, color shuttling, gate compression) and
+then *executes* the resulting plan against the :class:`FPQADevice` state
+machine while recording every instruction, so the emitted
+:class:`WQasmProgram` is physically validated by construction: every
+transfer distance, AOD ordering constraint, and Rydberg cluster shape was
+checked as the program was generated.  Each Rydberg pulse is additionally
+cross-checked against the cluster set the plan intended — a compiler
+self-check that the wChecker later repeats independently.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits import Instruction, QuantumCircuit
+from ..circuits.euler import raman_angles_for
+from ..circuits.gates import gate_matrix, make_gate, u3_from_matrix
+from ..exceptions import CompilationError
+from ..fpqa.device import FPQADevice
+from ..fpqa.geometry import ZoneGeometry, zone_layout
+from ..fpqa.hardware import FPQAHardwareParams
+from ..fpqa.instructions import (
+    AodInit,
+    BindAtom,
+    FPQAInstruction,
+    ParallelShuttle,
+    RamanGlobal,
+    RamanLocal,
+    RydbergPulse,
+    Shuttle,
+    ShuttleMove,
+    SlmInit,
+    Transfer,
+)
+from ..qaoa.builder import QaoaParameters, qaoa_circuit
+from ..sat.cnf import CnfFormula
+from ..wqasm.program import AnnotatedOperation, WQasmProgram
+from .base import CompilationContext, PassManager
+from .clause_coloring import ClauseColoringPass, ClausePlacement, ColoringResult
+from .color_shuttling import (
+    ColorShuttlingPass,
+    ShuttleWave,
+    ZoneMovePlan,
+    plan_zone_moves,
+)
+from .gate_compression import (
+    FragmentSchedule,
+    GateCompressionPass,
+    compressed_raman_matrices,
+    ladder_raman_matrices,
+    pair_raman_matrices,
+    unit_raman_matrix,
+)
+
+Position = tuple[float, float]
+
+_H = gate_matrix("h")
+
+
+class ZoneLayoutPass:
+    """Size the zone grid from the coloring (between coloring and shuttling).
+
+    Packs zones into a near-square grid so shuttle travel distances stay
+    short, with the diagonal shear of Figure 5 between grid rows.  Skipped
+    when the caller supplied explicit geometry.
+    """
+
+    name = "zone-layout"
+
+    def run(self, context: CompilationContext) -> None:
+        coloring: ColoringResult = context.require("coloring")
+        if not context.auto_geometry:
+            return
+        zones_per_row = max(1, math.isqrt(max(coloring.num_colors, 1)))
+        slots_per_zone = max(
+            (len(group) for group in coloring.groups), default=1
+        )
+        context.geometry = zone_layout(
+            context.hardware,
+            zones_per_row=zones_per_row,
+            slots_per_zone=max(slots_per_zone, 1),
+        )
+        context.stats.setdefault(self.name, {}).update(
+            {"zones_per_row": zones_per_row, "slots_per_zone": slots_per_zone}
+        )
+
+
+@dataclass
+class WeaverCompilationResult:
+    """Everything the evaluation harness needs from one compilation."""
+
+    program: WQasmProgram
+    context: CompilationContext
+    native_circuit: QuantumCircuit
+    compile_seconds: float
+
+    @property
+    def stats(self) -> dict:
+        return self.context.stats
+
+
+def _position_key(position: Position) -> tuple[float, float]:
+    return (round(position[0], 6), round(position[1], 6))
+
+
+class _CodeGenerator:
+    """Drives the FPQA device and records the wQasm program."""
+
+    def __init__(
+        self,
+        context: CompilationContext,
+        coloring: ColoringResult,
+        schedule: FragmentSchedule,
+    ):
+        self.context = context
+        self.coloring = coloring
+        self.schedule = schedule
+        self.geometry = context.geometry
+        self.hardware = context.hardware
+        self.formula = context.formula
+        self.num_qubits = context.formula.num_vars
+        self.device = FPQADevice(context.hardware)
+        self.operations: list[AnnotatedOperation] = []
+        self.pending: list[FPQAInstruction] = []
+        self.trap_index: dict[tuple[float, float], int] = {}
+        self.column_of: dict[int, int] = {}
+        self.park_xs: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Emission primitives
+    # ------------------------------------------------------------------
+    def _emit_move(self, instruction: FPQAInstruction) -> None:
+        self.device.apply(instruction)
+        self.pending.append(instruction)
+
+    def _finish_op(
+        self, pulse: FPQAInstruction, gates: tuple[Instruction, ...]
+    ) -> None:
+        instructions = tuple(self.pending) + (pulse,)
+        self.pending.clear()
+        self.operations.append(AnnotatedOperation(instructions, gates))
+
+    def _flush_pending(self) -> None:
+        if self.pending:
+            self.operations.append(AnnotatedOperation(tuple(self.pending), ()))
+            self.pending.clear()
+
+    def _emit_raman_local(self, qubit: int, matrix: np.ndarray) -> None:
+        x, y, z = raman_angles_for(matrix)
+        instruction = RamanLocal(qubit, x, y, z)
+        self.device.apply(instruction)
+        gate = u3_from_matrix(matrix)
+        self._finish_op(instruction, (Instruction(gate, (qubit,)),))
+
+    def _emit_raman_global(self, matrix: np.ndarray) -> None:
+        x, y, z = raman_angles_for(matrix)
+        instruction = RamanGlobal(x, y, z)
+        self.device.apply(instruction)
+        gate = u3_from_matrix(matrix)
+        gates = tuple(
+            Instruction(gate, (qubit,)) for qubit in range(self.num_qubits)
+        )
+        self._finish_op(instruction, gates)
+
+    def _emit_rydberg(self, expected: set[frozenset[int]]) -> None:
+        instruction = RydbergPulse()
+        clusters = self.device.apply(instruction)
+        got = {frozenset(cluster.qubits) for cluster in clusters}
+        if got != expected:
+            raise CompilationError(
+                f"Rydberg pulse produced clusters {sorted(map(sorted, got))}, "
+                f"plan intended {sorted(map(sorted, expected))}"
+            )
+        gates = []
+        for cluster in clusters:
+            name = "cz" if cluster.size == 2 else ("ccz" if cluster.size == 3 else "mcz")
+            gates.append(
+                Instruction(
+                    make_gate(name, num_qubits=cluster.size), tuple(sorted(cluster.qubits))
+                )
+            )
+        self._finish_op(instruction, tuple(gates))
+
+    # ------------------------------------------------------------------
+    # Movement primitives
+    # ------------------------------------------------------------------
+    def _column_loaded(self, index: int) -> bool:
+        return any(col == index for col, _ in self.device.aod_atoms)
+
+    def _row_loaded(self) -> bool:
+        return bool(self.device.aod_atoms)
+
+    def _park_columns(self) -> None:
+        moves = []
+        for index, park_x in enumerate(self.park_xs):
+            delta = park_x - self.device.aod_col_x[index]
+            if abs(delta) > 1e-9:
+                moves.append(
+                    ShuttleMove("column", index, delta, loaded=self._column_loaded(index))
+                )
+        if moves:
+            self._emit_move(ParallelShuttle(tuple(moves)))
+
+    def _align_columns(self, xs: list[float]) -> None:
+        """Send columns ``0..len(xs)-1`` to ``xs`` (must be sorted)."""
+        self._park_columns()
+        moves = []
+        for index, x in enumerate(xs):
+            delta = x - self.device.aod_col_x[index]
+            if abs(delta) > 1e-9:
+                moves.append(
+                    ShuttleMove("column", index, delta, loaded=self._column_loaded(index))
+                )
+        if moves:
+            self._emit_move(ParallelShuttle(tuple(moves)))
+
+    def _row_to(self, y: float) -> None:
+        delta = y - self.device.aod_row_y[0]
+        if abs(delta) > 1e-9:
+            self._emit_move(
+                Shuttle(ShuttleMove("row", 0, delta, loaded=self._row_loaded()))
+            )
+
+    def _transfer(self, trap_position: Position, column: int) -> None:
+        key = _position_key(trap_position)
+        if key not in self.trap_index:
+            raise CompilationError(f"no SLM trap at {trap_position}")
+        self._emit_move(Transfer(self.trap_index[key], column, 0))
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+    def generate(self, measure: bool) -> WQasmProgram:
+        placements = self.coloring.placements
+        layers_plans = self._plan_layers()
+        setup = self._setup_device(layers_plans)
+        # QAOA initialization: Hadamard on every qubit via one global pulse.
+        self._emit_raman_global(_H)
+        for layer, (gamma, beta) in enumerate(
+            zip(self.context.parameters.gammas, self.context.parameters.betas)
+        ):
+            plans = layers_plans[layer]
+            for color in range(self.coloring.num_colors):
+                for wave in plans[color].waves:
+                    self._run_wave(wave)
+                self._execute_zone(color, gamma)
+            # Mixer: RX(2*beta) on every qubit via one global pulse.
+            self._emit_raman_global(gate_matrix("rx", (2.0 * beta,)))
+        self._flush_pending()
+        program = WQasmProgram(
+            num_qubits=self.num_qubits,
+            setup=setup,
+            operations=self.operations,
+            measured=measure,
+            name=f"weaver-{self.formula.name}",
+        )
+        return program
+
+    def _plan_layers(self) -> list[list[ZoneMovePlan]]:
+        parked = {
+            var: self.geometry.home_position(var, self.num_qubits)
+            for var in range(self.num_qubits)
+        }
+        layers = []
+        for _ in range(self.context.parameters.num_layers):
+            plans, parked = plan_zone_moves(
+                self.coloring,
+                self.geometry,
+                parked,
+                self.hardware.min_trap_spacing_um,
+            )
+            layers.append(plans)
+        return layers
+
+    def _setup_device(
+        self, layers_plans: list[list[ZoneMovePlan]]
+    ) -> tuple[FPQAInstruction, ...]:
+        positions: list[Position] = []
+
+        def add_trap(position: Position) -> None:
+            key = _position_key(position)
+            if key not in self.trap_index:
+                self.trap_index[key] = len(positions)
+                positions.append(position)
+
+        for var in range(self.num_qubits):
+            add_trap(self.geometry.home_position(var, self.num_qubits))
+        for placement in self.coloring.placements:
+            color, slot = placement.color, placement.slot
+            if placement.arity == 3:
+                add_trap(self.geometry.target_position(color, slot))
+            if placement.arity in (2, 3):
+                stage = self.geometry.stage_positions(color, slot)
+                add_trap(stage[0])
+                add_trap(stage[1])
+
+        num_columns = 1
+        for plans in layers_plans:
+            for plan in plans:
+                for wave in plan.waves:
+                    num_columns = max(num_columns, len(wave))
+        for color in range(self.coloring.num_colors):
+            group = self.coloring.group_placements(color)
+            three = sum(1 for p in group if p.arity == 3)
+            two = sum(1 for p in group if p.arity == 2)
+            num_columns = max(num_columns, 2 * three, 2 * two)
+
+        max_x = max(p[0] for p in positions)
+        min_y = min(p[1] for p in positions)
+        park_x0 = max_x + 2.0 * self.hardware.safe_spacing_um
+        spacing = 2.0 * self.hardware.min_trap_spacing_um
+        self.park_xs = [park_x0 + i * spacing for i in range(num_columns)]
+        row_y = min_y - 2.0 * self.hardware.safe_spacing_um
+
+        setup: list[FPQAInstruction] = [
+            SlmInit(tuple(positions)),
+            AodInit(tuple(self.park_xs), (row_y,)),
+        ]
+        for var in range(self.num_qubits):
+            home = self.geometry.home_position(var, self.num_qubits)
+            setup.append(BindAtom(qubit=var, slm_index=self.trap_index[_position_key(home)]))
+        for instruction in setup:
+            self.device.apply(instruction)
+        return tuple(setup)
+
+    # ------------------------------------------------------------------
+    # Waves
+    # ------------------------------------------------------------------
+    def _run_wave(self, wave: ShuttleWave) -> None:
+        self._align_columns([source[0] for source in wave.sources])
+        by_source_y: dict[float, list[int]] = {}
+        for index, source in enumerate(wave.sources):
+            by_source_y.setdefault(source[1], []).append(index)
+        for y in sorted(by_source_y):
+            self._row_to(y)
+            for index in by_source_y[y]:
+                self._transfer(wave.sources[index], index)
+        moves = []
+        for index, (source, dest) in enumerate(zip(wave.sources, wave.destinations)):
+            delta = dest[0] - source[0]
+            if abs(delta) > 1e-9:
+                moves.append(ShuttleMove("column", index, delta, loaded=True))
+        if moves:
+            self._emit_move(ParallelShuttle(tuple(moves)))
+        by_dest_y: dict[float, list[int]] = {}
+        for index, dest in enumerate(wave.destinations):
+            by_dest_y.setdefault(dest[1], []).append(index)
+        for y in sorted(by_dest_y):
+            self._row_to(y)
+            for index in by_dest_y[y]:
+                self._transfer(wave.destinations[index], index)
+
+    # ------------------------------------------------------------------
+    # Zone execution
+    # ------------------------------------------------------------------
+    def _execute_zone(self, color: int, gamma: float) -> None:
+        group = self.coloring.group_placements(color)
+        three = [p for p in group if p.arity == 3]
+        two = [p for p in group if p.arity == 2]
+        one = [p for p in group if p.arity == 1]
+        for placement in one:
+            self._emit_raman_local(
+                placement.qubits[0], unit_raman_matrix(placement, gamma)
+            )
+        if three:
+            self._pickup_controls(color, three)
+            if self.schedule.use_compression:
+                self._zone_compressed(color, three, gamma)
+            else:
+                self._zone_ladder(color, three, gamma)
+            self._drop_controls(color, three)
+        if two:
+            self._zone_pairs(color, two, gamma)
+
+    def _control_stage_sites(
+        self, color: int, placements: list[ClausePlacement]
+    ) -> list[tuple[int, Position]]:
+        """(atom, stage trap) for every control, sorted by x."""
+        sites: list[tuple[int, Position]] = []
+        for placement in placements:
+            stage = self.geometry.stage_positions(color, placement.slot)
+            sites.append((placement.controls[0], stage[0]))
+            sites.append((placement.controls[1], stage[1]))
+        sites.sort(key=lambda item: item[1][0])
+        return sites
+
+    def _pickup_controls(self, color: int, placements: list[ClausePlacement]) -> None:
+        sites = self._control_stage_sites(color, placements)
+        self._align_columns([pos[0] for _, pos in sites])
+        self._row_to(self.geometry.stage_row_y(color))
+        for column, (atom, pos) in enumerate(sites):
+            self.column_of[atom] = column
+            self._transfer(pos, column)
+
+    def _drop_controls(self, color: int, placements: list[ClausePlacement]) -> None:
+        self._set_stance(color, placements, "stage")
+        for placement in placements:
+            stage = self.geometry.stage_positions(color, placement.slot)
+            for atom, pos in zip(placement.controls, stage):
+                self._transfer(pos, self.column_of.pop(atom))
+
+    def _stance_positions(
+        self, color: int, placement: ClausePlacement, stance: str
+    ) -> tuple[Position, Position]:
+        if stance == "stage":
+            return self.geometry.stage_positions(color, placement.slot)
+        if stance == "tri":
+            return self.geometry.control_positions(color, placement.slot)
+        if stance == "pair":
+            return self.geometry.pair_positions(color, placement.slot)
+        if stance == "bt":
+            return self.geometry.bt_positions(color, placement.slot)
+        if stance == "at":
+            return self.geometry.at_positions(color, placement.slot)
+        raise CompilationError(f"unknown stance {stance!r}")
+
+    def _set_stance(
+        self, color: int, placements: list[ClausePlacement], stance: str
+    ) -> None:
+        moves = []
+        row_y: float | None = None
+        for placement in placements:
+            targets = self._stance_positions(color, placement, stance)
+            for atom, (x, y) in zip(placement.controls, targets):
+                row_y = y
+                column = self.column_of[atom]
+                delta = x - self.device.aod_col_x[column]
+                if abs(delta) > 1e-9:
+                    moves.append(ShuttleMove("column", column, delta, loaded=True))
+        if row_y is not None:
+            delta = row_y - self.device.aod_row_y[0]
+            if abs(delta) > 1e-9:
+                moves.append(ShuttleMove("row", 0, delta, loaded=True))
+        if moves:
+            self._emit_move(ParallelShuttle(tuple(moves)))
+
+    # --- compressed mode ------------------------------------------------
+    def _zone_compressed(
+        self, color: int, placements: list[ClausePlacement], gamma: float
+    ) -> None:
+        matrices = {
+            p.clause_index: compressed_raman_matrices(p, gamma) for p in placements
+        }
+        triangles = {frozenset(p.qubits) for p in placements}
+        pairs = {frozenset(p.controls) for p in placements}
+        self._set_stance(color, placements, "tri")
+        for p in placements:
+            m = matrices[p.clause_index]
+            if m["ctrl_pre_a"] is not None:
+                self._emit_raman_local(p.controls[0], m["ctrl_pre_a"])
+            if m["ctrl_pre_b"] is not None:
+                self._emit_raman_local(p.controls[1], m["ctrl_pre_b"])
+            self._emit_raman_local(p.target, m["target_pre"])
+        self._emit_rydberg(triangles)
+        for p in placements:
+            self._emit_raman_local(p.target, matrices[p.clause_index]["target_mid"])
+        self._emit_rydberg(triangles)
+        for p in placements:
+            m = matrices[p.clause_index]
+            self._emit_raman_local(p.target, m["target_post"])
+            self._emit_raman_local(p.controls[0], m["ctrl_post_a"])
+            self._emit_raman_local(p.controls[1], m["ctrl_post_b"])
+        self._set_stance(color, placements, "pair")
+        for p in placements:
+            self._emit_raman_local(p.controls[1], matrices[p.clause_index]["b_pre"])
+        self._emit_rydberg(pairs)
+        for p in placements:
+            self._emit_raman_local(p.controls[1], matrices[p.clause_index]["b_mid"])
+        self._emit_rydberg(pairs)
+        for p in placements:
+            self._emit_raman_local(p.controls[1], matrices[p.clause_index]["b_post"])
+
+    # --- ladder (uncompressed) mode --------------------------------------
+    def _zone_ladder(
+        self, color: int, placements: list[ClausePlacement], gamma: float
+    ) -> None:
+        matrices = {
+            p.clause_index: ladder_raman_matrices(p, gamma) for p in placements
+        }
+        pairs = {frozenset(p.controls) for p in placements}
+        bt_pairs = {frozenset((p.qubits[1], p.qubits[2])) for p in placements}
+        at_pairs = {frozenset((p.qubits[0], p.qubits[2])) for p in placements}
+
+        def ladder(
+            stance_pairs: set[frozenset[int]],
+            role: int,
+            pre: str,
+            mid: str,
+            post: str,
+        ) -> None:
+            for p in placements:
+                self._emit_raman_local(p.qubits[role], matrices[p.clause_index][pre])
+            self._emit_rydberg(stance_pairs)
+            for p in placements:
+                self._emit_raman_local(p.qubits[role], matrices[p.clause_index][mid])
+            self._emit_rydberg(stance_pairs)
+            for p in placements:
+                self._emit_raman_local(p.qubits[role], matrices[p.clause_index][post])
+
+        self._set_stance(color, placements, "pair")
+        # quad(a, b)
+        ladder(pairs, 1, "pair_b_pre", "pair_b_mid", "pair_b_post")
+        # cubic opening CX(a, b)
+        for p in placements:
+            self._emit_raman_local(p.qubits[1], matrices[p.clause_index]["cubic_b_side"])
+        self._emit_rydberg(pairs)
+        for p in placements:
+            self._emit_raman_local(p.qubits[1], matrices[p.clause_index]["cubic_b_side"])
+        # cubic inner CX(b, t) RZ CX(b, t)
+        self._set_stance(color, placements, "bt")
+        ladder(bt_pairs, 2, "cubic_t_pre", "cubic_t_mid", "cubic_t_post")
+        # cubic closing CX(a, b)
+        self._set_stance(color, placements, "pair")
+        for p in placements:
+            self._emit_raman_local(p.qubits[1], matrices[p.clause_index]["cubic_b_side"])
+        self._emit_rydberg(pairs)
+        for p in placements:
+            self._emit_raman_local(p.qubits[1], matrices[p.clause_index]["cubic_b_side"])
+        # quad(b, t) and quad(a, t) on the hover stances
+        self._set_stance(color, placements, "bt")
+        ladder(bt_pairs, 2, "bt_t_pre", "bt_t_mid", "bt_t_post")
+        self._set_stance(color, placements, "at")
+        ladder(at_pairs, 2, "at_t_pre", "at_t_mid", "at_t_post")
+        # linear terms
+        for p in placements:
+            m = matrices[p.clause_index]
+            self._emit_raman_local(p.qubits[0], m["lin_a"])
+            self._emit_raman_local(p.qubits[1], m["lin_b"])
+            self._emit_raman_local(p.qubits[2], m["lin_t"])
+
+    # --- 2-literal clauses ------------------------------------------------
+    def _zone_pairs(
+        self, color: int, placements: list[ClausePlacement], gamma: float
+    ) -> None:
+        sites = self._control_stage_sites(color, placements)
+        self._align_columns([pos[0] for _, pos in sites])
+        self._row_to(self.geometry.stage_row_y(color))
+        for column, (atom, pos) in enumerate(sites):
+            self.column_of[atom] = column
+            self._transfer(pos, column)
+        self._set_stance(color, placements, "pair")
+        matrices = {
+            p.clause_index: pair_raman_matrices(p, gamma) for p in placements
+        }
+        pairs = {frozenset(p.controls) for p in placements}
+        for p in placements:
+            self._emit_raman_local(p.controls[1], matrices[p.clause_index]["b_pre"])
+        self._emit_rydberg(pairs)
+        for p in placements:
+            self._emit_raman_local(p.controls[1], matrices[p.clause_index]["b_mid"])
+        self._emit_rydberg(pairs)
+        for p in placements:
+            m = matrices[p.clause_index]
+            self._emit_raman_local(p.controls[1], m["b_post"])
+            self._emit_raman_local(p.controls[0], m["a_post"])
+        self._drop_controls(color, placements)
+
+
+class WeaverFPQACompiler:
+    """Public entry point: MAX-3SAT formula -> validated wQasm program."""
+
+    def __init__(
+        self,
+        hardware: FPQAHardwareParams | None = None,
+        geometry: ZoneGeometry | None = None,
+        coloring_algorithm: str = "dsatur",
+        compression: bool | None = None,
+    ):
+        self.hardware = hardware or FPQAHardwareParams()
+        self._auto_geometry = geometry is None
+        self.geometry = geometry or zone_layout(self.hardware)
+        self.coloring_algorithm = coloring_algorithm
+        self.compression = compression
+
+    def compile(
+        self,
+        formula: CnfFormula,
+        parameters: QaoaParameters | None = None,
+        measure: bool = True,
+    ) -> WeaverCompilationResult:
+        """Compile ``formula`` to an FPQA program (the paper's FPQA path)."""
+        start = time.perf_counter()
+        parameters = parameters or QaoaParameters()
+        context = CompilationContext(
+            formula=formula,
+            parameters=parameters,
+            hardware=self.hardware,
+            geometry=self.geometry,
+            auto_geometry=self._auto_geometry,
+            compression_override=self.compression,
+        )
+        manager = PassManager(
+            [
+                ClauseColoringPass(self.coloring_algorithm),
+                ZoneLayoutPass(),
+                ColorShuttlingPass(),
+                GateCompressionPass(),
+            ]
+        )
+        manager.run(context)
+        coloring: ColoringResult = context.require("coloring")
+        schedule: FragmentSchedule = context.require("fragments")
+        generator = _CodeGenerator(context, coloring, schedule)
+        program = generator.generate(measure=measure)
+        native = qaoa_circuit(formula, parameters, measure=False)
+        elapsed = time.perf_counter() - start
+        context.stats.setdefault("total", {})["seconds"] = elapsed
+        return WeaverCompilationResult(
+            program=program,
+            context=context,
+            native_circuit=native,
+            compile_seconds=elapsed,
+        )
+
+
+def compile_formula(
+    formula: CnfFormula,
+    parameters: QaoaParameters | None = None,
+    hardware: FPQAHardwareParams | None = None,
+    compression: bool | None = None,
+    measure: bool = True,
+) -> WeaverCompilationResult:
+    """Convenience wrapper around :class:`WeaverFPQACompiler`."""
+    compiler = WeaverFPQACompiler(hardware=hardware, compression=compression)
+    return compiler.compile(formula, parameters, measure=measure)

@@ -1,0 +1,58 @@
+"""QAOA output evaluation: expected cost and best sampled assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits import QuantumCircuit, circuit_statevector
+from ..linalg import projector_phase_polynomial
+from ..sat.cnf import CnfFormula
+from ..sat.polynomial import formula_polynomial
+
+
+def expected_unsatisfied(formula: CnfFormula, circuit: QuantumCircuit) -> float:
+    """Expected number of unsatisfied clauses ``<psi|H|psi>`` after ``circuit``.
+
+    ``H`` is diagonal, so the expectation is a probability-weighted average
+    of the clause-violation counts over basis states.
+    """
+    state = circuit_statevector(circuit.without_measurements())
+    probs = np.abs(state) ** 2
+    polynomial = formula_polynomial(formula)
+    n = formula.num_vars
+    z = projector_phase_polynomial(n)
+    energies = np.zeros(2**n)
+    for monomial, coefficient in polynomial.coefficients.items():
+        if monomial:
+            energies += coefficient * np.prod(z[:, list(monomial)], axis=1)
+        else:
+            energies += coefficient
+    return float(probs @ energies)
+
+
+def sample_best_assignment(
+    formula: CnfFormula,
+    circuit: QuantumCircuit,
+    shots: int = 1024,
+    seed: int = 0,
+) -> tuple[list[bool], int]:
+    """Sample the circuit and return the best assignment seen.
+
+    Mirrors Figure 1(c)/(d): execute repeatedly, interpret each bitstring
+    as an assignment, and keep the one satisfying the most clauses.
+    """
+    state = circuit_statevector(circuit.without_measurements())
+    probs = np.abs(state) ** 2
+    probs = probs / probs.sum()
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(len(probs), size=shots, p=probs)
+    best_assignment: list[bool] = [False] * formula.num_vars
+    best_score = -1
+    for basis in np.unique(samples):
+        assignment = [
+            (int(basis) >> q) & 1 == 1 for q in range(formula.num_vars)
+        ]
+        score = formula.num_satisfied(assignment)
+        if score > best_score:
+            best_assignment, best_score = assignment, score
+    return best_assignment, best_score

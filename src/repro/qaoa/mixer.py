@@ -1,0 +1,21 @@
+"""QAOA initialization and mixer layers (paper §5: "QAOA Init/Mixer")."""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit
+
+
+def initialization_circuit(num_qubits: int) -> QuantumCircuit:
+    """Uniform superposition: Hadamard on every qubit (mixer ground state)."""
+    circuit = QuantumCircuit(num_qubits, name="qaoa-init")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    return circuit
+
+
+def mixer_circuit(num_qubits: int, beta: float) -> QuantumCircuit:
+    """Transverse-field mixer ``exp(-i*beta*sum X_i)``: ``RX(2*beta)`` each."""
+    circuit = QuantumCircuit(num_qubits, name="qaoa-mixer")
+    for qubit in range(num_qubits):
+        circuit.rx(2.0 * beta, qubit)
+    return circuit

@@ -1,0 +1,127 @@
+"""Classical QAOA parameter optimization (the hybrid outer loop, §2.1).
+
+"QAOA is a hybrid quantum-classical algorithm that uses a quantum computer
+to run a parameterized quantum circuit while a classical computer
+optimizes the parameters."  This module provides that classical half: a
+coordinate-descent optimizer over (gamma, beta) angles with the simulated
+expectation value as the objective.  It operates on the *logical* circuit
+(the simulator stands in for the QPU), so it composes with any backend
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from ..sat.cnf import CnfFormula
+from .builder import QaoaParameters, qaoa_circuit
+from .energy import expected_unsatisfied
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of the classical angle search."""
+
+    parameters: QaoaParameters
+    expected_unsatisfied: float
+    evaluations: int
+    history: list[tuple[QaoaParameters, float]] = field(default_factory=list)
+
+
+def _evaluate(formula: CnfFormula, parameters: QaoaParameters) -> float:
+    circuit = qaoa_circuit(formula, parameters, measure=False)
+    return expected_unsatisfied(formula, circuit)
+
+
+def grid_search(
+    formula: CnfFormula,
+    gammas: tuple[float, ...] = (-1.2, -0.8, -0.4, 0.4, 0.8, 1.2),
+    betas: tuple[float, ...] = (0.15, 0.3, 0.45),
+) -> OptimizationResult:
+    """Coarse single-layer grid search — the usual warm start."""
+    best: tuple[QaoaParameters, float] | None = None
+    history = []
+    for gamma in gammas:
+        for beta in betas:
+            parameters = QaoaParameters((gamma,), (beta,))
+            value = _evaluate(formula, parameters)
+            history.append((parameters, value))
+            if best is None or value < best[1]:
+                best = (parameters, value)
+    assert best is not None
+    return OptimizationResult(
+        parameters=best[0],
+        expected_unsatisfied=best[1],
+        evaluations=len(history),
+        history=history,
+    )
+
+
+def coordinate_descent(
+    formula: CnfFormula,
+    initial: QaoaParameters | None = None,
+    iterations: int = 3,
+    step: float = 0.2,
+    shrink: float = 0.5,
+) -> OptimizationResult:
+    """Refine angles by cyclic coordinate descent with shrinking steps.
+
+    Each sweep tries ``angle +- step`` for every coordinate and keeps any
+    improvement; the step halves per sweep.  Simple, derivative-free, and
+    deterministic — adequate for the shallow circuits the paper evaluates.
+    """
+    if iterations < 1:
+        raise CircuitError("need at least one optimization sweep")
+    parameters = initial or grid_search(formula).parameters
+    value = _evaluate(formula, parameters)
+    evaluations = 1
+    history = [(parameters, value)]
+    current_step = step
+    for _ in range(iterations):
+        angles = list(parameters.gammas) + list(parameters.betas)
+        for index in range(len(angles)):
+            for delta in (current_step, -current_step):
+                trial = list(angles)
+                trial[index] += delta
+                num_layers = parameters.num_layers
+                trial_params = QaoaParameters(
+                    tuple(trial[:num_layers]), tuple(trial[num_layers:])
+                )
+                trial_value = _evaluate(formula, trial_params)
+                evaluations += 1
+                if trial_value < value - 1e-12:
+                    parameters, value = trial_params, trial_value
+                    angles = trial
+                    history.append((parameters, value))
+        current_step *= shrink
+    return OptimizationResult(
+        parameters=parameters,
+        expected_unsatisfied=value,
+        evaluations=evaluations,
+        history=history,
+    )
+
+
+def optimize_angles(
+    formula: CnfFormula,
+    layers: int = 1,
+    iterations: int = 3,
+) -> OptimizationResult:
+    """Grid-search warm start + coordinate descent, optionally multi-layer.
+
+    For ``layers > 1`` the single-layer optimum is replicated across
+    layers before refinement (the standard interpolation heuristic).
+    """
+    warm = grid_search(formula)
+    parameters = warm.parameters
+    if layers > 1:
+        parameters = QaoaParameters(
+            tuple(parameters.gammas) * layers, tuple(parameters.betas) * layers
+        )
+    refined = coordinate_descent(formula, initial=parameters, iterations=iterations)
+    refined.history = warm.history + refined.history
+    refined.evaluations += warm.evaluations
+    return refined

@@ -1,0 +1,47 @@
+"""OpenQASM 3 subset front end.
+
+Weaver adopts OpenQASM as its IR (§4) because it is widely adopted and
+extensible through annotations.  This package provides the lexer, AST,
+recursive-descent parser, source printer, and the loader that converts a
+parsed program into a :class:`repro.circuits.QuantumCircuit`.  Annotations
+(``@keyword content``) are lexed generically and attached to the following
+statement, exactly as the OpenQASM 3 specification prescribes; their FPQA
+interpretation lives in :mod:`repro.wqasm`.
+"""
+
+from .lexer import Token, TokenType, tokenize
+from .ast import (
+    Annotation,
+    BarrierStmt,
+    ClbitDecl,
+    GateCall,
+    IncludeStmt,
+    MeasureStmt,
+    Program,
+    QubitDecl,
+    Statement,
+)
+from .parser import parse_qasm
+from .printer import circuit_to_qasm, program_to_qasm
+from .loader import LoadedProgram, load_circuit, qasm_to_circuit
+
+__all__ = [
+    "Annotation",
+    "BarrierStmt",
+    "ClbitDecl",
+    "GateCall",
+    "IncludeStmt",
+    "LoadedProgram",
+    "MeasureStmt",
+    "Program",
+    "QubitDecl",
+    "Statement",
+    "Token",
+    "TokenType",
+    "circuit_to_qasm",
+    "load_circuit",
+    "parse_qasm",
+    "program_to_qasm",
+    "qasm_to_circuit",
+    "tokenize",
+]

@@ -1,0 +1,157 @@
+"""AST node definitions for the OpenQASM 3 subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import QasmSemanticError
+
+#: A register reference: (register name, index or None for broadcast).
+Operand = tuple[str, int | None]
+
+
+# ----------------------------------------------------------------------
+# Symbolic parameter expressions (inside gate definitions)
+# ----------------------------------------------------------------------
+class Expr:
+    """Base for symbolic parameter expressions in gate bodies."""
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: float
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    name: str
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        if self.name not in env:
+            raise QasmSemanticError(f"unbound gate parameter {self.name!r}")
+        return env[self.name]
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    operand: Expr
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        return -self.operand.evaluate(env)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, env: dict[str, float]) -> float:
+        lhs = self.left.evaluate(env)
+        rhs = self.right.evaluate(env)
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        if self.op == "/":
+            if rhs == 0:
+                raise QasmSemanticError("division by zero in gate body")
+            return lhs / rhs
+        raise QasmSemanticError(f"unknown operator {self.op!r}")
+
+
+def evaluate_param(param: float | Expr, env: dict[str, float]) -> float:
+    """Evaluate a possibly-symbolic gate parameter."""
+    if isinstance(param, Expr):
+        return param.evaluate(env)
+    return float(param)
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A raw ``@keyword content`` annotation attached to a statement."""
+
+    keyword: str
+    content: str
+
+
+@dataclass
+class Statement:
+    """Base statement; carries the annotations preceding it (§4.2)."""
+
+    annotations: tuple[Annotation, ...] = ()
+
+
+@dataclass
+class IncludeStmt(Statement):
+    path: str = ""
+
+
+@dataclass
+class QubitDecl(Statement):
+    name: str = "q"
+    size: int = 1
+
+
+@dataclass
+class ClbitDecl(Statement):
+    name: str = "c"
+    size: int = 1
+
+
+@dataclass
+class GateCall(Statement):
+    name: str = ""
+    params: tuple[float, ...] = ()
+    operands: tuple[Operand, ...] = ()
+
+
+@dataclass
+class MeasureStmt(Statement):
+    qubit: Operand = ("q", None)
+    clbit: Operand = ("c", None)
+
+
+@dataclass
+class BarrierStmt(Statement):
+    operands: tuple[Operand, ...] = ()
+
+
+@dataclass
+class GateDefinition(Statement):
+    """A user-defined gate: ``gate name(params) q0, q1 { body }``.
+
+    The body is a list of gate calls over the formal qubit names; formal
+    parameters appear in the body as symbolic identifiers resolved at call
+    time (OpenQASM 2-style ``gate`` subroutines).
+    """
+
+    name: str = ""
+    params: tuple[str, ...] = ()
+    qubits: tuple[str, ...] = ()
+    body: tuple["GateCall", ...] = ()
+
+
+@dataclass
+class Program:
+    """A parsed OpenQASM/wQasm program."""
+
+    version: str = "3.0"
+    statements: list[Statement] = field(default_factory=list)
+
+    def gate_calls(self) -> list[GateCall]:
+        return [s for s in self.statements if isinstance(s, GateCall)]
+
+    def all_annotations(self) -> list[Annotation]:
+        out: list[Annotation] = []
+        for statement in self.statements:
+            out.extend(statement.annotations)
+        return out

@@ -1,0 +1,130 @@
+"""Tokenizer for the OpenQASM 3 subset (plus wQasm annotations).
+
+Annotations follow the OpenQASM 3 lexical rule: ``@keyword`` consumes the
+remainder of the physical line as opaque content, to be interpreted by the
+consumer of the annotation (here, :mod:`repro.wqasm`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import QasmSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    ANNOTATION = "annotation"
+    SYMBOL = "symbol"
+    ARROW = "arrow"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+
+_SYMBOLS = set("()[]{},;=+-*/")
+_TWO_CHAR = {"->"}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens, stripping comments."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise QasmSyntaxError("unterminated block comment", line, column)
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        if ch == "@":
+            start_col = column
+            end = source.find("\n", i)
+            if end == -1:
+                end = n
+            content = source[i + 1 : end].rstrip()
+            if not content:
+                raise QasmSyntaxError("empty annotation", line, column)
+            tokens.append(Token(TokenType.ANNOTATION, content, line, start_col))
+            column += end - i
+            i = end
+            continue
+        if ch == '"':
+            end = source.find('"', i + 1)
+            if end == -1:
+                raise QasmSyntaxError("unterminated string literal", line, column)
+            tokens.append(Token(TokenType.STRING, source[i + 1 : end], line, column))
+            column += end - i + 1
+            i = end + 1
+            continue
+        if source.startswith("->", i):
+            tokens.append(Token(TokenType.ARROW, "->", line, column))
+            i += 2
+            column += 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_col = column
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+            # Scientific notation.
+            if i < n and source[i] in "eE":
+                j = i + 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j < n and source[j].isdigit():
+                    i = j
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            column += i - start
+            tokens.append(Token(TokenType.NUMBER, text, line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = column
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            tokens.append(Token(TokenType.IDENTIFIER, source[start:i], line, start_col))
+            column += i - start
+            continue
+        if ch in _SYMBOLS:
+            tokens.append(Token(TokenType.SYMBOL, ch, line, column))
+            i += 1
+            column += 1
+            continue
+        raise QasmSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,368 @@
+"""Recursive-descent parser for the OpenQASM 3 subset.
+
+Supported statements (enough for the paper's workloads and both dialects
+Qiskit emits):
+
+* ``OPENQASM 2.0; / 3.0;`` version headers and ``include`` directives
+* ``qreg q[n];`` / ``qubit[n] q;`` and ``creg c[n];`` / ``bit[n] c;``
+* gate calls with constant-folded parameter expressions (``pi``, ``tau``,
+  arithmetic, unary minus)
+* ``measure q[i] -> c[i];`` (QASM2) and ``c[i] = measure q[i];`` (QASM3)
+* ``barrier``
+* annotations ``@keyword ...`` attached to the next statement
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import QasmSyntaxError
+from .ast import (
+    Annotation,
+    BarrierStmt,
+    BinOp,
+    ClbitDecl,
+    Expr,
+    GateCall,
+    GateDefinition,
+    IncludeStmt,
+    MeasureStmt,
+    Neg,
+    Num,
+    Operand,
+    Program,
+    QubitDecl,
+    Statement,
+    Sym,
+)
+from .lexer import Token, TokenType, tokenize
+
+_CONSTANTS = {"pi": math.pi, "tau": 2.0 * math.pi, "euler": math.e}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        #: Formal parameter names in scope (inside a gate definition body);
+        #: identifiers in this set parse as symbolic expressions.
+        self._symbols: set[str] = set()
+
+    # Token helpers -----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.SYMBOL or token.value != symbol:
+            raise QasmSyntaxError(
+                f"expected {symbol!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def expect_identifier(self) -> Token:
+        token = self.peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise QasmSyntaxError(
+                f"expected identifier, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def at_symbol(self, symbol: str) -> bool:
+        token = self.peek()
+        return token.type is TokenType.SYMBOL and token.value == symbol
+
+    # Grammar -----------------------------------------------------------
+    def parse_program(self) -> Program:
+        program = Program()
+        token = self.peek()
+        if token.type is TokenType.IDENTIFIER and token.value == "OPENQASM":
+            self.advance()
+            version = self.peek()
+            if version.type is not TokenType.NUMBER:
+                raise QasmSyntaxError(
+                    "expected version number after OPENQASM", version.line, version.column
+                )
+            program.version = self.advance().value
+            self.expect_symbol(";")
+        while self.peek().type is not TokenType.EOF:
+            program.statements.append(self.parse_statement())
+        return program
+
+    def parse_statement(self) -> Statement:
+        annotations: list[Annotation] = []
+        while self.peek().type is TokenType.ANNOTATION:
+            raw = self.advance().value
+            keyword, _, content = raw.partition(" ")
+            annotations.append(Annotation(keyword, content.strip()))
+        token = self.peek()
+        if token.type is TokenType.EOF:
+            raise QasmSyntaxError(
+                "annotations at end of file have no statement", token.line, token.column
+            )
+        if token.type is not TokenType.IDENTIFIER:
+            raise QasmSyntaxError(
+                f"expected statement, found {token.value!r}", token.line, token.column
+            )
+        statement = self._parse_statement_body(token)
+        statement.annotations = tuple(annotations)
+        return statement
+
+    def _parse_statement_body(self, token: Token) -> Statement:
+        keyword = token.value
+        if keyword == "include":
+            self.advance()
+            path = self.peek()
+            if path.type is not TokenType.STRING:
+                raise QasmSyntaxError("expected string after include", path.line, path.column)
+            self.advance()
+            self.expect_symbol(";")
+            return IncludeStmt(path=path.value)
+        if keyword in ("qreg", "creg"):
+            self.advance()
+            name = self.expect_identifier().value
+            self.expect_symbol("[")
+            size = self._parse_int()
+            self.expect_symbol("]")
+            self.expect_symbol(";")
+            cls = QubitDecl if keyword == "qreg" else ClbitDecl
+            return cls(name=name, size=size)
+        if keyword in ("qubit", "bit"):
+            self.advance()
+            size = 1
+            if self.at_symbol("["):
+                self.advance()
+                size = self._parse_int()
+                self.expect_symbol("]")
+            name = self.expect_identifier().value
+            self.expect_symbol(";")
+            cls = QubitDecl if keyword == "qubit" else ClbitDecl
+            return cls(name=name, size=size)
+        if keyword == "measure":
+            # QASM2 style: measure q[i] -> c[i];
+            self.advance()
+            qubit = self._parse_operand()
+            arrow = self.peek()
+            if arrow.type is not TokenType.ARROW:
+                raise QasmSyntaxError("expected '->' in measure", arrow.line, arrow.column)
+            self.advance()
+            clbit = self._parse_operand()
+            self.expect_symbol(";")
+            return MeasureStmt(qubit=qubit, clbit=clbit)
+        if keyword == "barrier":
+            self.advance()
+            operands: list[Operand] = []
+            if not self.at_symbol(";"):
+                operands.append(self._parse_operand())
+                while self.at_symbol(","):
+                    self.advance()
+                    operands.append(self._parse_operand())
+            self.expect_symbol(";")
+            return BarrierStmt(operands=tuple(operands))
+        if keyword == "gate":
+            return self._parse_gate_definition()
+        # QASM3 style measurement: c[i] = measure q[i];
+        if self._looks_like_assignment_measure():
+            clbit = self._parse_operand()
+            self.expect_symbol("=")
+            measure = self.expect_identifier()
+            if measure.value != "measure":
+                raise QasmSyntaxError(
+                    "only 'measure' may appear on the right of '='",
+                    measure.line,
+                    measure.column,
+                )
+            qubit = self._parse_operand()
+            self.expect_symbol(";")
+            return MeasureStmt(qubit=qubit, clbit=clbit)
+        return self._parse_gate_call()
+
+    def _looks_like_assignment_measure(self) -> bool:
+        """Lookahead for ``ident[expr] = measure`` / ``ident = measure``."""
+        pos = self.pos
+        try:
+            if self.tokens[pos].type is not TokenType.IDENTIFIER:
+                return False
+            pos += 1
+            if (
+                self.tokens[pos].type is TokenType.SYMBOL
+                and self.tokens[pos].value == "["
+            ):
+                depth = 1
+                pos += 1
+                while depth and self.tokens[pos].type is not TokenType.EOF:
+                    if self.tokens[pos].type is TokenType.SYMBOL:
+                        if self.tokens[pos].value == "[":
+                            depth += 1
+                        elif self.tokens[pos].value == "]":
+                            depth -= 1
+                    pos += 1
+            return (
+                self.tokens[pos].type is TokenType.SYMBOL
+                and self.tokens[pos].value == "="
+            )
+        except IndexError:
+            return False
+
+    def _parse_gate_definition(self) -> GateDefinition:
+        """``gate name(p0, p1) q0, q1 { body }`` (OpenQASM 2-style macro)."""
+        self.advance()  # 'gate'
+        name = self.expect_identifier().value
+        params: list[str] = []
+        if self.at_symbol("("):
+            self.advance()
+            if not self.at_symbol(")"):
+                params.append(self.expect_identifier().value)
+                while self.at_symbol(","):
+                    self.advance()
+                    params.append(self.expect_identifier().value)
+            self.expect_symbol(")")
+        qubits = [self.expect_identifier().value]
+        while self.at_symbol(","):
+            self.advance()
+            qubits.append(self.expect_identifier().value)
+        self.expect_symbol("{")
+        previous_symbols = self._symbols
+        self._symbols = set(params)
+        body: list[GateCall] = []
+        try:
+            while not self.at_symbol("}"):
+                token = self.peek()
+                if token.type is TokenType.EOF:
+                    raise QasmSyntaxError(
+                        "unterminated gate body", token.line, token.column
+                    )
+                statement = self._parse_gate_call()
+                for reg, index in statement.operands:
+                    if index is not None or reg not in qubits:
+                        raise QasmSyntaxError(
+                            f"gate body may only reference formal qubits, got "
+                            f"{reg}{'' if index is None else f'[{index}]'}",
+                            token.line,
+                            token.column,
+                        )
+                body.append(statement)
+        finally:
+            self._symbols = previous_symbols
+        self.expect_symbol("}")
+        return GateDefinition(
+            name=name, params=tuple(params), qubits=tuple(qubits), body=tuple(body)
+        )
+
+    def _parse_gate_call(self) -> GateCall:
+        name = self.expect_identifier().value
+        params: tuple[float, ...] = ()
+        if self.at_symbol("("):
+            self.advance()
+            values = []
+            if not self.at_symbol(")"):
+                values.append(self._parse_expression())
+                while self.at_symbol(","):
+                    self.advance()
+                    values.append(self._parse_expression())
+            self.expect_symbol(")")
+            params = tuple(values)
+        operands = [self._parse_operand()]
+        while self.at_symbol(","):
+            self.advance()
+            operands.append(self._parse_operand())
+        self.expect_symbol(";")
+        return GateCall(name=name, params=params, operands=tuple(operands))
+
+    def _parse_operand(self) -> Operand:
+        name = self.expect_identifier().value
+        index: int | None = None
+        if self.at_symbol("["):
+            self.advance()
+            index = self._parse_int()
+            self.expect_symbol("]")
+        return (name, index)
+
+    def _parse_int(self) -> int:
+        token = self.peek()
+        if token.type is not TokenType.NUMBER:
+            raise QasmSyntaxError(
+                f"expected integer, found {token.value!r}", token.line, token.column
+            )
+        self.advance()
+        try:
+            return int(token.value)
+        except ValueError as exc:
+            raise QasmSyntaxError(
+                f"expected integer, found {token.value!r}", token.line, token.column
+            ) from exc
+
+    # Expression parsing ---------------------------------------------------
+    # Constants fold eagerly; identifiers bound as formal gate parameters
+    # produce symbolic Expr trees evaluated at macro-expansion time.
+    @staticmethod
+    def _combine(op: str, lhs, rhs, token: Token):
+        if isinstance(lhs, Expr) or isinstance(rhs, Expr):
+            left = lhs if isinstance(lhs, Expr) else Num(float(lhs))
+            right = rhs if isinstance(rhs, Expr) else Num(float(rhs))
+            return BinOp(op, left, right)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if rhs == 0:
+            raise QasmSyntaxError("division by zero", token.line, token.column)
+        return lhs / rhs
+
+    def _parse_expression(self):
+        value = self._parse_term()
+        while self.at_symbol("+") or self.at_symbol("-"):
+            token = self.peek()
+            op = self.advance().value
+            rhs = self._parse_term()
+            value = self._combine(op, value, rhs, token)
+        return value
+
+    def _parse_term(self):
+        value = self._parse_factor()
+        while self.at_symbol("*") or self.at_symbol("/"):
+            token = self.peek()
+            op = self.advance().value
+            rhs = self._parse_factor()
+            value = self._combine(op, value, rhs, token)
+        return value
+
+    def _parse_factor(self):
+        token = self.peek()
+        if self.at_symbol("-"):
+            self.advance()
+            inner = self._parse_factor()
+            return Neg(inner) if isinstance(inner, Expr) else -inner
+        if self.at_symbol("+"):
+            self.advance()
+            return self._parse_factor()
+        if self.at_symbol("("):
+            self.advance()
+            value = self._parse_expression()
+            self.expect_symbol(")")
+            return value
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return float(token.value)
+        if token.type is TokenType.IDENTIFIER and token.value in _CONSTANTS:
+            self.advance()
+            return _CONSTANTS[token.value]
+        if token.type is TokenType.IDENTIFIER and token.value in self._symbols:
+            self.advance()
+            return Sym(token.value)
+        raise QasmSyntaxError(
+            f"expected expression, found {token.value!r}", token.line, token.column
+        )
+
+
+def parse_qasm(source: str) -> Program:
+    """Parse OpenQASM/wQasm source text into a :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()

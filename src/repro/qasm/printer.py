@@ -1,0 +1,89 @@
+"""Serialize circuits and ASTs back to OpenQASM 3 text."""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit
+from ..exceptions import QasmSemanticError
+from .ast import (
+    BarrierStmt,
+    ClbitDecl,
+    GateCall,
+    IncludeStmt,
+    MeasureStmt,
+    Program,
+    QubitDecl,
+    Statement,
+)
+
+
+def _format_param(value: float) -> str:
+    text = repr(float(value))
+    return text
+
+
+def _format_operand(operand: tuple[str, int | None]) -> str:
+    name, index = operand
+    return name if index is None else f"{name}[{index}]"
+
+
+def _statement_to_qasm(statement: Statement) -> str:
+    if isinstance(statement, IncludeStmt):
+        body = f'include "{statement.path}";'
+    elif isinstance(statement, QubitDecl):
+        body = f"qubit[{statement.size}] {statement.name};"
+    elif isinstance(statement, ClbitDecl):
+        body = f"bit[{statement.size}] {statement.name};"
+    elif isinstance(statement, GateCall):
+        params = ""
+        if statement.params:
+            params = "(" + ", ".join(_format_param(p) for p in statement.params) + ")"
+        operands = ", ".join(_format_operand(op) for op in statement.operands)
+        body = f"{statement.name}{params} {operands};"
+    elif isinstance(statement, MeasureStmt):
+        body = (
+            f"{_format_operand(statement.clbit)} = "
+            f"measure {_format_operand(statement.qubit)};"
+        )
+    elif isinstance(statement, BarrierStmt):
+        operands = ", ".join(_format_operand(op) for op in statement.operands)
+        body = f"barrier {operands};" if operands else "barrier;"
+    else:
+        raise QasmSemanticError(f"cannot print statement {statement!r}")
+    lines = [f"@{a.keyword} {a.content}".rstrip() for a in statement.annotations]
+    lines.append(body)
+    return "\n".join(lines)
+
+
+def program_to_qasm(program: Program) -> str:
+    """Print a parsed/constructed AST as OpenQASM text (round-trippable)."""
+    lines = [f"OPENQASM {program.version};"]
+    for statement in program.statements:
+        lines.append(_statement_to_qasm(statement))
+    return "\n".join(lines) + "\n"
+
+
+def circuit_to_qasm(
+    circuit: QuantumCircuit, qubit_register: str = "q", clbit_register: str = "c"
+) -> str:
+    """Print a circuit as OpenQASM 3 with a single qubit/bit register."""
+    lines = ["OPENQASM 3.0;"]
+    lines.append(f"qubit[{circuit.num_qubits}] {qubit_register};")
+    if circuit.num_clbits:
+        lines.append(f"bit[{circuit.num_clbits}] {clbit_register};")
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            operands = ", ".join(f"{qubit_register}[{q}]" for q in inst.qubits)
+            lines.append(f"barrier {operands};")
+            continue
+        if inst.name == "measure":
+            lines.append(
+                f"{clbit_register}[{inst.clbits[0]}] = "
+                f"measure {qubit_register}[{inst.qubits[0]}];"
+            )
+            continue
+        params = ""
+        if inst.params:
+            params = "(" + ", ".join(_format_param(p) for p in inst.params) + ")"
+        operands = ", ".join(f"{qubit_register}[{q}]" for q in inst.qubits)
+        lines.append(f"{inst.name}{params} {operands};")
+    return "\n".join(lines) + "\n"

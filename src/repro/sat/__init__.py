@@ -1,0 +1,36 @@
+"""MAX-3SAT substrate: CNF formulas, DIMACS I/O, SATLIB-style workloads.
+
+Replaces the PySAT dependency of the original artifact (§7) and the SATLIB
+benchmark download (§8.1): formulas are represented natively and benchmark
+instances are generated as seeded uniform random 3-SAT with the exact
+variable/clause shapes of the SATLIB ``uf*`` suites.
+"""
+
+from .cnf import Clause, CnfFormula, clause_shares_variable
+from .dimacs import parse_dimacs, to_dimacs
+from .generator import SATLIB_SHAPES, random_ksat, satlib_instance
+from .polynomial import IsingPolynomial, clause_polynomial, formula_polynomial
+from .solver import (
+    brute_force_max_sat,
+    count_satisfied,
+    dpll_satisfiable,
+    walksat,
+)
+
+__all__ = [
+    "Clause",
+    "CnfFormula",
+    "IsingPolynomial",
+    "SATLIB_SHAPES",
+    "brute_force_max_sat",
+    "clause_polynomial",
+    "clause_shares_variable",
+    "count_satisfied",
+    "dpll_satisfiable",
+    "formula_polynomial",
+    "parse_dimacs",
+    "random_ksat",
+    "satlib_instance",
+    "to_dimacs",
+    "walksat",
+]

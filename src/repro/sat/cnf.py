@@ -1,0 +1,148 @@
+"""CNF formula representation in DIMACS literal convention.
+
+A literal is a nonzero integer: ``+v`` is variable ``v`` (1-based), ``-v``
+its negation.  This matches both DIMACS files and the paper's clause lists,
+e.g. ``[[-1, -2, -3], [4, -5, 6], [3, 5, -6]]`` in Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..exceptions import SatError
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals, e.g. ``(¬x0 ∨ ¬x1 ∨ ¬x2)``.
+
+    ``weight`` supports *weighted* MAX-SAT (the "general QAOA circuits"
+    extension of §5): the clause's cost-Hamiltonian contribution scales by
+    it.  Plain MAX-3SAT uses the default weight 1.
+    """
+
+    literals: tuple[int, ...]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.literals:
+            raise SatError("empty clause")
+        if any(lit == 0 for lit in self.literals):
+            raise SatError("literal 0 is reserved as the DIMACS terminator")
+        if len({abs(lit) for lit in self.literals}) != len(self.literals):
+            raise SatError(f"clause {self.literals} repeats a variable")
+        if self.weight <= 0:
+            raise SatError(f"clause weight must be positive, got {self.weight}")
+
+    @property
+    def variables(self) -> frozenset[int]:
+        """The (1-based) variables this clause mentions."""
+        return frozenset(abs(lit) for lit in self.literals)
+
+    def is_satisfied(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate under ``assignment`` (``assignment[v-1]`` is var ``v``)."""
+        for lit in self.literals:
+            value = assignment[abs(lit) - 1]
+            if (lit > 0) == value:
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self):
+        return iter(self.literals)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        parts = [f"¬x{abs(l) - 1}" if l < 0 else f"x{l - 1}" for l in self.literals]
+        return "(" + " ∨ ".join(parts) + ")"
+
+
+def clause_shares_variable(a: Clause, b: Clause) -> bool:
+    """Whether two clauses mention a common variable (Algorithm 1 edge)."""
+    return bool(a.variables & b.variables)
+
+
+@dataclass
+class CnfFormula:
+    """A CNF formula: ``num_vars`` variables and a clause list.
+
+    Instances are the input format of the wOptimizer (§5): Weaver compiles
+    the QAOA cost Hamiltonian of the MAX-3SAT problem this formula encodes.
+    """
+
+    num_vars: int
+    clauses: list[Clause] = field(default_factory=list)
+    name: str = "formula"
+
+    def __post_init__(self) -> None:
+        if self.num_vars < 1:
+            raise SatError("formula needs at least one variable")
+        normalized = []
+        for clause in self.clauses:
+            if not isinstance(clause, Clause):
+                clause = Clause(tuple(clause))
+            if max(clause.variables) > self.num_vars:
+                raise SatError(
+                    f"clause {clause.literals} references variable beyond "
+                    f"num_vars={self.num_vars}"
+                )
+            normalized.append(clause)
+        self.clauses = normalized
+
+    @classmethod
+    def from_lists(
+        cls, clause_lists: Iterable[Sequence[int]], num_vars: int | None = None,
+        name: str = "formula",
+    ) -> "CnfFormula":
+        """Build from raw literal lists, inferring ``num_vars`` if omitted."""
+        clauses = [Clause(tuple(lits)) for lits in clause_lists]
+        if not clauses and num_vars is None:
+            raise SatError("cannot infer num_vars from an empty clause list")
+        if num_vars is None:
+            num_vars = max(max(c.variables) for c in clauses)
+        return cls(num_vars=num_vars, clauses=clauses, name=name)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    @property
+    def max_clause_size(self) -> int:
+        return max((len(c) for c in self.clauses), default=0)
+
+    def is_3sat(self) -> bool:
+        """Whether every clause has at most three literals."""
+        return self.max_clause_size <= 3
+
+    def num_satisfied(self, assignment: Sequence[bool]) -> int:
+        """How many clauses ``assignment`` satisfies (the MAX-SAT objective)."""
+        if len(assignment) != self.num_vars:
+            raise SatError(
+                f"assignment length {len(assignment)} != num_vars {self.num_vars}"
+            )
+        return sum(1 for c in self.clauses if c.is_satisfied(assignment))
+
+    def weighted_satisfied(self, assignment: Sequence[bool]) -> float:
+        """Total weight of satisfied clauses (weighted MAX-SAT objective)."""
+        if len(assignment) != self.num_vars:
+            raise SatError(
+                f"assignment length {len(assignment)} != num_vars {self.num_vars}"
+            )
+        return sum(c.weight for c in self.clauses if c.is_satisfied(assignment))
+
+    def variables_used(self) -> frozenset[int]:
+        used: set[int] = set()
+        for clause in self.clauses:
+            used |= clause.variables
+        return frozenset(used)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self):
+        return iter(self.clauses)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging nicety
+        return " ∧ ".join(str(c) for c in self.clauses)

@@ -1,0 +1,73 @@
+"""DIMACS CNF reader/writer (the SATLIB interchange format)."""
+
+from __future__ import annotations
+
+from ..exceptions import SatError
+from .cnf import Clause, CnfFormula
+
+
+def parse_dimacs(text: str, name: str = "dimacs") -> CnfFormula:
+    """Parse DIMACS CNF text into a :class:`CnfFormula`.
+
+    Accepts the SATLIB dialect: ``c`` comment lines, a single
+    ``p cnf <vars> <clauses>`` header, clauses as 0-terminated integer
+    sequences possibly spanning several lines, and an optional trailing
+    ``%`` / ``0`` block (present in the SATLIB ``uf*`` files).
+    """
+    num_vars: int | None = None
+    declared_clauses: int | None = None
+    literals: list[int] = []
+    clauses: list[Clause] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("%"):
+            break
+        if line.startswith("p"):
+            if num_vars is not None:
+                raise SatError("duplicate DIMACS problem line")
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SatError(f"malformed problem line: {line!r}")
+            try:
+                num_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError as exc:
+                raise SatError(f"malformed problem line: {line!r}") from exc
+            continue
+        if num_vars is None:
+            raise SatError("clause data before the DIMACS problem line")
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise SatError(f"invalid literal token {token!r}") from exc
+            if lit == 0:
+                if literals:
+                    clauses.append(Clause(tuple(literals)))
+                    literals = []
+            else:
+                literals.append(lit)
+    if literals:
+        # SATLIB files sometimes omit the final terminator.
+        clauses.append(Clause(tuple(literals)))
+    if num_vars is None:
+        raise SatError("missing DIMACS problem line")
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        raise SatError(
+            f"problem line declares {declared_clauses} clauses, found {len(clauses)}"
+        )
+    return CnfFormula(num_vars=num_vars, clauses=clauses, name=name)
+
+
+def to_dimacs(formula: CnfFormula, comment: str | None = None) -> str:
+    """Serialize a formula to DIMACS CNF text."""
+    lines = []
+    if comment:
+        for chunk in comment.splitlines():
+            lines.append(f"c {chunk}")
+    lines.append(f"p cnf {formula.num_vars} {formula.num_clauses}")
+    for clause in formula.clauses:
+        lines.append(" ".join(str(lit) for lit in clause.literals) + " 0")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,107 @@
+"""Seeded uniform random 3-SAT generator with SATLIB ``uf*`` shapes.
+
+The paper benchmarks on the SATLIB suites ``uf20`` … ``uf250`` (§8.1, §A.3.2),
+which are uniform random 3-SAT at the satisfiability phase transition.  The
+suites fix the clause count per variable count; we reproduce those shapes
+exactly and derive a deterministic seed from the instance name, so
+``satlib_instance("uf20-01")`` is reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..exceptions import SatError
+from .cnf import Clause, CnfFormula
+
+#: (num_vars -> num_clauses) for the SATLIB uniform-random-3-SAT suites the
+#: paper evaluates: uf20-91, uf50-218, uf75-325, uf100-430, uf150-645,
+#: uf250-1065.
+SATLIB_SHAPES: dict[int, int] = {
+    20: 91,
+    50: 218,
+    75: 325,
+    100: 430,
+    150: 645,
+    250: 1065,
+}
+
+
+def _seed_from_name(name: str) -> int:
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int = 3,
+    seed: int | np.random.Generator = 0,
+    name: str | None = None,
+) -> CnfFormula:
+    """Uniform random k-SAT: distinct variables per clause, random signs.
+
+    Exact duplicate clauses are rejected and resampled, matching the
+    standard SATLIB generation procedure.
+    """
+    if k > num_vars:
+        raise SatError(f"cannot draw {k} distinct variables out of {num_vars}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    seen: set[tuple[int, ...]] = set()
+    clauses: list[Clause] = []
+    max_attempts = 1000 * num_clauses + 1000
+    attempts = 0
+    while len(clauses) < num_clauses:
+        attempts += 1
+        if attempts > max_attempts:
+            raise SatError(
+                f"could not generate {num_clauses} distinct clauses over "
+                f"{num_vars} variables"
+            )
+        variables = rng.choice(num_vars, size=k, replace=False) + 1
+        signs = rng.integers(0, 2, size=k) * 2 - 1
+        literals = tuple(sorted(int(v * s) for v, s in zip(variables, signs)))
+        if literals in seen:
+            continue
+        seen.add(literals)
+        clauses.append(Clause(literals))
+    label = name or f"random-{k}sat-{num_vars}-{num_clauses}"
+    return CnfFormula(num_vars=num_vars, clauses=clauses, name=label)
+
+
+def satlib_instance(name: str) -> CnfFormula:
+    """A SATLIB-shaped instance by canonical name, e.g. ``"uf20-01"``.
+
+    The shape (variables, clauses) follows :data:`SATLIB_SHAPES`; the clause
+    content is seeded uniform random 3-SAT derived deterministically from
+    ``name``.  This substitutes for downloading the SATLIB archive (see
+    DESIGN.md §3).
+    """
+    if not name.startswith("uf"):
+        raise SatError(f"unknown SATLIB family in {name!r} (expected 'uf...')")
+    body = name[2:]
+    parts = body.split("-")
+    try:
+        num_vars = int(parts[0])
+    except (ValueError, IndexError) as exc:
+        raise SatError(f"malformed SATLIB instance name {name!r}") from exc
+    if num_vars not in SATLIB_SHAPES:
+        raise SatError(
+            f"no SATLIB shape for {num_vars} variables "
+            f"(known: {sorted(SATLIB_SHAPES)})"
+        )
+    num_clauses = SATLIB_SHAPES[num_vars]
+    return random_ksat(
+        num_vars,
+        num_clauses,
+        k=3,
+        seed=_seed_from_name(name),
+        name=name,
+    )
+
+
+def satlib_suite(num_vars: int, count: int = 10) -> list[CnfFormula]:
+    """The ``count`` instances ``uf<N>-01`` … ``uf<N>-<count>`` (§8.1)."""
+    return [satlib_instance(f"uf{num_vars}-{i:02d}") for i in range(1, count + 1)]

@@ -1,0 +1,137 @@
+"""Classical SAT/MAX-SAT solvers used by examples and tests.
+
+These replace the PySAT oracle of the original artifact: a small DPLL
+decision procedure, a WalkSAT local-search MAX-SAT heuristic, and an
+exhaustive MAX-SAT solver for validating QAOA output on small instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SatError
+from .cnf import CnfFormula
+
+
+def count_satisfied(formula: CnfFormula, assignment: list[bool]) -> int:
+    """Number of satisfied clauses (alias of the formula method)."""
+    return formula.num_satisfied(assignment)
+
+
+def dpll_satisfiable(formula: CnfFormula) -> list[bool] | None:
+    """DPLL with unit propagation; returns a model or ``None`` (UNSAT)."""
+    clauses = [list(c.literals) for c in formula.clauses]
+    assignment: dict[int, bool] = {}
+
+    def propagate(clauses: list[list[int]], assignment: dict[int, bool]):
+        changed = True
+        while changed:
+            changed = False
+            next_clauses = []
+            for clause in clauses:
+                unassigned = []
+                satisfied = False
+                for lit in clause:
+                    var = abs(lit)
+                    if var in assignment:
+                        if (lit > 0) == assignment[var]:
+                            satisfied = True
+                            break
+                    else:
+                        unassigned.append(lit)
+                if satisfied:
+                    continue
+                if not unassigned:
+                    return None  # conflict
+                if len(unassigned) == 1:
+                    lit = unassigned[0]
+                    assignment[abs(lit)] = lit > 0
+                    changed = True
+                else:
+                    next_clauses.append(unassigned)
+            clauses = next_clauses
+        return clauses
+
+    def search(clauses: list[list[int]], assignment: dict[int, bool]) -> bool:
+        reduced = propagate(clauses, assignment)
+        if reduced is None:
+            return False
+        if not reduced:
+            return True
+        # Branch on the most frequent variable in the remaining clauses.
+        counts: dict[int, int] = {}
+        for clause in reduced:
+            for lit in clause:
+                counts[abs(lit)] = counts.get(abs(lit), 0) + 1
+        var = max(counts, key=counts.get)
+        for value in (True, False):
+            trail = dict(assignment)
+            trail[var] = value
+            if search(reduced, trail):
+                assignment.clear()
+                assignment.update(trail)
+                return True
+        return False
+
+    if not search(clauses, assignment):
+        return None
+    return [assignment.get(v, False) for v in range(1, formula.num_vars + 1)]
+
+
+def walksat(
+    formula: CnfFormula,
+    max_flips: int = 10_000,
+    noise: float = 0.5,
+    seed: int = 0,
+) -> tuple[list[bool], int]:
+    """WalkSAT local search; returns (best assignment, clauses satisfied).
+
+    Used by examples to cross-check the quality of QAOA samples against a
+    strong classical heuristic.
+    """
+    if not 0.0 <= noise <= 1.0:
+        raise SatError("noise must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    assignment = list(rng.integers(0, 2, size=formula.num_vars) == 1)
+    best = list(assignment)
+    best_score = formula.num_satisfied(assignment)
+    for _ in range(max_flips):
+        unsatisfied = [c for c in formula.clauses if not c.is_satisfied(assignment)]
+        if not unsatisfied:
+            return assignment, formula.num_clauses
+        clause = unsatisfied[rng.integers(0, len(unsatisfied))]
+        if rng.random() < noise:
+            var = abs(clause.literals[rng.integers(0, len(clause.literals))])
+        else:
+            # Greedy: flip the variable that satisfies the most clauses.
+            var, var_score = 0, -1
+            for lit in clause.literals:
+                candidate = abs(lit)
+                assignment[candidate - 1] = not assignment[candidate - 1]
+                score = formula.num_satisfied(assignment)
+                assignment[candidate - 1] = not assignment[candidate - 1]
+                if score > var_score:
+                    var, var_score = candidate, score
+        assignment[var - 1] = not assignment[var - 1]
+        score = formula.num_satisfied(assignment)
+        if score > best_score:
+            best, best_score = list(assignment), score
+    return best, best_score
+
+
+def brute_force_max_sat(formula: CnfFormula) -> tuple[list[bool], int]:
+    """Exhaustive MAX-SAT over all assignments (small ``num_vars`` only)."""
+    if formula.num_vars > 22:
+        raise SatError(
+            f"brute force over {formula.num_vars} variables is intractable"
+        )
+    best_assignment: list[bool] = [False] * formula.num_vars
+    best_score = -1
+    for mask in range(2**formula.num_vars):
+        assignment = [(mask >> i) & 1 == 1 for i in range(formula.num_vars)]
+        score = formula.num_satisfied(assignment)
+        if score > best_score:
+            best_assignment, best_score = assignment, score
+            if best_score == formula.num_clauses:
+                break
+    return best_assignment, best_score

@@ -1,0 +1,30 @@
+"""Superconducting compilation path (paper Figure 3, top arrow).
+
+Weaver retargets wQasm programs to superconducting devices through a
+Qiskit-style transpiler.  This package re-implements that substrate from
+scratch: a Washington-like 127-qubit heavy-hex coupling map, SABRE swap
+routing (Li et al., ASPLOS'19 — the O(N^3) stage in Table 2), translation
+to the IBM native basis, and a calibration-style backend model used for
+execution-time and fidelity estimates.
+"""
+
+from .coupling import CouplingMap, heavy_hex_coupling, line_coupling, grid_coupling
+from .backend import SuperconductingBackend, washington_backend
+from .sabre import SabreRouter, RoutingResult
+from .basis import to_ibm_basis, to_u3_cz_basis
+from .transpiler import SuperconductingTranspiler, TranspileResult
+
+__all__ = [
+    "CouplingMap",
+    "RoutingResult",
+    "SabreRouter",
+    "SuperconductingBackend",
+    "SuperconductingTranspiler",
+    "TranspileResult",
+    "grid_coupling",
+    "heavy_hex_coupling",
+    "line_coupling",
+    "to_ibm_basis",
+    "to_u3_cz_basis",
+    "washington_backend",
+]

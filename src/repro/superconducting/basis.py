@@ -1,0 +1,103 @@
+"""Basis translation for superconducting targets.
+
+Two native sets: the shared hardware-agnostic ``{U3, CZ}`` basis of §7 and
+the IBM transmon basis ``{RZ, SX, X, CX}`` used for duration and fidelity
+accounting on the Washington model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuits import QuantumCircuit
+from ..circuits.gates import u3_from_matrix
+from ..exceptions import CompilationError
+from ..passes.native_synthesis import fuse_single_qubit_runs, nativize_circuit
+
+_ATOL = 1e-11
+
+
+def to_u3_cz_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite into ``{U3, CZ}`` (alias of the shared nativizer)."""
+    return nativize_circuit(circuit)
+
+
+def _emit_zxzxz(out: QuantumCircuit, qubit: int, theta: float, phi: float, lam: float) -> None:
+    """``U3(theta, phi, lam) = RZ(phi+pi) SX RZ(theta+pi) SX RZ(lam)``.
+
+    The standard Qiskit ZXZXZ identity (up to global phase); zero-angle RZ
+    gates are dropped.
+    """
+
+    def rz(angle: float) -> None:
+        angle = math.remainder(angle, 2.0 * math.pi)
+        if abs(angle) > _ATOL:
+            out.rz(angle, qubit)
+
+    rz(lam)
+    out.sx(qubit)
+    rz(theta + math.pi)
+    out.sx(qubit)
+    rz(phi + math.pi)
+
+
+def to_ibm_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite into ``{RZ, SX, X, CX}`` with single-qubit runs fused first."""
+    prepared = fuse_single_qubit_runs(circuit)
+    out = QuantumCircuit(prepared.num_qubits, prepared.num_clbits, name=f"{circuit.name}-ibm")
+    for inst in prepared.instructions:
+        name = inst.name
+        if name in ("barrier", "measure", "reset"):
+            out.instructions.append(inst)
+            continue
+        qubits = inst.qubits
+        if len(qubits) == 1:
+            matrix = inst.gate.matrix()
+            if np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-9) and np.allclose(
+                np.abs(matrix), np.abs(np.eye(2)), atol=_ATOL
+            ):
+                # Diagonal single-qubit gate: a virtual RZ.
+                angle = float(np.angle(matrix[1, 1] / matrix[0, 0]))
+                if abs(angle) > _ATOL:
+                    out.rz(angle, qubits[0])
+                continue
+            gate = u3_from_matrix(matrix)
+            theta, phi, lam = gate.params
+            _emit_zxzxz(out, qubits[0], theta, phi, lam)
+            continue
+        if name == "cx":
+            out.cx(*qubits)
+            continue
+        if name == "cz":
+            control, target = qubits
+            _emit_zxzxz(out, target, math.pi / 2.0, 0.0, math.pi)
+            out.cx(control, target)
+            _emit_zxzxz(out, target, math.pi / 2.0, 0.0, math.pi)
+            continue
+        if name == "swap":
+            a, b = qubits
+            out.cx(a, b)
+            out.cx(b, a)
+            out.cx(a, b)
+            continue
+        raise CompilationError(
+            f"gate {name!r} must be decomposed before IBM basis translation"
+        )
+    return out
+
+
+def count_ibm_ops(circuit: QuantumCircuit) -> dict[str, int]:
+    """Gate counts in the categories the backend model prices."""
+    counts = {"1q": 0, "2q": 0, "measure": 0}
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        if inst.name == "measure":
+            counts["measure"] += 1
+        elif len(inst.qubits) == 1:
+            counts["1q"] += 1
+        else:
+            counts["2q"] += 1
+    return counts

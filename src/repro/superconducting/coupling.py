@@ -1,0 +1,138 @@
+"""Coupling maps for fixed-connectivity superconducting devices.
+
+Superconducting QPUs have static qubit connectivity (paper §2.2/§2.3,
+Figure 2 top); two-qubit gates are only possible between physically linked
+qubits, which is what forces SWAP insertion during routing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import RoutingError
+
+
+class CouplingMap:
+    """Undirected connectivity graph over physical qubits."""
+
+    def __init__(self, num_qubits: int, edges: list[tuple[int, int]]):
+        if num_qubits < 1:
+            raise RoutingError("coupling map needs at least one qubit")
+        self.num_qubits = num_qubits
+        self.adjacency: list[set[int]] = [set() for _ in range(num_qubits)]
+        for a, b in edges:
+            if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise RoutingError(f"invalid edge ({a}, {b})")
+            self.adjacency[a].add(b)
+            self.adjacency[b].add(a)
+        self._distance: np.ndarray | None = None
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        out = []
+        for a in range(self.num_qubits):
+            for b in self.adjacency[a]:
+                if a < b:
+                    out.append((a, b))
+        return out
+
+    def are_connected(self, a: int, b: int) -> bool:
+        return b in self.adjacency[a]
+
+    def neighbors(self, qubit: int) -> set[int]:
+        return self.adjacency[qubit]
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest-path distances (BFS per qubit, cached)."""
+        if self._distance is not None:
+            return self._distance
+        n = self.num_qubits
+        dist = np.full((n, n), np.inf)
+        for source in range(n):
+            dist[source, source] = 0
+            queue = deque([source])
+            while queue:
+                node = queue.popleft()
+                for neigh in self.adjacency[node]:
+                    if np.isinf(dist[source, neigh]):
+                        dist[source, neigh] = dist[source, node] + 1
+                        queue.append(neigh)
+        if np.isinf(dist).any():
+            raise RoutingError("coupling map is disconnected")
+        self._distance = dist
+        return dist
+
+    def is_connected(self) -> bool:
+        try:
+            self.distance_matrix()
+        except RoutingError:
+            return False
+        return True
+
+
+def line_coupling(num_qubits: int) -> CouplingMap:
+    """A 1D chain — the simplest routing stress test."""
+    return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def grid_coupling(rows: int, cols: int) -> CouplingMap:
+    """A rows x cols square lattice."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            idx = r * cols + c
+            if c + 1 < cols:
+                edges.append((idx, idx + 1))
+            if r + 1 < rows:
+                edges.append((idx, idx + cols))
+    return CouplingMap(rows * cols, edges)
+
+
+def heavy_hex_coupling(
+    long_rows: int = 7, row_length: int = 15
+) -> CouplingMap:
+    """A heavy-hex lattice shaped like IBM's 127-qubit Eagle (Washington).
+
+    The lattice alternates long horizontal rows of qubits with sparse
+    connector qubits bridging adjacent rows; connector columns shift by two
+    sites between row gaps, producing the brick-like heavy-hexagon cells.
+    With the defaults (7 rows of 15, first and last rows trimmed by one,
+    connectors every 4 columns) the map has exactly 127 qubits and maximum
+    degree 3, matching ibm_washington's published characteristics.
+    """
+    index: dict[tuple[str, int, int], int] = {}
+    counter = 0
+
+    def row_sites(row: int) -> list[int]:
+        # The last row is one qubit short, which lands the default
+        # configuration on exactly 127 qubits like the Eagle chip.
+        if row == long_rows - 1:
+            return list(range(row_length - 1))
+        return list(range(row_length))
+
+    for row in range(long_rows):
+        for col in row_sites(row):
+            index[("r", row, col)] = counter
+            counter += 1
+    for gap in range(long_rows - 1):
+        offset = 0 if gap % 2 == 0 else 2
+        for col in range(offset, row_length, 4):
+            if col in row_sites(gap) and col in row_sites(gap + 1):
+                index[("c", gap, col)] = counter
+                counter += 1
+
+    edges: list[tuple[int, int]] = []
+    for row in range(long_rows):
+        sites = row_sites(row)
+        for col_a, col_b in zip(sites, sites[1:]):
+            edges.append((index[("r", row, col_a)], index[("r", row, col_b)]))
+    for gap in range(long_rows - 1):
+        offset = 0 if gap % 2 == 0 else 2
+        for col in range(offset, row_length, 4):
+            key = ("c", gap, col)
+            if key in index:
+                edges.append((index[("r", gap, col)], index[key]))
+                edges.append((index[key], index[("r", gap + 1, col)]))
+    return CouplingMap(counter, edges)

@@ -1,0 +1,96 @@
+"""Noise-adaptive initial layout (Murali et al., ASPLOS'19 [61]).
+
+When the backend carries per-coupler calibration, this layout places the
+busiest logical qubits on the lowest-error connected region of the chip:
+
+1. score every physical qubit by the mean error of its couplers;
+2. grow a connected region from the best-scored qubit, greedily absorbing
+   the neighbor whose couplers into the region are cheapest;
+3. BFS-order the region and assign busiest logical qubits first.
+
+**Measured caveat** (see ``tests/test_noise_layout.py``): on a heavy-hex
+topology at QAOA scale, the *shape* of the selected region dominates the
+per-coupler gains — low-noise regions tend to be stringy (heavy-hex corner
+degree is 1-2), which costs more SWAPs than the better couplers save.
+This reproduces why the paper treats noise-aware mapping as an orthogonal
+superconducting concern (§9) rather than a free win: it trades routing
+freedom for calibration quality, and on rigid sparse topologies routing
+usually wins.
+"""
+
+from __future__ import annotations
+
+from ..circuits import QuantumCircuit
+from ..exceptions import RoutingError
+from .backend import SuperconductingBackend
+
+
+def _site_score(backend: SuperconductingBackend, qubit: int) -> float:
+    neighbors = backend.coupling.neighbors(qubit)
+    if not neighbors:
+        return float("inf")
+    return sum(backend.edge_error(qubit, n) for n in neighbors) / len(neighbors)
+
+
+def noise_aware_layout(
+    circuit: QuantumCircuit, backend: SuperconductingBackend
+) -> list[int]:
+    """``layout[logical] = physical`` minimizing expected coupler error."""
+    n_logical = circuit.num_qubits
+    coupling = backend.coupling
+    if n_logical > coupling.num_qubits:
+        raise RoutingError(
+            f"{n_logical} logical qubits exceed the {coupling.num_qubits}-qubit device"
+        )
+    # Grow the least-noisy connected region of the right size.
+    seed = min(range(coupling.num_qubits), key=lambda q: _site_score(backend, q))
+    region = [seed]
+    region_set = {seed}
+    while len(region) < n_logical:
+        frontier: dict[int, float] = {}
+        for site in region:
+            for neighbor in coupling.neighbors(site):
+                if neighbor in region_set:
+                    continue
+                cost = min(
+                    backend.edge_error(neighbor, member)
+                    for member in region
+                    if coupling.are_connected(neighbor, member)
+                )
+                frontier[neighbor] = min(frontier.get(neighbor, float("inf")), cost)
+        if not frontier:
+            raise RoutingError("device region exhausted while growing the layout")
+        best = min(frontier, key=lambda q: (frontier[q], _site_score(backend, q)))
+        region.append(best)
+        region_set.add(best)
+
+    # Within the low-noise region, place qubits with the same
+    # interaction-aware BFS strategy as the default layout: busiest logical
+    # qubits land earliest on a breadth-first ordering of the region, which
+    # keeps heavy interaction partners adjacent and the SWAP count low —
+    # the calibration gain must not be paid back in routing overhead.
+    interaction: dict[int, int] = {q: 0 for q in range(n_logical)}
+    for a, b in circuit.two_qubit_pairs():
+        interaction[a] += 1
+        interaction[b] += 1
+    logical_order = sorted(interaction, key=interaction.get, reverse=True)
+    start = min(region, key=lambda q: _site_score(backend, q))
+    bfs = [start]
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in sorted(
+                coupling.neighbors(node),
+                key=lambda q: backend.edge_error(node, q),
+            ):
+                if neighbor in region_set and neighbor not in seen:
+                    seen.add(neighbor)
+                    bfs.append(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    layout = [0] * n_logical
+    for rank, logical in enumerate(logical_order):
+        layout[logical] = bfs[rank]
+    return layout

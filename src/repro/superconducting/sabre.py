@@ -1,0 +1,234 @@
+"""SABRE swap routing (Li, Ding, Xie — ASPLOS'19).
+
+The paper attributes Qiskit's and Atomique's O(N^3) compile complexity to
+SABRE (Table 2), so this is the routing algorithm our superconducting path
+and Atomique baseline must actually run.  The implementation follows the
+published heuristic: a front layer of unresolved 2-qubit gates, candidate
+SWAPs drawn from edges touching front-layer qubits, scored by the summed
+coupling-graph distance of front-layer gates plus a decayed lookahead term
+over an extended set, with a decay factor discouraging ping-ponging the
+same qubit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits import CircuitDag, Instruction, QuantumCircuit
+from ..circuits.gates import Gate
+from ..exceptions import RoutingError
+from .coupling import CouplingMap
+
+_SWAP_GATE = Gate("swap", 2)
+
+_EXTENDED_SET_SIZE = 20
+_EXTENDED_SET_WEIGHT = 0.5
+_DECAY_INCREMENT = 0.001
+_DECAY_RESET_INTERVAL = 5
+
+
+@dataclass
+class RoutingResult:
+    """Routed circuit plus the mapping bookkeeping."""
+
+    circuit: QuantumCircuit
+    initial_layout: list[int]
+    final_layout: list[int]
+    num_swaps: int = 0
+    #: logical -> physical at circuit end (follows from final_layout).
+    stats: dict = field(default_factory=dict)
+
+
+class SabreRouter:
+    """Routes a circuit onto a coupling map with SABRE-style SWAPs."""
+
+    def __init__(self, coupling: CouplingMap, seed: int = 0, lookahead: bool = True):
+        self.coupling = coupling
+        self.seed = seed
+        self.lookahead = lookahead
+
+    # ------------------------------------------------------------------
+    def route(
+        self, circuit: QuantumCircuit, initial_layout: list[int] | None = None
+    ) -> RoutingResult:
+        """Insert SWAPs so every 2-qubit gate acts on coupled qubits.
+
+        ``initial_layout[logical] = physical``.  Gates with three or more
+        qubits must be decomposed before routing (as in Qiskit).
+        """
+        n_logical = circuit.num_qubits
+        n_physical = self.coupling.num_qubits
+        if n_logical > n_physical:
+            raise RoutingError(
+                f"circuit needs {n_logical} qubits but the device has {n_physical}"
+            )
+        for inst in circuit.instructions:
+            if inst.gate.is_unitary and len(inst.qubits) > 2:
+                raise RoutingError(
+                    f"gate {inst.name!r} on {len(inst.qubits)} qubits must be "
+                    "decomposed before routing"
+                )
+        layout = list(initial_layout) if initial_layout else list(range(n_logical))
+        if len(set(layout)) != len(layout):
+            raise RoutingError("initial layout assigns two qubits to one site")
+        phys_of = dict(enumerate(layout))  # logical -> physical
+        distance = self.coupling.distance_matrix()
+
+        dag = CircuitDag(circuit)
+        remaining_preds = [len(p) for p in dag.predecessors]
+        front = [i for i, count in enumerate(remaining_preds) if count == 0]
+        routed = QuantumCircuit(
+            n_physical, circuit.num_clbits, name=f"{circuit.name}-routed"
+        )
+        decay = np.ones(n_physical)
+        num_swaps = 0
+        executed = 0
+        steps_since_progress = 0
+
+        def is_executable(index: int) -> bool:
+            inst = circuit.instructions[index]
+            if not inst.gate.is_unitary or len(inst.qubits) < 2:
+                return True
+            a, b = inst.qubits
+            return self.coupling.are_connected(phys_of[a], phys_of[b])
+
+        def execute(index: int) -> None:
+            nonlocal executed
+            inst = circuit.instructions[index]
+            routed.instructions.append(
+                Instruction(
+                    inst.gate,
+                    tuple(phys_of[q] for q in inst.qubits),
+                    inst.clbits,
+                )
+            )
+            executed += 1
+            for succ in dag.successors[index]:
+                remaining_preds[succ] -= 1
+                if remaining_preds[succ] == 0:
+                    front.append(succ)
+
+        while front:
+            progressed = True
+            while progressed:
+                progressed = False
+                for index in list(front):
+                    if is_executable(index):
+                        front.remove(index)
+                        execute(index)
+                        progressed = True
+            if not front:
+                break
+            steps_since_progress += 1
+            if steps_since_progress > 10 * n_physical:
+                raise RoutingError("SABRE failed to make progress; check coupling map")
+            # Candidate swaps: edges touching a front-layer logical qubit.
+            front_gates = [
+                circuit.instructions[i]
+                for i in front
+                if circuit.instructions[i].gate.is_unitary
+                and len(circuit.instructions[i].qubits) == 2
+            ]
+            active_phys = {phys_of[q] for g in front_gates for q in g.qubits}
+            candidates: set[tuple[int, int]] = set()
+            for phys in active_phys:
+                for neigh in self.coupling.neighbors(phys):
+                    candidates.add((min(phys, neigh), max(phys, neigh)))
+            extended = self._extended_set(circuit, dag, front, remaining_preds)
+            best_swap = None
+            best_score = float("inf")
+            logical_of = {p: l for l, p in phys_of.items()}
+            for a, b in sorted(candidates):
+                trial = dict(phys_of)
+                la, lb = logical_of.get(a), logical_of.get(b)
+                if la is not None:
+                    trial[la] = b
+                if lb is not None:
+                    trial[lb] = a
+                score = self._score(
+                    front_gates, extended, trial, distance
+                ) * max(decay[a], decay[b])
+                if score < best_score - 1e-12:
+                    best_score = score
+                    best_swap = (a, b)
+            if best_swap is None:
+                raise RoutingError("no candidate swaps; disconnected coupling map?")
+            a, b = best_swap
+            routed.instructions.append(Instruction(_SWAP_GATE, (a, b)))
+            num_swaps += 1
+            la, lb = logical_of.get(a), logical_of.get(b)
+            if la is not None:
+                phys_of[la] = b
+            if lb is not None:
+                phys_of[lb] = a
+            decay[a] += _DECAY_INCREMENT
+            decay[b] += _DECAY_INCREMENT
+            if num_swaps % _DECAY_RESET_INTERVAL == 0:
+                decay[:] = 1.0
+            steps_since_progress = 0 if any(is_executable(i) for i in front) else steps_since_progress
+
+        final_layout = [phys_of[q] for q in range(n_logical)]
+        return RoutingResult(
+            circuit=routed,
+            initial_layout=layout,
+            final_layout=final_layout,
+            num_swaps=num_swaps,
+            stats={"executed": executed, "swaps": num_swaps},
+        )
+
+    # ------------------------------------------------------------------
+    def _extended_set(
+        self,
+        circuit: QuantumCircuit,
+        dag: CircuitDag,
+        front: list[int],
+        remaining_preds: list[int],
+    ) -> list[Instruction]:
+        """Lookahead gates beyond the front layer (SABRE's extended set)."""
+        if not self.lookahead:
+            return []
+        extended: list[Instruction] = []
+        seen: set[int] = set(front)
+        frontier = list(front)
+        while frontier and len(extended) < _EXTENDED_SET_SIZE:
+            next_frontier: list[int] = []
+            for index in frontier:
+                for succ in dag.successors[index]:
+                    if succ in seen:
+                        continue
+                    seen.add(succ)
+                    inst = circuit.instructions[succ]
+                    if inst.gate.is_unitary and len(inst.qubits) == 2:
+                        extended.append(inst)
+                        if len(extended) >= _EXTENDED_SET_SIZE:
+                            break
+                    next_frontier.append(succ)
+                if len(extended) >= _EXTENDED_SET_SIZE:
+                    break
+            frontier = next_frontier
+        return extended
+
+    @staticmethod
+    def _score(
+        front_gates: list[Instruction],
+        extended: list[Instruction],
+        mapping: dict[int, int],
+        distance: np.ndarray,
+    ) -> float:
+        if not front_gates:
+            return 0.0
+        total = sum(
+            distance[mapping[g.qubits[0]], mapping[g.qubits[1]]] for g in front_gates
+        ) / len(front_gates)
+        if extended:
+            total += (
+                _EXTENDED_SET_WEIGHT
+                * sum(
+                    distance[mapping[g.qubits[0]], mapping[g.qubits[1]]]
+                    for g in extended
+                )
+                / len(extended)
+            )
+        return float(total)

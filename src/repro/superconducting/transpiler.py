@@ -1,0 +1,186 @@
+"""The full superconducting transpilation pipeline (the "Qiskit compiler").
+
+Stages, mirroring Qiskit's preset pipeline: nativize to ``{U3, CZ}``,
+expand multi-qubit gates, choose an initial layout, SABRE-route onto the
+coupling map, translate to the transmon basis, then estimate duration and
+EPS from the backend model.  This is the paper's superconducting baseline
+and retargeting path (Figure 3 top; §8 baselines).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..circuits import QuantumCircuit, dependency_layers
+from ..exceptions import RoutingError
+from ..passes.native_synthesis import nativize_circuit
+from .backend import SuperconductingBackend, washington_backend
+from .basis import count_ibm_ops, to_ibm_basis
+from .sabre import SabreRouter
+
+
+@dataclass
+class TranspileResult:
+    """Routed + translated circuit with backend-model estimates."""
+
+    circuit: QuantumCircuit
+    backend: SuperconductingBackend
+    initial_layout: list[int]
+    final_layout: list[int]
+    num_swaps: int
+    compile_seconds: float
+    duration_us: float
+    eps: float
+    counts: dict[str, int] = field(default_factory=dict)
+
+
+def _greedy_layout(circuit: QuantumCircuit, backend: SuperconductingBackend) -> list[int]:
+    """Interaction-aware initial layout.
+
+    Orders logical qubits by 2-qubit interaction degree and places them
+    along a BFS traversal of the coupling map from its highest-degree
+    site, so heavily-interacting qubits start near each other.
+    """
+    interaction: dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    for a, b in circuit.two_qubit_pairs():
+        interaction[a] += 1
+        interaction[b] += 1
+    logical_order = sorted(interaction, key=interaction.get, reverse=True)
+    coupling = backend.coupling
+    start = max(range(coupling.num_qubits), key=lambda q: len(coupling.neighbors(q)))
+    seen = [start]
+    seen_set = {start}
+    frontier = [start]
+    while frontier and len(seen) < coupling.num_qubits:
+        next_frontier = []
+        for node in frontier:
+            for neigh in sorted(coupling.neighbors(node)):
+                if neigh not in seen_set:
+                    seen_set.add(neigh)
+                    seen.append(neigh)
+                    next_frontier.append(neigh)
+        frontier = next_frontier
+    layout = [0] * circuit.num_qubits
+    for rank, logical in enumerate(logical_order):
+        layout[logical] = seen[rank]
+    return layout
+
+
+def estimate_duration_us(
+    circuit: QuantumCircuit, backend: SuperconductingBackend
+) -> float:
+    """Critical-path duration under the backend's gate times.
+
+    Gates in the same dependency layer run in parallel; the duration of a
+    layer is its slowest gate (ASAP scheduling).
+    """
+    total = 0.0
+    for layer in dependency_layers(circuit):
+        slowest = 0.0
+        for inst in layer:
+            if inst.name == "measure":
+                dur = backend.duration_readout_us
+            elif len(inst.qubits) >= 2:
+                dur = backend.duration_2q_us
+            else:
+                dur = backend.duration_1q_us
+            slowest = max(slowest, dur)
+        total += slowest
+    return total
+
+
+def estimate_eps(
+    circuit: QuantumCircuit,
+    backend: SuperconductingBackend,
+    duration_us: float | None = None,
+) -> float:
+    """Estimated probability of success on the backend model (§2.2).
+
+    Multiplies per-gate and readout fidelities and applies a decoherence
+    factor ``exp(-idle/T2)`` per active qubit, where ``idle`` is the time
+    the qubit spends waiting (total duration minus its own gate time).
+    """
+    import math
+
+    log_eps = 0.0
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        if inst.name == "measure":
+            log_eps += math.log(backend.fidelity_readout())
+        elif len(inst.qubits) >= 2:
+            log_eps += math.log(1.0 - backend.edge_error(*inst.qubits[:2]))
+        else:
+            log_eps += math.log(backend.fidelity_1q())
+    if duration_us is None:
+        duration_us = estimate_duration_us(circuit, backend)
+    busy: dict[int, float] = {}
+    for inst in circuit.instructions:
+        if inst.name == "barrier":
+            continue
+        if inst.name == "measure":
+            dur = backend.duration_readout_us
+        elif len(inst.qubits) >= 2:
+            dur = backend.duration_2q_us
+        else:
+            dur = backend.duration_1q_us
+        for qubit in inst.qubits:
+            busy[qubit] = busy.get(qubit, 0.0) + dur
+    for qubit, busy_time in busy.items():
+        idle = max(duration_us - busy_time, 0.0)
+        log_eps += -idle / backend.t2_us
+    return math.exp(log_eps)
+
+
+class SuperconductingTranspiler:
+    """End-to-end superconducting compilation with metrics.
+
+    ``layout_method``: ``"greedy"`` (interaction-aware BFS placement) or
+    ``"noise"`` (noise-adaptive placement over per-coupler calibration,
+    Murali et al. [61]; requires a backend with ``edge_errors``).
+    """
+
+    def __init__(
+        self,
+        backend: SuperconductingBackend | None = None,
+        seed: int = 0,
+        layout_method: str = "greedy",
+    ):
+        if layout_method not in ("greedy", "noise"):
+            raise RoutingError(f"unknown layout method {layout_method!r}")
+        self.backend = backend or washington_backend()
+        self.seed = seed
+        self.layout_method = layout_method
+
+    def transpile(self, circuit: QuantumCircuit) -> TranspileResult:
+        start = time.perf_counter()
+        if circuit.num_qubits > self.backend.num_qubits:
+            raise RoutingError(
+                f"circuit has {circuit.num_qubits} qubits; backend "
+                f"{self.backend.name} offers {self.backend.num_qubits}"
+            )
+        native = nativize_circuit(circuit)
+        if self.layout_method == "noise":
+            from .noise_layout import noise_aware_layout
+
+            layout = noise_aware_layout(native, self.backend)
+        else:
+            layout = _greedy_layout(native, self.backend)
+        router = SabreRouter(self.backend.coupling, seed=self.seed)
+        routing = router.route(native, initial_layout=layout)
+        ibm = to_ibm_basis(routing.circuit)
+        elapsed = time.perf_counter() - start
+        duration = estimate_duration_us(ibm, self.backend)
+        eps = estimate_eps(ibm, self.backend, duration)
+        return TranspileResult(
+            circuit=ibm,
+            backend=self.backend,
+            initial_layout=routing.initial_layout,
+            final_layout=routing.final_layout,
+            num_swaps=routing.num_swaps,
+            compile_seconds=elapsed,
+            duration_us=duration,
+            eps=eps,
+            counts=count_ibm_ops(ibm),
+        )

@@ -1,0 +1,25 @@
+"""wQasm: the FPQA annotation extension of OpenQASM (paper §4).
+
+wQasm is a superset of OpenQASM: standard statements describe the logical
+circuit, while ``@``-annotations describe the FPQA-specific steps (trap
+setup, atom moves, pulses) required before each statement.  This package
+provides the codec between annotation text and the instruction dataclasses
+of :mod:`repro.fpqa`, plus :class:`WQasmProgram`, the compiler's output
+artifact that pairs the pulse schedule with the logical circuit.
+"""
+
+from .annotations import (
+    annotation_to_instruction,
+    instruction_to_annotation,
+    instructions_from_annotations,
+)
+from .program import AnnotatedOperation, WQasmProgram, parse_wqasm
+
+__all__ = [
+    "AnnotatedOperation",
+    "WQasmProgram",
+    "annotation_to_instruction",
+    "instruction_to_annotation",
+    "instructions_from_annotations",
+    "parse_wqasm",
+]

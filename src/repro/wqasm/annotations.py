@@ -1,0 +1,174 @@
+"""Codec between wQasm annotation text and FPQA instruction objects.
+
+Annotation syntax follows the grammar of paper Figure 4:
+
+====================  ==========================================
+``@slm``              ``[(x0, y0), (x1, y1), ...]``
+``@aod``              ``[x0, x1, ...] [y0, y1, ...]``
+``@bind``             ``q<id> slm <index>`` or ``q<id> aod <col> <row>``
+``@transfer``         ``<slm_index> (<aod_col>, <aod_row>)``
+``@shuttle``          ``row|column <index> <offset>``
+``@raman``            ``global <x> <y> <z>`` or ``local q<id> <x> <y> <z>``
+``@rydberg``          (no arguments)
+====================  ==========================================
+
+:class:`repro.fpqa.ParallelShuttle` has no dedicated syntax; it serializes
+as consecutive ``@shuttle`` annotations and is re-grouped by consumers that
+care about timing (equivalence is unaffected because simultaneous moves
+touch disjoint rows/columns).
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import re
+
+from ..exceptions import AnnotationError
+from ..fpqa.instructions import (
+    AodInit,
+    BindAtom,
+    FPQAInstruction,
+    ParallelShuttle,
+    RamanGlobal,
+    RamanLocal,
+    RydbergPulse,
+    Shuttle,
+    ShuttleMove,
+    SlmInit,
+    Transfer,
+)
+from ..qasm.ast import Annotation
+
+_QUBIT_RE = re.compile(r"^q?(\d+)$")
+
+
+def _parse_qubit(token: str) -> int:
+    match = _QUBIT_RE.match(token)
+    if not match:
+        raise AnnotationError(f"expected a qubit id like 'q3', got {token!r}")
+    return int(match.group(1))
+
+
+def _literal(text: str, what: str):
+    try:
+        return python_ast.literal_eval(text)
+    except (ValueError, SyntaxError) as exc:
+        raise AnnotationError(f"malformed {what} payload: {text!r}") from exc
+
+
+def annotation_to_instruction(annotation: Annotation) -> FPQAInstruction:
+    """Decode one ``@keyword content`` annotation into an instruction."""
+    keyword = annotation.keyword
+    content = annotation.content.strip()
+    if keyword == "slm":
+        positions = _literal(content, "@slm")
+        if not isinstance(positions, (list, tuple)):
+            raise AnnotationError(f"@slm expects a coordinate list, got {content!r}")
+        coords = []
+        for item in positions:
+            if not (isinstance(item, tuple) and len(item) == 2):
+                raise AnnotationError(f"@slm coordinate {item!r} is not an (x, y) pair")
+            coords.append((float(item[0]), float(item[1])))
+        return SlmInit(tuple(coords))
+    if keyword == "aod":
+        match = re.match(r"^(\[.*?\])\s*(\[.*?\])$", content)
+        if not match:
+            raise AnnotationError(f"@aod expects two bracketed lists, got {content!r}")
+        xs = _literal(match.group(1), "@aod xs")
+        ys = _literal(match.group(2), "@aod ys")
+        return AodInit(tuple(float(x) for x in xs), tuple(float(y) for y in ys))
+    if keyword == "bind":
+        parts = content.split()
+        if len(parts) == 3 and parts[1] == "slm":
+            return BindAtom(qubit=_parse_qubit(parts[0]), slm_index=int(parts[2]))
+        if len(parts) == 4 and parts[1] == "aod":
+            return BindAtom(
+                qubit=_parse_qubit(parts[0]),
+                aod_col=int(parts[2]),
+                aod_row=int(parts[3]),
+            )
+        raise AnnotationError(f"malformed @bind payload: {content!r}")
+    if keyword == "transfer":
+        match = re.match(r"^(\d+)\s*\(\s*(-?\d+)\s*,\s*(-?\d+)\s*\)$", content)
+        if not match:
+            raise AnnotationError(f"malformed @transfer payload: {content!r}")
+        return Transfer(
+            slm_index=int(match.group(1)),
+            aod_col=int(match.group(2)),
+            aod_row=int(match.group(3)),
+        )
+    if keyword == "shuttle":
+        parts = content.split()
+        if len(parts) != 3 or parts[0] not in ("row", "column"):
+            raise AnnotationError(f"malformed @shuttle payload: {content!r}")
+        return Shuttle(ShuttleMove(parts[0], int(parts[1]), float(parts[2])))
+    if keyword == "raman":
+        parts = content.split()
+        if len(parts) == 4 and parts[0] == "global":
+            return RamanGlobal(float(parts[1]), float(parts[2]), float(parts[3]))
+        if len(parts) == 5 and parts[0] == "local":
+            return RamanLocal(
+                _parse_qubit(parts[1]), float(parts[2]), float(parts[3]), float(parts[4])
+            )
+        raise AnnotationError(f"malformed @raman payload: {content!r}")
+    if keyword == "rydberg":
+        if content:
+            raise AnnotationError(f"@rydberg takes no arguments, got {content!r}")
+        return RydbergPulse()
+    raise AnnotationError(f"unknown wQasm annotation @{keyword}")
+
+
+def instruction_to_annotation(instruction: FPQAInstruction) -> list[Annotation]:
+    """Encode an instruction as one or more annotations (inverse codec)."""
+    if isinstance(instruction, SlmInit):
+        body = ", ".join(f"({x!r}, {y!r})" for x, y in instruction.positions)
+        return [Annotation("slm", f"[{body}]")]
+    if isinstance(instruction, AodInit):
+        xs = "[" + ", ".join(repr(x) for x in instruction.xs) + "]"
+        ys = "[" + ", ".join(repr(y) for y in instruction.ys) + "]"
+        return [Annotation("aod", f"{xs} {ys}")]
+    if isinstance(instruction, BindAtom):
+        if instruction.slm_index is not None:
+            return [Annotation("bind", f"q{instruction.qubit} slm {instruction.slm_index}")]
+        return [
+            Annotation(
+                "bind",
+                f"q{instruction.qubit} aod {instruction.aod_col} {instruction.aod_row}",
+            )
+        ]
+    if isinstance(instruction, Transfer):
+        return [
+            Annotation(
+                "transfer",
+                f"{instruction.slm_index} ({instruction.aod_col}, {instruction.aod_row})",
+            )
+        ]
+    if isinstance(instruction, Shuttle):
+        move = instruction.move
+        return [Annotation("shuttle", f"{move.axis} {move.index} {move.offset!r}")]
+    if isinstance(instruction, ParallelShuttle):
+        return [
+            Annotation("shuttle", f"{m.axis} {m.index} {m.offset!r}")
+            for m in instruction.moves
+        ]
+    if isinstance(instruction, RamanLocal):
+        return [
+            Annotation(
+                "raman",
+                f"local q{instruction.qubit} {instruction.x!r} {instruction.y!r} {instruction.z!r}",
+            )
+        ]
+    if isinstance(instruction, RamanGlobal):
+        return [
+            Annotation("raman", f"global {instruction.x!r} {instruction.y!r} {instruction.z!r}")
+        ]
+    if isinstance(instruction, RydbergPulse):
+        return [Annotation("rydberg", "")]
+    raise AnnotationError(f"cannot serialize instruction {instruction!r}")
+
+
+def instructions_from_annotations(
+    annotations: list[Annotation] | tuple[Annotation, ...],
+) -> list[FPQAInstruction]:
+    """Decode a sequence of annotations, preserving order."""
+    return [annotation_to_instruction(a) for a in annotations]

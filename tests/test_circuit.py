@@ -1,0 +1,158 @@
+"""Unit tests for the circuit IR."""
+
+import pytest
+
+from repro.circuits import Instruction, QuantumCircuit
+from repro.circuits.gates import Gate, make_gate
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-1)
+
+    def test_append_by_name(self):
+        qc = QuantumCircuit(2)
+        qc.append("cx", (0, 1))
+        assert qc.instructions[0].name == "cx"
+
+    def test_append_out_of_range_qubit(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.h(2)
+
+    def test_append_out_of_range_clbit(self):
+        qc = QuantumCircuit(2, 1)
+        with pytest.raises(CircuitError):
+            qc.measure(0, 1)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).cx(1, 1)
+
+    def test_chaining(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).ccz(0, 1, 2)
+        assert len(qc) == 3
+
+    def test_every_convenience_method(self):
+        qc = QuantumCircuit(3, 3)
+        qc.id(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0).sx(0)
+        qc.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0).u3(0.1, 0.2, 0.3, 0)
+        qc.raman(0.1, 0.2, 0.3, 0)
+        qc.cx(0, 1).cz(0, 1).cp(0.5, 0, 1).rzz(0.6, 0, 1).swap(0, 1)
+        qc.ccx(0, 1, 2).ccz(0, 1, 2).mcz((0, 1, 2))
+        qc.measure(0, 0).barrier()
+        assert qc.size == 25  # barrier excluded
+
+    def test_measure_all_grows_clbits(self):
+        qc = QuantumCircuit(3)
+        qc.measure_all()
+        assert qc.num_clbits == 3
+        assert qc.count_ops()["measure"] == 3
+
+
+class TestInspection:
+    def test_count_ops_excludes_barrier(self):
+        qc = QuantumCircuit(2).h(0).barrier().h(1)
+        assert qc.count_ops() == {"h": 2}
+
+    def test_depth_parallel_gates(self):
+        qc = QuantumCircuit(2).h(0).h(1)
+        assert qc.depth() == 1
+
+    def test_depth_sequential_gates(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        assert qc.depth() == 3
+
+    def test_depth_barrier_synchronizes(self):
+        qc = QuantumCircuit(2).h(0).barrier().h(1)
+        assert qc.depth() == 2
+
+    def test_num_gates_by_arity(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).ccz(0, 1, 2).measure_all()
+        assert qc.num_gates(1) == 1
+        assert qc.num_gates(2) == 1
+        assert qc.num_gates(3) == 1
+        assert qc.num_gates() == 3
+
+    def test_qubits_used(self):
+        qc = QuantumCircuit(5).cx(1, 3)
+        assert qc.qubits_used() == {1, 3}
+
+    def test_two_qubit_pairs_sorted(self):
+        qc = QuantumCircuit(3).cx(2, 0).cz(1, 2)
+        assert qc.two_qubit_pairs() == [(0, 2), (1, 2)]
+
+    def test_empty_circuit_depth(self):
+        assert QuantumCircuit(3).depth() == 0
+
+
+class TestWholeCircuitOps:
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1).h(0)
+        other = qc.copy()
+        other.x(0)
+        assert len(qc) == 1 and len(other) == 2
+
+    def test_compose_widens(self):
+        inner = QuantumCircuit(2).cx(0, 1)
+        outer = QuantumCircuit(4)
+        outer.compose(inner, qubits=[2, 3])
+        assert outer.instructions[0].qubits == (2, 3)
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(4).compose(QuantumCircuit(2).h(0), qubits=[1])
+
+    def test_compose_too_many_qubits(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(1).compose(QuantumCircuit(2).cx(0, 1))
+
+    def test_inverse_reverses_and_inverts(self):
+        qc = QuantumCircuit(1).s(0).t(0)
+        inv = qc.inverse()
+        assert [i.name for i in inv.instructions] == ["tdg", "sdg"]
+
+    def test_inverse_rejects_measurement(self):
+        qc = QuantumCircuit(1, 1).measure(0, 0)
+        with pytest.raises(CircuitError):
+            qc.inverse()
+
+    def test_remapped(self):
+        qc = QuantumCircuit(3).cx(0, 2)
+        out = qc.remapped({0: 1, 1: 0, 2: 2})
+        assert out.instructions[0].qubits == (1, 2)
+
+    def test_without_measurements(self):
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        assert qc.without_measurements().count_ops() == {"h": 1}
+
+    def test_equality(self):
+        a = QuantumCircuit(1).h(0)
+        b = QuantumCircuit(1).h(0)
+        assert a == b
+        b.x(0)
+        assert a != b
+
+    def test_from_instructions(self):
+        insts = [Instruction(make_gate("h"), (0,))]
+        qc = QuantumCircuit.from_instructions(2, insts)
+        assert len(qc) == 1
+
+
+class TestInstruction:
+    def test_gate_arity_enforced(self):
+        with pytest.raises(CircuitError):
+            Instruction(make_gate("cx"), (0,))
+
+    def test_measure_any_arity_allowed(self):
+        Instruction(Gate("measure", 1), (0,), (0,))
+
+    def test_remap_with_dict(self):
+        inst = Instruction(make_gate("cz"), (0, 1))
+        assert inst.remap({0: 5, 1: 6}).qubits == (5, 6)
+
+    def test_remap_with_list(self):
+        inst = Instruction(make_gate("cz"), (0, 1))
+        assert inst.remap([3, 4]).qubits == (3, 4)

@@ -1,0 +1,148 @@
+"""Tests for the CLI, the QAOA optimizer loop, and Hellinger statistics."""
+
+import json
+
+import pytest
+
+from repro.checker.statistics import (
+    distributions_equivalent,
+    hellinger_fidelity,
+    sampled_distribution,
+)
+from repro.circuits import QuantumCircuit
+from repro.cli import build_parser, main
+from repro.exceptions import VerificationError
+from repro.qaoa import QaoaParameters, qaoa_circuit
+from repro.qaoa.optimizer import coordinate_descent, grid_search, optimize_angles
+from repro.sat import CnfFormula, to_dimacs
+
+
+@pytest.fixture()
+def cnf_file(tmp_path, tiny_formula):
+    path = tmp_path / "tiny.cnf"
+    path.write_text(to_dimacs(tiny_formula))
+    return path
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["compile", "x.cnf", "--gamma", "0.5"])
+        assert args.gamma == 0.5
+
+    def test_compile_roundtrip(self, cnf_file, tmp_path, capsys):
+        out = tmp_path / "out.wqasm"
+        rc = main(["compile", str(cnf_file), "-o", str(out), "--verify"])
+        assert rc == 0
+        assert out.read_text().startswith("OPENQASM 3.0;")
+
+    def test_check_command(self, cnf_file, tmp_path):
+        out = tmp_path / "out.wqasm"
+        assert main(["compile", str(cnf_file), "-o", str(out)]) == 0
+        assert main(["check", str(out)]) == 0
+
+    def test_check_rejects_corrupted_file(self, cnf_file, tmp_path):
+        out = tmp_path / "out.wqasm"
+        main(["compile", str(cnf_file), "-o", str(out)])
+        text = out.read_text()
+        # Corrupt the first local Raman angle in the file.
+        corrupted = text.replace("@raman local", "@raman local", 1)
+        lines = corrupted.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("@raman local"):
+                parts = line.split()
+                parts[3] = str(float(parts[3]) + 0.7)
+                lines[i] = " ".join(parts)
+                break
+        out.write_text("\n".join(lines))
+        assert main(["check", str(out)]) == 1
+
+    def test_export_command(self, cnf_file, tmp_path):
+        out = tmp_path / "gates.json"
+        assert main(["export", str(cnf_file), "-o", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["num_qubits"] == 4
+
+    def test_missing_file_is_reported(self):
+        assert main(["compile", "/nonexistent.cnf"]) == 2
+
+    def test_compression_flag(self, cnf_file, tmp_path):
+        out = tmp_path / "out.wqasm"
+        rc = main(["compile", str(cnf_file), "-o", str(out), "--compression", "off"])
+        assert rc == 0
+        assert "ccz" not in out.read_text()
+
+
+class TestOptimizer:
+    @pytest.fixture(scope="class")
+    def formula(self):
+        return CnfFormula.from_lists(
+            [[1, 2, 3], [-1, 2, 3], [1, -2, 3], [1, 2, -3]], num_vars=3
+        )
+
+    def test_grid_search_returns_best_of_grid(self, formula):
+        result = grid_search(formula)
+        assert result.evaluations == 18
+        assert result.expected_unsatisfied == min(v for _, v in result.history)
+
+    def test_coordinate_descent_improves_or_keeps(self, formula):
+        warm = grid_search(formula)
+        refined = coordinate_descent(formula, initial=warm.parameters, iterations=2)
+        assert refined.expected_unsatisfied <= warm.expected_unsatisfied + 1e-12
+
+    def test_descent_validates_iterations(self, formula):
+        from repro.exceptions import CircuitError
+
+        with pytest.raises(CircuitError):
+            coordinate_descent(formula, iterations=0)
+
+    def test_optimize_beats_random_guessing(self, formula):
+        result = optimize_angles(formula, iterations=2)
+        assert result.expected_unsatisfied < formula.num_clauses / 8
+
+    def test_multi_layer_replication(self, formula):
+        result = optimize_angles(formula, layers=2, iterations=1)
+        assert result.parameters.num_layers == 2
+
+
+class TestHellinger:
+    def test_identical_distributions(self):
+        p = {"00": 0.5, "11": 0.5}
+        assert hellinger_fidelity(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_distributions(self):
+        assert hellinger_fidelity({"00": 1.0}, {"11": 1.0}) == pytest.approx(0.0)
+
+    def test_partial_overlap(self):
+        p = {"0": 1.0}
+        q = {"0": 0.5, "1": 0.5}
+        assert hellinger_fidelity(p, q) == pytest.approx(0.5)
+
+    def test_unnormalized_rejected(self):
+        with pytest.raises(VerificationError):
+            hellinger_fidelity({"0": 0.7}, {"0": 1.0})
+
+    def test_sampled_distribution_close_to_exact(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        sampled = sampled_distribution(circuit, shots=20000, seed=1)
+        from repro.circuits import measurement_distribution
+
+        exact = measurement_distribution(circuit)
+        assert hellinger_fidelity(sampled, exact) > 0.999
+
+    def test_distributions_equivalent_on_compiled_program(
+        self, compiled_paper_example
+    ):
+        verdict, fidelity = distributions_equivalent(
+            compiled_paper_example.program.logical_circuit(),
+            compiled_paper_example.native_circuit,
+        )
+        assert verdict
+        assert fidelity == pytest.approx(1.0)
+
+    def test_distributions_differ_for_different_circuits(self):
+        a = QuantumCircuit(1).h(0)
+        b = QuantumCircuit(1).x(0)
+        verdict, fidelity = distributions_equivalent(a, b)
+        assert not verdict
+        assert fidelity < 0.9

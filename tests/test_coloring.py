@@ -1,0 +1,144 @@
+"""Unit and property tests for conflict graphs and DSatur (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coloring import (
+    ConflictGraph,
+    clause_conflict_graph,
+    dsatur_coloring,
+    greedy_sequential_coloring,
+    validate_coloring,
+)
+from repro.coloring.dsatur import color_classes
+from repro.exceptions import ColoringError
+from repro.sat import CnfFormula, random_ksat
+from repro.sat.cnf import Clause
+
+
+class TestConflictGraph:
+    def test_paper_example(self):
+        # Algorithm 1's example: [[-1,-2,-3],[4,-5,6],[3,5,-6]] -> colors [0,0,1].
+        formula = CnfFormula.from_lists(
+            [[-1, -2, -3], [4, -5, 6], [3, 5, -6]], num_vars=6
+        )
+        graph = clause_conflict_graph(formula)
+        assert graph.has_edge(0, 2)  # share variable 3
+        assert graph.has_edge(1, 2)  # share variables 5, 6
+        assert not graph.has_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        graph = ConflictGraph(2)
+        with pytest.raises(ColoringError):
+            graph.add_edge(1, 1)
+
+    def test_out_of_range_edge_rejected(self):
+        graph = ConflictGraph(2)
+        with pytest.raises(ColoringError):
+            graph.add_edge(0, 5)
+
+    def test_num_edges(self):
+        graph = ConflictGraph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        assert graph.num_edges == 2
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_degree_and_max_degree(self):
+        graph = ConflictGraph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert graph.degree(0) == 2
+        assert graph.max_degree() == 2
+
+    def test_conflict_graph_from_clause_list(self):
+        clauses = [Clause((1, 2)), Clause((2, 3)), Clause((4,))]
+        graph = clause_conflict_graph(clauses)
+        assert graph.has_edge(0, 1)
+        assert graph.degree(2) == 0
+
+
+class TestDSatur:
+    def test_paper_example_two_colors(self):
+        formula = CnfFormula.from_lists(
+            [[-1, -2, -3], [4, -5, 6], [3, 5, -6]], num_vars=6
+        )
+        colors = dsatur_coloring(clause_conflict_graph(formula))
+        validate_coloring(clause_conflict_graph(formula), colors)
+        assert max(colors) + 1 == 2
+        assert colors[0] == colors[1]  # the two independent clauses share a color
+
+    def test_empty_graph(self):
+        assert dsatur_coloring(ConflictGraph(0)) == []
+
+    def test_isolated_nodes_one_color(self):
+        colors = dsatur_coloring(ConflictGraph(5))
+        assert set(colors) == {0}
+
+    def test_complete_graph_needs_n_colors(self):
+        graph = ConflictGraph(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                graph.add_edge(i, j)
+        colors = dsatur_coloring(graph)
+        assert len(set(colors)) == 4
+
+    def test_bipartite_graph_two_colors(self):
+        # DSatur is exact on bipartite graphs.
+        graph = ConflictGraph(6)
+        for i in (0, 1, 2):
+            for j in (3, 4, 5):
+                graph.add_edge(i, j)
+        assert len(set(dsatur_coloring(graph))) == 2
+
+    def test_odd_cycle_three_colors(self):
+        graph = ConflictGraph(5)
+        for i in range(5):
+            graph.add_edge(i, (i + 1) % 5)
+        assert len(set(dsatur_coloring(graph))) == 3
+
+    def test_dsatur_no_worse_than_greedy_on_random(self):
+        formula = random_ksat(20, 91, seed=8)
+        graph = clause_conflict_graph(formula)
+        dsatur = len(set(dsatur_coloring(graph)))
+        greedy = len(set(greedy_sequential_coloring(graph)))
+        assert dsatur <= greedy + 1
+
+    def test_color_classes_partition(self):
+        colors = [0, 1, 0, 2]
+        classes = color_classes(colors)
+        assert classes == [[0, 2], [1], [3]]
+
+    def test_validate_rejects_bad_coloring(self):
+        graph = ConflictGraph(2)
+        graph.add_edge(0, 1)
+        with pytest.raises(ColoringError):
+            validate_coloring(graph, [0, 0])
+
+    def test_validate_rejects_uncolored(self):
+        with pytest.raises(ColoringError):
+            validate_coloring(ConflictGraph(1), [-1])
+
+    def test_validate_rejects_length_mismatch(self):
+        with pytest.raises(ColoringError):
+            validate_coloring(ConflictGraph(2), [0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**6), st.integers(5, 14), st.integers(5, 30))
+def test_dsatur_always_proper_on_random_formulas(seed, num_vars, num_clauses):
+    """Property: DSatur colorings are always proper colorings."""
+    formula = random_ksat(num_vars, num_clauses, k=3, seed=seed)
+    graph = clause_conflict_graph(formula)
+    colors = dsatur_coloring(graph)
+    validate_coloring(graph, colors)
+    # Same-color clauses must be variable-disjoint (the Weaver invariant).
+    for color in set(colors):
+        seen: set[int] = set()
+        for idx, c in enumerate(colors):
+            if c != color:
+                continue
+            variables = formula.clauses[idx].variables
+            assert not (seen & variables)
+            seen |= variables

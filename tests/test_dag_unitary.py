@@ -1,0 +1,144 @@
+"""Unit tests for the dependency DAG and the simulators."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CircuitDag,
+    QuantumCircuit,
+    circuit_statevector,
+    circuit_unitary,
+    circuits_equivalent,
+    dependency_layers,
+    measurement_distribution,
+)
+from repro.circuits.dag import critical_path_length, parallel_2q_layers
+from repro.exceptions import SimulationError
+
+
+class TestDag:
+    def test_independent_gates_share_layer(self):
+        qc = QuantumCircuit(4).h(0).h(1).h(2).h(3)
+        layers = dependency_layers(qc)
+        assert len(layers) == 1 and len(layers[0]) == 4
+
+    def test_dependent_gates_stack(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        assert len(dependency_layers(qc)) == 3
+
+    def test_front_layer(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        dag = CircuitDag(qc)
+        assert dag.front_layer() == [0]
+
+    def test_successors_follow_qubit_sharing(self):
+        qc = QuantumCircuit(3).h(0).h(1).cx(0, 1)
+        dag = CircuitDag(qc)
+        assert dag.successors[0] == [2]
+        assert dag.successors[1] == [2]
+
+    def test_classical_bits_create_dependencies(self):
+        qc = QuantumCircuit(2, 1)
+        qc.measure(0, 0)
+        qc.measure(1, 0)  # same clbit: must serialize
+        assert len(dependency_layers(qc)) == 2
+
+    def test_barrier_synchronizes_layers(self):
+        qc = QuantumCircuit(2).h(0).barrier().h(1)
+        layers = dependency_layers(qc)
+        assert len(layers) == 2
+
+    def test_parallel_2q_layers_ignores_1q(self):
+        qc = QuantumCircuit(4).h(0).cz(0, 1).h(2).cz(2, 3)
+        layers = parallel_2q_layers(qc)
+        assert len(layers) == 1 and len(layers[0]) == 2
+
+    def test_critical_path_with_durations(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        length = critical_path_length(qc, {"h": 1.0, "cx": 10.0})
+        assert length == pytest.approx(12.0)
+
+    def test_critical_path_default_unit(self):
+        qc = QuantumCircuit(1).h(0).h(0).h(0)
+        assert critical_path_length(qc) == pytest.approx(3.0)
+
+
+class TestUnitarySim:
+    def test_bell_state(self):
+        qc = QuantumCircuit(2).h(0).cx(0, 1)
+        state = circuit_statevector(qc)
+        assert state[0] == pytest.approx(1 / np.sqrt(2))
+        assert state[3] == pytest.approx(1 / np.sqrt(2))
+
+    def test_ghz_distribution(self):
+        qc = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2)
+        dist = measurement_distribution(qc)
+        assert dist == pytest.approx({"000": 0.5, "111": 0.5})
+
+    def test_unitary_of_x(self):
+        qc = QuantumCircuit(1).x(0)
+        assert np.allclose(circuit_unitary(qc), [[0, 1], [1, 0]])
+
+    def test_unitary_refuses_measurement(self):
+        qc = QuantumCircuit(1, 1).measure(0, 0)
+        with pytest.raises(SimulationError):
+            circuit_unitary(qc)
+
+    def test_unitary_size_limit(self):
+        with pytest.raises(SimulationError):
+            circuit_unitary(QuantumCircuit(16))
+
+    def test_statevector_skips_measurement(self):
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        state = circuit_statevector(qc)
+        assert abs(state[0]) == pytest.approx(1 / np.sqrt(2))
+
+    def test_statevector_custom_initial_state(self):
+        initial = np.array([0, 1], dtype=complex)
+        qc = QuantumCircuit(1).x(0)
+        out = circuit_statevector(qc, initial)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_initial_state_shape_checked(self):
+        with pytest.raises(SimulationError):
+            circuit_statevector(QuantumCircuit(2), np.zeros(3, dtype=complex))
+
+    def test_barrier_is_noop_in_simulation(self):
+        a = QuantumCircuit(2).h(0).barrier().cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        assert circuits_equivalent(a, b)
+
+
+class TestEquivalence:
+    def test_identical_circuits(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        assert circuits_equivalent(a, a.copy())
+
+    def test_global_phase_ignored(self):
+        a = QuantumCircuit(1).z(0)
+        b = QuantumCircuit(1).rz(np.pi, 0)  # differs by global phase i
+        assert circuits_equivalent(a, b)
+
+    def test_different_circuits_rejected(self):
+        a = QuantumCircuit(1).x(0)
+        b = QuantumCircuit(1).y(0)
+        assert not circuits_equivalent(a, b)
+
+    def test_qubit_count_mismatch(self):
+        assert not circuits_equivalent(QuantumCircuit(1), QuantumCircuit(2))
+
+    def test_known_identity_swap(self):
+        a = QuantumCircuit(2).swap(0, 1)
+        b = QuantumCircuit(2).cx(0, 1).cx(1, 0).cx(0, 1)
+        assert circuits_equivalent(a, b)
+
+    def test_probe_path_on_large_register(self):
+        # 14 qubits exceeds the dense-unitary limit; probing kicks in.
+        a = QuantumCircuit(14)
+        b = QuantumCircuit(14)
+        for q in range(14):
+            a.h(q)
+            b.h(q)
+        b.z(0)
+        assert circuits_equivalent(a, a.copy())
+        assert not circuits_equivalent(a, b)

@@ -1,0 +1,99 @@
+"""Failure-injection tests: atom loss must surface as loud failures.
+
+DESIGN.md §6 commits to failure-injection coverage: a lost atom (the
+dominant neutral-atom hardware failure) must make subsequent device
+operations raise or the wChecker report mismatches — never silently
+produce a wrong program.
+"""
+
+import pytest
+
+from repro.checker import PulseToGateConverter
+from repro.exceptions import FPQAConstraintError
+from repro.fpqa import (
+    BindAtom,
+    FPQADevice,
+    RamanLocal,
+    RydbergPulse,
+    SlmInit,
+    Transfer,
+)
+from repro.fpqa.instructions import Shuttle, ShuttleMove
+
+
+@pytest.fixture
+def loaded_device():
+    device = FPQADevice()
+    device.apply(SlmInit(((0.0, 0.0), (6.0, 0.0), (30.0, 0.0))))
+    for qubit in range(3):
+        device.apply(BindAtom(qubit=qubit, slm_index=qubit))
+    return device
+
+
+class TestAtomLoss:
+    def test_lose_atom_clears_trap(self, loaded_device):
+        loaded_device.lose_atom(0)
+        assert 0 not in loaded_device.qubit_location
+        assert loaded_device.slm_atoms[0] is None
+
+    def test_lose_missing_atom_rejected(self, loaded_device):
+        loaded_device.lose_atom(1)
+        with pytest.raises(FPQAConstraintError):
+            loaded_device.lose_atom(1)
+
+    def test_raman_on_lost_atom_fails(self, loaded_device):
+        loaded_device.lose_atom(2)
+        with pytest.raises(FPQAConstraintError):
+            loaded_device.apply(RamanLocal(2, 0.1, 0.2, 0.3))
+
+    def test_lost_atom_changes_rydberg_clusters(self, loaded_device):
+        clusters = loaded_device.apply(RydbergPulse())
+        assert len(clusters) == 1  # qubits 0 and 1 interact
+        loaded_device.lose_atom(1)
+        assert loaded_device.apply(RydbergPulse()) == []
+
+    def test_transfer_from_emptied_trap_fails(self, loaded_device):
+        # Place an AOD crossing directly over trap 0, then lose its atom.
+        loaded_device.aod_col_x = [0.0]
+        loaded_device.aod_row_y = [0.0]
+        loaded_device.lose_atom(0)
+        with pytest.raises(FPQAConstraintError):
+            # Both sides empty now: the transfer pre-condition fails.
+            loaded_device.apply(Transfer(slm_index=0, aod_col=0, aod_row=0))
+
+
+class TestLossDuringPrograms:
+    def test_checker_replay_catches_loss(self, compiled_paper_example):
+        """Replaying a program on a device that lost an atom must fail."""
+        program = compiled_paper_example.program
+        converter = PulseToGateConverter(program.num_qubits)
+        instructions = program.fpqa_instructions()
+        # Run setup, then lose a used atom and continue the replay.
+        setup_len = len(program.setup)
+        for instruction in instructions[:setup_len]:
+            converter.convert(instruction)
+        used = compiled_paper_example.context.formula.variables_used()
+        converter.device.lose_atom(min(used) - 1)
+        with pytest.raises(FPQAConstraintError):
+            for instruction in instructions[setup_len:]:
+                converter.convert(instruction)
+
+    def test_loss_in_aod_during_zone(self, compiled_paper_example):
+        """Losing an AOD-held atom mid-zone breaks the choreography."""
+        program = compiled_paper_example.program
+        converter = PulseToGateConverter(program.num_qubits)
+        instructions = program.fpqa_instructions()
+        failed = False
+        lost = False
+        for instruction in instructions:
+            try:
+                converter.convert(instruction)
+            except FPQAConstraintError:
+                failed = True
+                break
+            if not lost and converter.device.aod_atoms:
+                (col, row), qubit = next(iter(converter.device.aod_atoms.items()))
+                converter.device.lose_atom(qubit)
+                lost = True
+        assert lost
+        assert failed

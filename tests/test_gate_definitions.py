@@ -1,0 +1,141 @@
+"""Tests for user-defined gates (OpenQASM ``gate`` subroutines).
+
+Extensibility is Weaver's first requirement (§3.1): new composite
+instructions must be expressible without touching the compiler.  These
+tests cover parsing, symbolic parameter evaluation, macro expansion,
+nesting, and error reporting.
+"""
+
+import math
+
+import pytest
+
+from repro.circuits import QuantumCircuit, circuits_equivalent
+from repro.exceptions import QasmSemanticError, QasmSyntaxError
+from repro.qasm import parse_qasm, qasm_to_circuit
+from repro.qasm.ast import BinOp, GateDefinition, Num, Sym, evaluate_param
+
+
+class TestParsing:
+    def test_definition_parsed(self):
+        program = parse_qasm(
+            "gate mygate a, b { cx a, b; h a; }\nqubit[2] q;\nmygate q[0], q[1];"
+        )
+        definitions = [s for s in program.statements if isinstance(s, GateDefinition)]
+        assert len(definitions) == 1
+        assert definitions[0].qubits == ("a", "b")
+        assert len(definitions[0].body) == 2
+
+    def test_parameterized_definition(self):
+        program = parse_qasm(
+            "gate rot(theta) a { rz(theta/2) a; rz(-theta/2) a; }\nqubit[1] q;"
+        )
+        definition = next(
+            s for s in program.statements if isinstance(s, GateDefinition)
+        )
+        assert definition.params == ("theta",)
+        first_param = definition.body[0].params[0]
+        assert isinstance(first_param, BinOp)
+
+    def test_body_rejects_indexed_operands(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("gate g a { h a[0]; }")
+
+    def test_body_rejects_foreign_qubits(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("gate g a { h b; }")
+
+    def test_unterminated_body(self):
+        with pytest.raises(QasmSyntaxError):
+            parse_qasm("gate g a { h a;")
+
+
+class TestExprEvaluation:
+    def test_symbol_lookup(self):
+        assert evaluate_param(Sym("x"), {"x": 2.5}) == 2.5
+
+    def test_unbound_symbol_rejected(self):
+        with pytest.raises(QasmSemanticError):
+            evaluate_param(Sym("y"), {})
+
+    def test_arithmetic_tree(self):
+        expr = BinOp("*", Sym("t"), Num(0.5))
+        assert evaluate_param(expr, {"t": math.pi}) == pytest.approx(math.pi / 2)
+
+    def test_division_by_zero_rejected(self):
+        expr = BinOp("/", Num(1.0), Sym("z"))
+        with pytest.raises(QasmSemanticError):
+            expr.evaluate({"z": 0.0})
+
+    def test_plain_float_passthrough(self):
+        assert evaluate_param(0.25, {}) == 0.25
+
+
+class TestExpansion:
+    def test_simple_macro_expands(self):
+        circuit = qasm_to_circuit(
+            "gate bell a, b { h a; cx a, b; }\nqubit[2] q;\nbell q[0], q[1];"
+        )
+        assert [i.name for i in circuit.instructions] == ["h", "cx"]
+        reference = QuantumCircuit(2).h(0).cx(0, 1)
+        assert circuits_equivalent(circuit, reference)
+
+    def test_parameter_substitution(self):
+        circuit = qasm_to_circuit(
+            "gate halfrot(t) a { rz(t/2) a; }\nqubit[1] q;\nhalfrot(pi) q[0];"
+        )
+        assert circuit.instructions[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_nested_macros(self):
+        source = (
+            "gate flip a { x a; }\n"
+            "gate doubleflip a { flip a; flip a; }\n"
+            "qubit[1] q;\ndoubleflip q[0];"
+        )
+        circuit = qasm_to_circuit(source)
+        assert circuit.count_ops() == {"x": 2}
+        assert circuits_equivalent(circuit, QuantumCircuit(1))
+
+    def test_qubit_permutation_respected(self):
+        circuit = qasm_to_circuit(
+            "gate rev a, b { cx b, a; }\nqubit[2] q;\nrev q[0], q[1];"
+        )
+        assert circuit.instructions[0].qubits == (1, 0)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(QasmSemanticError):
+            qasm_to_circuit("gate g a, b { cx a, b; }\nqubit[2] q;\ng q[0];")
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(QasmSemanticError):
+            qasm_to_circuit(
+                "gate g(t) a { rz(t) a; }\nqubit[1] q;\ng(0.1, 0.2) q[0];"
+            )
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(QasmSemanticError):
+            qasm_to_circuit("gate g a { x a; }\ngate g a { y a; }\nqubit[1] q;")
+
+    def test_macro_with_weaver_style_fragment(self):
+        """A user-defined clause fragment matches the library's compressed
+        form — the extensibility story of §3.1 in action."""
+        gamma = 0.8
+        # Signs for the all-negative clause (s_a = s_b = s_t = -1): the
+        # sandwich angle is -gamma*s_t/2 = +gamma/2, the residual RZs are
+        # gamma*s/4 = -gamma/4, and the control-control term gets
+        # gamma*s_a*s_b/4 = +gamma/4 (see repro.qaoa.cost).
+        source = (
+            "gate clause(g) a, b, t {\n"
+            "  ccx a, b, t; rz(g/2) t; ccx a, b, t;\n"
+            "  rz(-g/2) t; rz(-g/4) a; rz(-g/4) b;\n"
+            "  cx a, b; rz(g/4) b; cx a, b;\n"
+            "}\n"
+            f"qubit[3] q;\nclause({gamma}) q[0], q[1], q[2];"
+        )
+        circuit = qasm_to_circuit(source)
+        from repro.qaoa import compressed_clause_circuit
+        from repro.sat.cnf import Clause
+
+        reference = compressed_clause_circuit(Clause((-1, -2, -3)), 3, gamma)
+        # All-negative literals need no X conjugation, so the macro matches.
+        assert circuits_equivalent(circuit, reference)

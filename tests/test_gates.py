@@ -1,0 +1,169 @@
+"""Unit tests for the gate library."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import (
+    GATE_ALIASES,
+    STANDARD_GATE_NAMES,
+    Gate,
+    controlled_z_matrix,
+    gate_matrix,
+    make_gate,
+    u3_from_matrix,
+)
+from repro.exceptions import CircuitError
+from repro.linalg import allclose_up_to_global_phase, is_unitary
+
+_PARAM_COUNT = {"rx": 1, "ry": 1, "rz": 1, "p": 1, "rzz": 1, "cp": 1, "u3": 3, "raman": 3}
+
+
+class TestMatrices:
+    @pytest.mark.parametrize("name", STANDARD_GATE_NAMES)
+    def test_every_gate_matrix_is_unitary(self, name):
+        params = tuple([0.37] * _PARAM_COUNT.get(name, 0))
+        assert is_unitary(gate_matrix(name, params))
+
+    def test_x_matrix(self):
+        assert np.allclose(gate_matrix("x"), [[0, 1], [1, 0]])
+
+    def test_h_squared_is_identity(self):
+        h = gate_matrix("h")
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_s_is_sqrt_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_t_is_sqrt_s(self):
+        t = gate_matrix("t")
+        assert np.allclose(t @ t, gate_matrix("s"))
+
+    def test_sx_is_sqrt_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_rz_diagonal(self):
+        rz = gate_matrix("rz", (0.5,))
+        assert rz[0, 1] == 0 and rz[1, 0] == 0
+
+    def test_rzz_is_diagonal(self):
+        m = gate_matrix("rzz", (0.9,))
+        assert np.allclose(m, np.diag(np.diag(m)))
+
+    def test_cx_permutation(self):
+        cx = gate_matrix("cx")
+        assert np.allclose(cx @ cx, np.eye(4))
+
+    def test_ccz_phase_only_on_all_ones(self):
+        m = gate_matrix("ccz")
+        diag = np.diag(m)
+        assert diag[-1] == -1
+        assert np.allclose(diag[:-1], 1.0)
+
+    def test_controlled_z_arbitrary_arity(self):
+        m = controlled_z_matrix(4)
+        assert m.shape == (16, 16)
+        assert m[15, 15] == -1
+
+    def test_controlled_z_rejects_zero_qubits(self):
+        with pytest.raises(CircuitError):
+            controlled_z_matrix(0)
+
+    def test_raman_composition_order(self):
+        x, y, z = 0.3, 0.5, 0.7
+        expected = (
+            gate_matrix("rz", (z,)) @ gate_matrix("ry", (y,)) @ gate_matrix("rx", (x,))
+        )
+        assert np.allclose(gate_matrix("raman", (x, y, z)), expected)
+
+
+class TestInverses:
+    @pytest.mark.parametrize("name", STANDARD_GATE_NAMES)
+    def test_inverse_composes_to_identity(self, name):
+        params = tuple([0.71] * _PARAM_COUNT.get(name, 0))
+        gate = make_gate(name, params)
+        product = gate.inverse().matrix() @ gate.matrix()
+        assert allclose_up_to_global_phase(product, np.eye(2**gate.num_qubits))
+
+    def test_mcz_self_inverse(self):
+        gate = make_gate("mcz", num_qubits=4)
+        assert gate.inverse() is gate
+
+    def test_s_inverse_is_sdg(self):
+        assert make_gate("s").inverse().name == "sdg"
+
+
+class TestConstruction:
+    def test_alias_resolution(self):
+        assert make_gate("cnot").name == "cx"
+        assert make_gate("u", (0.1, 0.2, 0.3)).name == "u3"
+        for alias, canonical in GATE_ALIASES.items():
+            assert make_gate(alias, tuple([0.1] * _PARAM_COUNT.get(canonical, 0))).name == canonical
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            make_gate("warp")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", 3)
+
+    def test_wrong_param_count_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("rz", 1, (0.1, 0.2))
+
+    def test_mcz_requires_explicit_arity(self):
+        with pytest.raises(CircuitError):
+            make_gate("mcz")
+
+    def test_mcz_rejects_zero_qubits(self):
+        with pytest.raises(CircuitError):
+            Gate("mcz", 0)
+
+    def test_measure_is_not_unitary(self):
+        assert not Gate("measure", 1).is_unitary
+
+    def test_gates_are_hashable(self):
+        assert len({make_gate("x"), make_gate("x"), make_gate("y")}) == 2
+
+
+class TestU3Recovery:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("h", ()),
+            ("x", ()),
+            ("y", ()),
+            ("z", ()),
+            ("s", ()),
+            ("sdg", ()),
+            ("t", ()),
+            ("sx", ()),
+            ("id", ()),
+            ("rx", (1.2,)),
+            ("ry", (-0.4,)),
+            ("rz", (2.8,)),
+            ("p", (0.9,)),
+            ("raman", (0.2, -0.8, 1.4)),
+        ],
+    )
+    def test_u3_from_named_gate(self, name, params):
+        matrix = gate_matrix(name, params)
+        recovered = u3_from_matrix(matrix)
+        assert allclose_up_to_global_phase(matrix, recovered.matrix())
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(-math.pi, math.pi),
+        st.floats(-math.pi, math.pi),
+        st.floats(-math.pi, math.pi),
+    )
+    def test_u3_roundtrip_random(self, theta, phi, lam):
+        matrix = gate_matrix("u3", (theta, phi, lam))
+        recovered = u3_from_matrix(matrix)
+        assert allclose_up_to_global_phase(matrix, recovered.matrix(), atol=1e-7)

@@ -1,0 +1,119 @@
+"""Tests for the zone geometry invariants."""
+
+import math
+
+import pytest
+
+from repro.exceptions import FPQAConstraintError
+from repro.fpqa import FPQAHardwareParams, zone_layout
+
+
+@pytest.fixture
+def geo():
+    return zone_layout()
+
+
+class TestDerivedConstants:
+    def test_triangle_side_within_radius(self, geo):
+        assert geo.triangle_side_um <= geo.hardware.rydberg_radius_um
+        assert geo.triangle_side_um >= geo.hardware.min_trap_spacing_um
+
+    def test_control_height_is_equilateral(self, geo):
+        assert geo.control_height_um == pytest.approx(
+            geo.triangle_side_um * math.sqrt(3) / 2
+        )
+
+    def test_stage_gap_beyond_radius(self, geo):
+        assert geo.stage_gap_um > geo.hardware.rydberg_radius_um
+
+    def test_invalid_triangle_rejected(self):
+        with pytest.raises(FPQAConstraintError):
+            zone_layout(triangle_side_um=20.0)  # beyond Rydberg radius
+
+    def test_too_small_separation_rejected(self):
+        with pytest.raises(FPQAConstraintError):
+            zone_layout(separation_offset_um=1.0)
+
+    def test_crowded_slots_rejected(self):
+        with pytest.raises(FPQAConstraintError):
+            zone_layout(slot_pitch_um=15.0)
+
+
+class TestPositions:
+    def test_triangle_is_equidistant(self, geo):
+        target = geo.target_position(0, 0)
+        a, b = geo.control_positions(0, 0)
+        dist_ab = math.dist(a, b)
+        dist_at = math.dist(a, target)
+        dist_bt = math.dist(b, target)
+        assert dist_ab == pytest.approx(dist_at)
+        assert dist_ab == pytest.approx(dist_bt)
+        assert dist_ab == pytest.approx(geo.triangle_side_um)
+
+    def test_stage_positions_out_of_target_range(self, geo):
+        target = geo.target_position(2, 1)
+        for pos in geo.stage_positions(2, 1):
+            assert math.dist(pos, target) > geo.hardware.rydberg_radius_um
+
+    def test_pair_positions_within_radius_of_each_other(self, geo):
+        a, b = geo.pair_positions(0, 0)
+        assert math.dist(a, b) <= geo.hardware.rydberg_radius_um
+
+    def test_pair_positions_out_of_target_range(self, geo):
+        target = geo.target_position(0, 0)
+        for pos in geo.pair_positions(0, 0):
+            assert math.dist(pos, target) > geo.hardware.rydberg_radius_um
+
+    def test_bt_hover_geometry(self, geo):
+        target = geo.target_position(0, 0)
+        a, b = geo.bt_positions(0, 0)
+        assert math.dist(b, target) <= geo.hardware.rydberg_radius_um
+        assert math.dist(a, target) > geo.hardware.rydberg_radius_um
+        assert math.dist(a, b) > geo.hardware.rydberg_radius_um
+
+    def test_at_hover_geometry(self, geo):
+        target = geo.target_position(0, 0)
+        a, b = geo.at_positions(0, 0)
+        assert math.dist(a, target) <= geo.hardware.rydberg_radius_um
+        assert math.dist(b, target) > geo.hardware.rydberg_radius_um
+
+    def test_adjacent_slots_never_interact(self, geo):
+        # Even at the widest stance, neighbor-slot atoms stay out of range.
+        _, b0 = geo.stage_positions(0, 0)
+        a1, _ = geo.stage_positions(0, 1)
+        assert math.dist(b0, a1) > geo.hardware.rydberg_radius_um
+
+    def test_home_positions_distinct_x(self, geo):
+        xs = [geo.home_position(v, 10)[0] for v in range(10)]
+        assert len(set(xs)) == 10
+
+    def test_home_pitch_beyond_radius(self, geo):
+        assert geo.home_pitch_um > geo.hardware.rydberg_radius_um
+
+
+class TestZoneGrid:
+    def test_diagonal_layout_when_no_grid(self):
+        geo = zone_layout()
+        x0, y0 = geo.zone_origin(0)
+        x1, y1 = geo.zone_origin(1)
+        assert y1 - y0 == pytest.approx(geo.zone_pitch_um)
+        assert x1 - x0 == pytest.approx(geo.diagonal_step_um)
+
+    def test_grid_layout_packs_rows(self):
+        geo = zone_layout(zones_per_row=3, slots_per_zone=2)
+        # Zones 0..2 share a row; zone 3 starts the next row.
+        assert geo.zone_origin(0)[1] == geo.zone_origin(2)[1]
+        assert geo.zone_origin(3)[1] > geo.zone_origin(0)[1]
+
+    def test_grid_cells_do_not_overlap(self):
+        geo = zone_layout(zones_per_row=2, slots_per_zone=3)
+        width = geo.zone_cell_width_um()
+        x0 = geo.zone_origin(0)[0]
+        x1 = geo.zone_origin(1)[0]
+        assert x1 - x0 == pytest.approx(width)
+
+    def test_zones_vertically_separated(self):
+        geo = zone_layout(zones_per_row=2, slots_per_zone=2)
+        y_step = geo.zone_origin(2)[1] - geo.zone_origin(0)[1]
+        zone_height = geo.control_height_um + geo.separation_offset_um
+        assert y_step > zone_height + geo.hardware.rydberg_radius_um

@@ -1,0 +1,161 @@
+"""Unit tests for the linear-algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.linalg import (
+    allclose_up_to_global_phase,
+    apply_gate_to_state,
+    apply_gate_to_unitary,
+    expand_gate,
+    fidelity,
+    global_phase_between,
+    is_unitary,
+    kron_all,
+    projector_phase_polynomial,
+    random_statevector,
+)
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Z = np.diag([1, -1]).astype(complex)
+_CX = np.array([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex)
+
+
+class TestKron:
+    def test_empty_product_is_scalar_one(self):
+        assert kron_all([]).shape == (1, 1)
+        assert kron_all([])[0, 0] == 1.0
+
+    def test_two_factor_product(self):
+        out = kron_all([_X, _Z])
+        assert out.shape == (4, 4)
+        assert np.allclose(out, np.kron(_X, _Z))
+
+    def test_three_factor_shape(self):
+        assert kron_all([_X, _X, _X]).shape == (8, 8)
+
+
+class TestIsUnitary:
+    def test_pauli_x_is_unitary(self):
+        assert is_unitary(_X)
+
+    def test_projector_is_not_unitary(self):
+        assert not is_unitary(np.diag([1.0, 0.0]))
+
+    def test_non_square_is_not_unitary(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+
+class TestGlobalPhase:
+    def test_identical_matrices(self):
+        assert global_phase_between(_X, _X) == pytest.approx(1.0)
+
+    def test_phase_multiple_detected(self):
+        phase = np.exp(0.7j)
+        found = global_phase_between(phase * _X, _X)
+        assert found is not None
+        assert found == pytest.approx(phase)
+
+    def test_different_matrices_rejected(self):
+        assert global_phase_between(_X, _Z) is None
+
+    def test_scaled_matrix_rejected(self):
+        # 2X is not a phase multiple of X (|phase| must be 1).
+        assert global_phase_between(2.0 * _X, _X) is None
+
+    def test_shape_mismatch_rejected(self):
+        assert global_phase_between(_X, _CX) is None
+
+    def test_allclose_wrapper(self):
+        assert allclose_up_to_global_phase(1j * _Z, _Z)
+        assert not allclose_up_to_global_phase(_X, _Z)
+
+
+class TestGateApplication:
+    def test_x_on_qubit_zero_little_endian(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0
+        out = apply_gate_to_state(_X, (0,), state, 2)
+        assert np.argmax(np.abs(out)) == 1  # |01> with qubit0 = 1
+
+    def test_x_on_qubit_one_little_endian(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1.0
+        out = apply_gate_to_state(_X, (1,), state, 2)
+        assert np.argmax(np.abs(out)) == 2
+
+    def test_cx_control_first_convention(self):
+        # |q0=1, q1=0> = index 1 must map to |11> = index 3.
+        state = np.zeros(4, dtype=complex)
+        state[1] = 1.0
+        out = apply_gate_to_state(_CX, (0, 1), state, 2)
+        assert np.argmax(np.abs(out)) == 3
+
+    def test_cx_no_trigger_when_control_zero(self):
+        state = np.zeros(4, dtype=complex)
+        state[2] = 1.0  # q1 = 1, q0 = 0
+        out = apply_gate_to_state(_CX, (0, 1), state, 2)
+        assert np.argmax(np.abs(out)) == 2
+
+    def test_wrong_matrix_shape_raises(self):
+        with pytest.raises(SimulationError):
+            apply_gate_to_state(_X, (0, 1), np.zeros(4, dtype=complex), 2)
+
+    def test_duplicate_qubits_raise(self):
+        with pytest.raises(SimulationError):
+            apply_gate_to_state(_CX, (0, 0), np.zeros(4, dtype=complex), 2)
+
+    def test_unitary_application_matches_expand(self):
+        unitary = np.eye(4, dtype=complex)
+        via_apply = apply_gate_to_unitary(_CX, (1, 0), unitary, 2)
+        via_expand = expand_gate(_CX, (1, 0), 2)
+        assert np.allclose(via_apply, via_expand)
+
+    def test_expand_refuses_huge_register(self):
+        with pytest.raises(SimulationError):
+            expand_gate(_X, (0,), 20)
+
+
+class TestStatevectors:
+    def test_random_statevector_normalized(self):
+        rng = np.random.default_rng(3)
+        vec = random_statevector(5, rng)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_fidelity_of_identical_states(self):
+        rng = np.random.default_rng(4)
+        vec = random_statevector(3, rng)
+        assert fidelity(vec, vec) == pytest.approx(1.0)
+
+    def test_fidelity_of_orthogonal_states(self):
+        a = np.array([1, 0], dtype=complex)
+        b = np.array([0, 1], dtype=complex)
+        assert fidelity(a, b) == pytest.approx(0.0)
+
+
+class TestPhasePolynomial:
+    def test_shape(self):
+        z = projector_phase_polynomial(3)
+        assert z.shape == (8, 3)
+
+    def test_values_are_plus_minus_one(self):
+        z = projector_phase_polynomial(4)
+        assert set(np.unique(z)) == {-1.0, 1.0}
+
+    def test_qubit_zero_alternates(self):
+        z = projector_phase_polynomial(2)
+        assert list(z[:, 0]) == [1.0, -1.0, 1.0, -1.0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10**6))
+def test_gate_application_preserves_norm(num_qubits, seed):
+    """Applying a unitary must preserve the statevector norm."""
+    rng = np.random.default_rng(seed)
+    state = random_statevector(num_qubits, rng)
+    qubit = int(rng.integers(0, num_qubits))
+    out = apply_gate_to_state(_X, (qubit,), state, num_qubits)
+    assert np.linalg.norm(out) == pytest.approx(1.0)

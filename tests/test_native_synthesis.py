@@ -1,0 +1,60 @@
+"""Tests for native gate synthesis ({U3, CZ} basis, paper §7)."""
+
+import pytest
+
+from repro.circuits import QuantumCircuit, circuits_equivalent
+from repro.passes import nativize_circuit
+
+
+NATIVE_NAMES = {"u3", "cz", "barrier", "measure"}
+
+
+class TestNativize:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda qc: qc.h(0),
+            lambda qc: qc.x(0).y(1).z(2),
+            lambda qc: qc.cx(0, 1),
+            lambda qc: qc.swap(1, 2),
+            lambda qc: qc.ccx(0, 1, 2),
+            lambda qc: qc.ccz(0, 1, 2),
+            lambda qc: qc.rzz(0.77, 0, 2),
+            lambda qc: qc.cp(1.3, 1, 2),
+            lambda qc: qc.raman(0.1, 0.2, 0.3, 0),
+        ],
+        ids=[
+            "h", "paulis", "cx", "swap", "ccx", "ccz", "rzz", "cp", "raman",
+        ],
+    )
+    def test_gate_zoo_equivalence(self, builder):
+        qc = QuantumCircuit(3)
+        builder(qc)
+        native = nativize_circuit(qc)
+        assert {i.name for i in native.instructions} <= NATIVE_NAMES
+        assert circuits_equivalent(qc, native)
+
+    def test_composite_circuit_equivalence(self):
+        qc = QuantumCircuit(4)
+        qc.h(0).cx(0, 1).rz(0.3, 2).ccx(0, 1, 2).swap(2, 3)
+        qc.ccz(1, 2, 3).rzz(0.7, 0, 3).cp(1.1, 1, 3).t(0).sdg(2)
+        native = nativize_circuit(qc)
+        assert circuits_equivalent(qc, native)
+
+    def test_measurements_preserved(self):
+        qc = QuantumCircuit(1, 1).h(0).measure(0, 0)
+        native = nativize_circuit(qc)
+        assert native.count_ops()["measure"] == 1
+
+    def test_fusion_reduces_gate_count(self):
+        qc = QuantumCircuit(1)
+        for _ in range(6):
+            qc.t(0)
+        fused = nativize_circuit(qc, fuse=True)
+        unfused = nativize_circuit(qc, fuse=False)
+        assert len(fused) < len(unfused)
+
+    def test_ccz_decomposition_is_six_cz(self):
+        qc = QuantumCircuit(3).ccz(0, 1, 2)
+        native = nativize_circuit(qc)
+        assert native.count_ops()["cz"] == 6

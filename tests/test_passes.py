@@ -1,0 +1,303 @@
+"""Tests for the wOptimizer passes (paper §5)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_unitary, circuits_equivalent
+from repro.exceptions import CompilationError
+from repro.fpqa import FPQAHardwareParams, zone_layout
+from repro.linalg import allclose_up_to_global_phase
+from repro.passes import (
+    ClauseColoringPass,
+    CompilationContext,
+    GateCompressionPass,
+    PassManager,
+    compression_beneficial,
+    plan_waves,
+)
+from repro.passes.color_shuttling import (
+    ColorShuttlingPass,
+    reorder_groups_for_shuttling,
+    zone_destinations,
+)
+from repro.passes.gate_compression import (
+    compressed_raman_matrices,
+    fragment_fidelity_compressed,
+    fragment_fidelity_ladder,
+    pair_raman_matrices,
+    unit_raman_matrix,
+)
+from repro.passes.woptimizer import ZoneLayoutPass
+from repro.qaoa import QaoaParameters
+from repro.qaoa.cost import cost_unitary_diagonal
+from repro.sat import CnfFormula, clause_polynomial
+from repro.sat.cnf import Clause
+
+
+def make_context(formula, **kwargs):
+    hardware = FPQAHardwareParams()
+    return CompilationContext(
+        formula=formula,
+        parameters=QaoaParameters(),
+        hardware=hardware,
+        geometry=zone_layout(hardware),
+        **kwargs,
+    )
+
+
+class TestClauseColoringPass:
+    def test_paper_example_grouping(self, paper_formula):
+        context = make_context(paper_formula)
+        ClauseColoringPass().run(context)
+        coloring = context.properties["coloring"]
+        assert coloring.num_colors == 2
+        assert sorted(len(g) for g in coloring.groups) == [1, 2]
+
+    def test_placements_cover_all_clauses(self, mixed_formula):
+        context = make_context(mixed_formula)
+        ClauseColoringPass().run(context)
+        coloring = context.properties["coloring"]
+        assert len(coloring.placements) == len(mixed_formula.clauses)
+
+    def test_signs_track_variables(self, paper_formula):
+        context = make_context(paper_formula)
+        ClauseColoringPass().run(context)
+        coloring = context.properties["coloring"]
+        for placement in coloring.placements:
+            clause = paper_formula.clauses[placement.clause_index]
+            for qubit, sign in zip(placement.qubits, placement.signs):
+                literal = [l for l in clause.literals if abs(l) - 1 == qubit][0]
+                assert (literal > 0) == (sign > 0)
+
+    def test_same_color_clauses_disjoint(self, uf20):
+        context = make_context(uf20)
+        ClauseColoringPass().run(context)
+        coloring = context.properties["coloring"]
+        for group in coloring.groups:
+            seen: set[int] = set()
+            for clause_index in group:
+                variables = set(coloring.placements[clause_index].qubits)
+                assert not (seen & variables)
+                seen |= variables
+
+    def test_non_3sat_rejected(self):
+        formula = CnfFormula.from_lists([[1, 2, 3, 4]], num_vars=4)
+        with pytest.raises(CompilationError):
+            ClauseColoringPass().run(make_context(formula))
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(CompilationError):
+            ClauseColoringPass("rainbow")
+
+    def test_greedy_algorithm_also_valid(self, uf20):
+        context = make_context(uf20)
+        ClauseColoringPass("greedy").run(context)
+        assert context.properties["coloring"].num_colors >= 1
+
+
+class TestPlanWaves:
+    def test_order_preserving_single_wave(self):
+        sources = {0: (0.0, 0.0), 1: (10.0, 0.0), 2: (20.0, 0.0)}
+        dests = {0: (100.0, 50.0), 1: (110.0, 50.0), 2: (120.0, 50.0)}
+        waves = plan_waves(sources, dests)
+        assert len(waves) == 1
+        assert waves[0].atoms == (0, 1, 2)
+
+    def test_reversed_order_needs_n_waves(self):
+        sources = {0: (20.0, 0.0), 1: (10.0, 0.0), 2: (0.0, 0.0)}
+        dests = {0: (100.0, 50.0), 1: (110.0, 50.0), 2: (120.0, 50.0)}
+        waves = plan_waves(sources, dests)
+        assert len(waves) == 3
+
+    def test_paper_example_two_step_shuttle(self):
+        """§5.3: order x2 > x4 > x5 becoming x4 > x2 > x5 takes two waves."""
+        sources = {"x2": (0.0, 0.0), "x4": (10.0, 0.0), "x5": (20.0, 0.0)}
+        dests = {"x4": (100.0, 1.0), "x2": (110.0, 1.0), "x5": (120.0, 1.0)}
+        waves = plan_waves(sources, dests)
+        assert len(waves) == 2
+        assert set(waves[0].atoms) == {"x4", "x5"}
+        assert waves[1].atoms == ("x2",)
+
+    def test_min_gap_splits_waves(self):
+        sources = {0: (0.0, 0.0), 1: (2.0, 0.0)}
+        dests = {0: (50.0, 9.0), 1: (60.0, 9.0)}
+        assert len(plan_waves(sources, dests, min_gap_um=5.0)) == 2
+
+    def test_waves_partition_the_move_set(self):
+        rng = np.random.default_rng(5)
+        atoms = list(range(12))
+        xs = rng.permutation(12) * 10.0
+        sources = {a: (float(xs[a]), 0.0) for a in atoms}
+        dests = {a: (a * 10.0, 30.0) for a in atoms}
+        waves = plan_waves(sources, dests, min_gap_um=5.0)
+        moved = [atom for wave in waves for atom in wave.atoms]
+        assert sorted(moved) == atoms
+        for wave in waves:
+            src_xs = [s[0] for s in wave.sources]
+            assert src_xs == sorted(src_xs)
+
+    def test_mismatched_sets_rejected(self):
+        with pytest.raises(CompilationError):
+            plan_waves({0: (0.0, 0.0)}, {1: (1.0, 1.0)})
+
+    def test_duplicate_destination_x_rejected(self):
+        with pytest.raises(CompilationError):
+            plan_waves(
+                {0: (0.0, 0.0), 1: (10.0, 0.0)},
+                {0: (5.0, 1.0), 1: (5.0, 2.0)},
+            )
+
+
+class TestShuttlingPass:
+    def _coloring(self, formula):
+        context = make_context(formula)
+        ClauseColoringPass().run(context)
+        ZoneLayoutPass().run(context)
+        return context
+
+    def test_plan_produced_for_every_color(self, paper_formula):
+        context = self._coloring(paper_formula)
+        ColorShuttlingPass().run(context)
+        plans = context.properties["shuttle_plan"]
+        coloring = context.properties["coloring"]
+        assert len(plans) == coloring.num_colors
+
+    def test_final_parked_covers_used_atoms(self, paper_formula):
+        context = self._coloring(paper_formula)
+        ColorShuttlingPass().run(context)
+        parked = context.properties["final_parked"]
+        assert set(parked) == set(range(paper_formula.num_vars))
+
+    def test_reorder_sets_roles_by_x(self, paper_formula):
+        context = self._coloring(paper_formula)
+        coloring = context.properties["coloring"]
+        geometry = context.geometry
+        home = {
+            v: geometry.home_position(v, paper_formula.num_vars)
+            for v in range(paper_formula.num_vars)
+        }
+        reorder_groups_for_shuttling(coloring, geometry, home)
+        parked = dict(home)
+        for color in range(coloring.num_colors):
+            for placement in coloring.group_placements(color):
+                if placement.arity == 3:
+                    a, b, t = placement.qubits
+                    assert parked[a][0] < parked[t][0] < parked[b][0]
+            parked.update(zone_destinations(coloring, geometry, color))
+
+    def test_unit_clauses_not_moved(self):
+        formula = CnfFormula.from_lists([[3]], num_vars=3)
+        context = self._coloring(formula)
+        ColorShuttlingPass().run(context)
+        plans = context.properties["shuttle_plan"]
+        assert all(not plan.waves for plan in plans)
+
+
+class TestGateCompressionPass:
+    def test_default_hardware_prefers_compression(self):
+        assert compression_beneficial(FPQAHardwareParams())
+
+    def test_poor_ccz_disables_compression(self):
+        hardware = FPQAHardwareParams().with_overrides(fidelity_ccz=0.90)
+        assert not compression_beneficial(hardware)
+
+    def test_override_respected(self, paper_formula):
+        context = make_context(paper_formula, compression_override=False)
+        GateCompressionPass().run(context)
+        assert not context.properties["fragments"].use_compression
+
+    def test_fidelity_estimates_ordering(self):
+        hardware = FPQAHardwareParams()
+        assert 0 < fragment_fidelity_ladder(hardware) < 1
+        assert 0 < fragment_fidelity_compressed(hardware) < 1
+
+
+class TestFragmentAlgebra:
+    """The Raman matrices must compose to exp(-i*gamma*P_C) exactly."""
+
+    @pytest.mark.parametrize(
+        "literals", [(-1, -2, -3), (1, 2, 3), (1, -2, 3), (-1, 2, -3)]
+    )
+    def test_compressed_matrices_compose_to_fragment(self, literals):
+        from repro.passes.clause_coloring import ClausePlacement
+
+        gamma = 0.77
+        clause = Clause(literals)
+        qubits = tuple(abs(l) - 1 for l in sorted(literals, key=abs))
+        signs = tuple(1.0 if l > 0 else -1.0 for l in sorted(literals, key=abs))
+        placement = ClausePlacement(0, 0, 0, qubits, signs)
+        mats = compressed_raman_matrices(placement, gamma)
+        qa, qb, qt = placement.qubits
+        circuit = QuantumCircuit(3)
+
+        def raman(key, qubit):
+            if mats[key] is not None:
+                from repro.circuits.gates import u3_from_matrix
+
+                circuit.append(u3_from_matrix(mats[key]), (qubit,))
+
+        raman("ctrl_pre_a", qa)
+        raman("ctrl_pre_b", qb)
+        raman("target_pre", qt)
+        circuit.ccz(qa, qb, qt)
+        raman("target_mid", qt)
+        circuit.ccz(qa, qb, qt)
+        raman("target_post", qt)
+        raman("ctrl_post_a", qa)
+        raman("ctrl_post_b", qb)
+        raman("b_pre", qb)
+        circuit.cz(qa, qb)
+        raman("b_mid", qb)
+        circuit.cz(qa, qb)
+        raman("b_post", qb)
+        exact = cost_unitary_diagonal(clause_polynomial(clause, 3), gamma)
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), np.diag(exact))
+
+    @pytest.mark.parametrize("literals", [(1, -2), (-1, -2), (1, 2)])
+    def test_pair_matrices_compose_to_fragment(self, literals):
+        from repro.circuits.gates import u3_from_matrix
+        from repro.passes.clause_coloring import ClausePlacement
+
+        gamma = 0.41
+        clause = Clause(literals)
+        qubits = tuple(abs(l) - 1 for l in sorted(literals, key=abs))
+        signs = tuple(1.0 if l > 0 else -1.0 for l in sorted(literals, key=abs))
+        placement = ClausePlacement(0, 0, 0, qubits, signs)
+        mats = pair_raman_matrices(placement, gamma)
+        qa, qb = placement.qubits
+        circuit = QuantumCircuit(2)
+        circuit.append(u3_from_matrix(mats["b_pre"]), (qb,))
+        circuit.cz(qa, qb)
+        circuit.append(u3_from_matrix(mats["b_mid"]), (qb,))
+        circuit.cz(qa, qb)
+        circuit.append(u3_from_matrix(mats["b_post"]), (qb,))
+        circuit.append(u3_from_matrix(mats["a_post"]), (qa,))
+        exact = cost_unitary_diagonal(clause_polynomial(clause, 2), gamma)
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), np.diag(exact))
+
+    @pytest.mark.parametrize("literal", [1, -1])
+    def test_unit_matrix(self, literal):
+        from repro.passes.clause_coloring import ClausePlacement
+
+        gamma = 0.9
+        clause = Clause((literal,))
+        placement = ClausePlacement(0, 0, 0, (0,), (1.0 if literal > 0 else -1.0,))
+        matrix = unit_raman_matrix(placement, gamma)
+        exact = cost_unitary_diagonal(clause_polynomial(clause, 1), gamma)
+        assert allclose_up_to_global_phase(matrix, np.diag(exact))
+
+
+class TestPassManager:
+    def test_requires_at_least_one_pass(self):
+        with pytest.raises(CompilationError):
+            PassManager([])
+
+    def test_records_timing_stats(self, paper_formula):
+        context = make_context(paper_formula)
+        PassManager([ClauseColoringPass()]).run(context)
+        assert "seconds" in context.stats["clause-coloring"]
+
+    def test_missing_property_reported(self, paper_formula):
+        context = make_context(paper_formula)
+        with pytest.raises(CompilationError):
+            context.require("coloring")

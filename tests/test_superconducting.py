@@ -1,0 +1,195 @@
+"""Tests for the superconducting path: coupling, SABRE, basis, transpiler."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit, circuit_unitary, circuits_equivalent
+from repro.exceptions import RoutingError
+from repro.linalg import allclose_up_to_global_phase
+from repro.passes import nativize_circuit
+from repro.passes.native_synthesis import fuse_single_qubit_runs
+from repro.superconducting import (
+    SabreRouter,
+    SuperconductingTranspiler,
+    grid_coupling,
+    heavy_hex_coupling,
+    line_coupling,
+    to_ibm_basis,
+    washington_backend,
+)
+from repro.superconducting.basis import count_ibm_ops
+from repro.superconducting.transpiler import estimate_duration_us, estimate_eps
+
+
+class TestCouplingMaps:
+    def test_line_structure(self):
+        cm = line_coupling(4)
+        assert cm.num_qubits == 4
+        assert cm.are_connected(1, 2)
+        assert not cm.are_connected(0, 3)
+
+    def test_grid_structure(self):
+        cm = grid_coupling(2, 3)
+        assert cm.num_qubits == 6
+        assert cm.are_connected(0, 3)  # vertical
+        assert cm.are_connected(0, 1)  # horizontal
+
+    def test_heavy_hex_is_washington_sized(self):
+        cm = heavy_hex_coupling()
+        assert cm.num_qubits == 127
+        assert cm.is_connected()
+        assert max(len(adj) for adj in cm.adjacency) == 3  # heavy-hex degree
+
+    def test_distance_matrix_symmetric(self):
+        cm = grid_coupling(3, 3)
+        dist = cm.distance_matrix()
+        assert np.allclose(dist, dist.T)
+        assert dist[0, 8] == 4  # Manhattan distance corner to corner
+
+    def test_invalid_edge_rejected(self):
+        from repro.superconducting.coupling import CouplingMap
+
+        with pytest.raises(RoutingError):
+            CouplingMap(2, [(0, 5)])
+
+    def test_disconnected_map_detected(self):
+        from repro.superconducting.coupling import CouplingMap
+
+        cm = CouplingMap(4, [(0, 1), (2, 3)])
+        assert not cm.is_connected()
+
+
+def routed_equivalent(circuit: QuantumCircuit, routing) -> bool:
+    """Check a routing result against the original circuit exactly.
+
+    The routed circuit equals (output permutation) . (original embedded at
+    the initial layout).
+    """
+    n = routing.circuit.num_qubits
+    embedded = QuantumCircuit(n)
+    for inst in circuit.instructions:
+        embedded.append(inst.gate, [routing.initial_layout[q] for q in inst.qubits])
+    dim = 2**n
+    permutation = np.zeros((dim, dim))
+    for basis in range(dim):
+        bits = [(basis >> i) & 1 for i in range(n)]
+        out = list(bits)
+        for logical in range(circuit.num_qubits):
+            out[routing.final_layout[logical]] = bits[routing.initial_layout[logical]]
+        target = sum(v << i for i, v in enumerate(out))
+        permutation[target, basis] = 1
+    routed_u = circuit_unitary(routing.circuit)
+    reference = permutation @ circuit_unitary(embedded)
+    return allclose_up_to_global_phase(routed_u, reference)
+
+
+class TestSabre:
+    def test_line_routing_correct(self):
+        qc = QuantumCircuit(4).h(0).cx(0, 3).cx(1, 2).cx(0, 2).cx(3, 1)
+        routing = SabreRouter(line_coupling(4)).route(qc)
+        assert routing.num_swaps > 0
+        assert routed_equivalent(qc, routing)
+
+    def test_already_routable_circuit_untouched(self):
+        qc = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        routing = SabreRouter(line_coupling(3)).route(qc)
+        assert routing.num_swaps == 0
+
+    def test_grid_routing_correct(self):
+        rng = np.random.default_rng(7)
+        qc = QuantumCircuit(6)
+        for _ in range(12):
+            a, b = rng.choice(6, size=2, replace=False)
+            qc.cz(int(a), int(b))
+        routing = SabreRouter(grid_coupling(2, 3)).route(qc)
+        assert routed_equivalent(qc, routing)
+
+    def test_all_gates_adjacent_after_routing(self):
+        qc = QuantumCircuit(5)
+        rng = np.random.default_rng(9)
+        for _ in range(15):
+            a, b = rng.choice(5, size=2, replace=False)
+            qc.cz(int(a), int(b))
+        coupling = line_coupling(5)
+        routing = SabreRouter(coupling).route(qc)
+        for inst in routing.circuit.instructions:
+            if len(inst.qubits) == 2:
+                assert coupling.are_connected(*inst.qubits)
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(RoutingError):
+            SabreRouter(line_coupling(2)).route(QuantumCircuit(3))
+
+    def test_three_qubit_gates_rejected(self):
+        qc = QuantumCircuit(3).ccz(0, 1, 2)
+        with pytest.raises(RoutingError):
+            SabreRouter(line_coupling(3)).route(qc)
+
+    def test_duplicate_layout_rejected(self):
+        qc = QuantumCircuit(2).cx(0, 1)
+        with pytest.raises(RoutingError):
+            SabreRouter(line_coupling(2)).route(qc, initial_layout=[0, 0])
+
+
+class TestBasisTranslation:
+    def test_ibm_basis_gate_set(self):
+        qc = QuantumCircuit(2).h(0).cz(0, 1).t(1)
+        ibm = to_ibm_basis(qc)
+        names = {i.name for i in ibm.instructions}
+        assert names <= {"rz", "sx", "x", "cx"}
+
+    def test_ibm_basis_preserves_unitary(self):
+        qc = QuantumCircuit(3).h(0).cz(0, 1).swap(1, 2).u3(0.2, 0.4, 0.6, 2)
+        assert circuits_equivalent(qc, to_ibm_basis(qc))
+
+    def test_virtual_rz_is_free_form(self):
+        qc = QuantumCircuit(1).rz(0.7, 0)
+        ibm = to_ibm_basis(qc)
+        assert ibm.count_ops() == {"rz": 1}  # no SX needed for diagonal gates
+
+    def test_fusion_collapses_runs(self):
+        qc = QuantumCircuit(1).h(0).h(0)
+        assert len(fuse_single_qubit_runs(qc)) == 0  # H.H = identity dropped
+
+    def test_fusion_preserves_unitary(self):
+        qc = QuantumCircuit(2).h(0).t(0).sx(0).cx(0, 1).s(1).h(1)
+        assert circuits_equivalent(qc, fuse_single_qubit_runs(qc))
+
+    def test_count_ibm_ops(self):
+        qc = QuantumCircuit(2, 2).sx(0).cx(0, 1).measure(0, 0)
+        counts = count_ibm_ops(qc)
+        assert counts == {"1q": 1, "2q": 1, "measure": 1}
+
+
+class TestTranspiler:
+    def test_full_pipeline_small_circuit(self):
+        qc = QuantumCircuit(4).h(0).cx(0, 1).ccz(1, 2, 3).measure_all()
+        result = SuperconductingTranspiler().transpile(qc)
+        assert result.duration_us > 0
+        assert 0 < result.eps < 1
+        assert result.counts["2q"] > 0
+
+    def test_qubit_capacity_enforced(self):
+        with pytest.raises(RoutingError):
+            SuperconductingTranspiler().transpile(QuantumCircuit(200))
+
+    def test_duration_counts_layers(self):
+        backend = washington_backend()
+        qc = QuantumCircuit(2).cx(0, 1)
+        assert estimate_duration_us(qc, backend) == pytest.approx(
+            backend.duration_2q_us
+        )
+
+    def test_parallel_gates_share_duration(self):
+        backend = washington_backend()
+        seq = QuantumCircuit(2).sx(0).sx(0)
+        par = QuantumCircuit(2).sx(0).sx(1)
+        assert estimate_duration_us(par, backend) < estimate_duration_us(seq, backend)
+
+    def test_eps_decreases_with_more_gates(self):
+        backend = washington_backend()
+        small = QuantumCircuit(2).cx(0, 1)
+        large = QuantumCircuit(2)
+        for _ in range(30):
+            large.cx(0, 1)
+        assert estimate_eps(large, backend) < estimate_eps(small, backend)

@@ -1,0 +1,64 @@
+"""Tests for the execution-trace tooling."""
+
+import json
+
+import pytest
+
+from repro.fpqa.trace import render_frame, trace_program
+
+
+@pytest.fixture(scope="module")
+def trace(compiled_paper_example):
+    return trace_program(compiled_paper_example.program)
+
+
+class TestTrace:
+    def test_event_per_instruction(self, trace, compiled_paper_example):
+        assert len(trace.events) == len(
+            compiled_paper_example.program.fpqa_instructions()
+        )
+
+    def test_clock_is_monotone(self, trace):
+        times = [e.time_us for e in trace.events]
+        assert times == sorted(times)
+
+    def test_total_duration_positive(self, trace):
+        assert trace.total_duration_us > 0
+
+    def test_rydberg_events_name_clusters(self, trace):
+        rydbergs = [e for e in trace.events if e.kind == "rydberg"]
+        assert rydbergs
+        assert all("clusters" in e.detail for e in rydbergs)
+
+    def test_atom_path_continuous(self, trace):
+        path = trace.atom_path(0)
+        assert len(path) > 1
+        assert path[0][0] == 0.0 or path[0][0] >= 0.0
+
+    def test_moved_atoms_travel(self, trace, compiled_paper_example):
+        # Variables used in clauses must have moved; total travel positive.
+        used = compiled_paper_example.context.formula.variables_used()
+        moved = [trace.total_travel_um(v - 1) for v in used]
+        assert any(t > 0 for t in moved)
+
+    def test_json_export_parses(self, trace):
+        payload = json.loads(trace.to_json())
+        assert payload[0]["kind"] == "setup"
+        assert "positions" in payload[-1]
+
+    def test_render_frame(self, trace):
+        frame = render_frame(trace.events[-1])
+        assert "t=" in frame
+        lines = frame.splitlines()
+        assert len(lines) == 21  # header + 20 rows
+        body = "\n".join(lines[1:])
+        assert any(ch.isdigit() or ch == "*" for ch in body)
+
+    def test_empty_positions_rejected(self, trace):
+        from dataclasses import replace
+
+        from repro.exceptions import VerificationError
+
+        bare = replace(trace.events[0], positions={})
+        with pytest.raises(VerificationError):
+            render_frame(bare)
