@@ -1,0 +1,71 @@
+"""Batched compilation sessions: sweeps with budgets, caching, fan-out.
+
+Production-style use of the target API: one :class:`repro.CompilerSession`
+compiles a grid of (workload x target) cells with
+
+* per-target compile budgets (runaway compilers become ``timed_out`` rows
+  instead of hung processes — the paper's "X" cells at laptop scale);
+* an on-disk JSON result cache (re-run this script and watch every cell
+  come back instantly); and
+* optional process-pool fan-out (``parallel=N``) that keeps results in
+  input order.
+
+Run:  python examples/batched_compilation.py [--parallel N]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro
+from repro.evaluation import format_table
+
+TARGETS = ("fpqa", "fpqa-nocompress", "atomique", "dpqa")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--parallel", type=int, default=2)
+    parser.add_argument(
+        "--cache-dir", default=".weaver-cache", help="on-disk result cache"
+    )
+    args = parser.parse_args()
+
+    workloads = [repro.satlib_instance(f"uf20-{i:02d}") for i in range(1, 5)]
+    session = repro.CompilerSession(
+        budgets={"dpqa": 30.0, "geyser": 30.0},
+        cache_dir=args.cache_dir,
+    )
+
+    start = time.perf_counter()
+    results = session.compile_many(
+        workloads, targets=TARGETS, parallel=args.parallel
+    )
+    elapsed = time.perf_counter() - start
+
+    rows = [
+        {
+            "workload": r.workload,
+            "target": r.target,
+            "ok": r.succeeded,
+            "cached": r.cached,
+            "compile_s": r.compile_seconds,
+            "eps": r.eps,
+            "pulses": r.num_pulses,
+        }
+        for r in results
+    ]
+    print(format_table(rows, title="Batched compilation grid"))
+    hits = sum(1 for r in results if r.cached)
+    print(
+        f"{len(results)} cells in {elapsed:.2f}s with parallel={args.parallel} "
+        f"({hits} served from {args.cache_dir}/)"
+    )
+    print("Re-run this script: every cell is a cache hit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import CnfFormula, check_program, compile_formula
+import repro
+from repro import CnfFormula, check_program
 from repro.fpqa import RamanLocal, RydbergPulse, Shuttle, ShuttleMove
 from repro.wqasm.program import AnnotatedOperation
 
@@ -52,7 +53,7 @@ def main() -> None:
     formula = CnfFormula.from_lists(
         [[-1, -2, -3], [4, -5, 6], [3, 5, -6]], num_vars=6, name="paper-example"
     )
-    result = compile_formula(formula, measure=False)
+    result = repro.compile(formula, target="fpqa", measure=False)
     program = result.program
 
     print("Checking the honest program...")

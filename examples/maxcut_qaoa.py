@@ -14,7 +14,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import CnfFormula, QaoaParameters, check_program, compile_formula
+import repro
+from repro import CnfFormula, QaoaParameters, check_program
 from repro.qaoa import expected_unsatisfied, sample_best_assignment
 
 # The graph of Figure 1(a): vertices a..f, edges chosen so the best cut is
@@ -53,7 +54,7 @@ def main() -> None:
     for gamma in (-1.2, -0.8, -0.4, 0.4, 0.8, 1.2):
         for beta in (0.15, 0.3, 0.45):
             params = QaoaParameters((gamma,), (beta,))
-            result = compile_formula(formula, parameters=params, measure=False)
+            result = repro.compile(formula, parameters=params, measure=False)
             energy = expected_unsatisfied(formula, result.program.logical_circuit())
             if energy < best_energy:
                 best_params, best_energy = params, energy
@@ -64,7 +65,7 @@ def main() -> None:
     )
 
     # Compile at the best angles and verify before "running".
-    result = compile_formula(formula, parameters=best_params)
+    result = repro.compile(formula, parameters=best_params)
     report = check_program(result.program, reference=result.native_circuit)
     report.raise_on_failure()
     print(f"wChecker passed over {report.operations_checked} operations")

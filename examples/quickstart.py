@@ -4,9 +4,10 @@ Walks the full Weaver workflow of paper Figure 3 on the running example of
 Figure 5 / Algorithm 1:
 
 1. express the problem as a MAX-3SAT formula;
-2. compile with the wOptimizer (clause coloring -> color shuttling ->
-   3-qubit gate compression), producing a validated wQasm program;
-3. inspect the program: pulse counts, estimated execution time and EPS;
+2. compile it with ``repro.compile(..., target="fpqa")`` — the wOptimizer
+   pipeline (clause coloring -> color shuttling -> 3-qubit gate
+   compression) producing a validated wQasm program;
+3. inspect the unified result: pulse counts, execution time and EPS;
 4. verify equivalence with the wChecker.
 
 Run:  python examples/quickstart.py
@@ -17,25 +18,19 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import (
-    CnfFormula,
-    check_program,
-    compile_formula,
-    program_duration_us,
-    program_eps,
-)
+import repro
 
 
 def main() -> None:
     # The paper's example formula: three clauses over six variables.
-    formula = CnfFormula.from_lists(
+    formula = repro.CnfFormula.from_lists(
         [[-1, -2, -3], [4, -5, 6], [3, 5, -6]], num_vars=6, name="paper-example"
     )
     print(f"Formula: {formula}")
 
-    # Compile for the FPQA backend.  The result bundles the wQasm program,
-    # per-pass statistics, and the hardware-agnostic reference circuit.
-    result = compile_formula(formula)
+    # Compile for the FPQA target.  The result bundles the wQasm program,
+    # per-pass statistics, cost estimates, and the reference circuit.
+    result = repro.compile(formula, target="fpqa")
     program = result.program
     stats = result.stats
 
@@ -44,8 +39,8 @@ def main() -> None:
     print(f"  shuttle waves:           {stats['color-shuttling']['total_waves']}")
     print(f"  CCZ compression used:    {stats['gate-compression']['use_compression']}")
     print(f"  pulse counts:            {program.pulse_counts()}")
-    print(f"  est. execution time:     {program_duration_us(program) / 1e3:.2f} ms")
-    print(f"  est. success prob (EPS): {program_eps(program):.4f}")
+    print(f"  est. execution time:     {result.execution_seconds * 1e3:.2f} ms")
+    print(f"  est. success prob (EPS): {result.eps:.4f}")
 
     # The wQasm text is a superset of OpenQASM 3: annotations + gates.
     lines = program.to_wqasm().splitlines()
@@ -56,7 +51,7 @@ def main() -> None:
 
     # Verify with the wChecker: pulses must implement the logical gates,
     # and the logical circuit must match the original QAOA circuit.
-    report = check_program(program, reference=result.native_circuit)
+    report = repro.check_program(program, reference=result.native_circuit)
     print(f"\nwChecker: ok={report.ok}")
     print(f"  operations checked: {report.operations_checked}")
     print(f"  pulse-to-gate reconstruction equivalent: {report.reconstructed_equivalent}")

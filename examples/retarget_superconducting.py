@@ -1,11 +1,12 @@
 """Retargeting: one workload, two backends (paper Figure 3, both arrows).
 
-Compiles the same MAX-3SAT instance down both of Weaver's paths — the
+Compiles the same MAX-3SAT instance for two registered targets — the
 superconducting path (SABRE routing onto a Washington-like 127-qubit
-heavy-hex backend) and the FPQA path (wOptimizer) — and prints the
-compile-time / execution-time / fidelity trade-off the paper's evaluation
-quantifies: superconducting executes faster, the FPQA program is far more
-likely to be *correct* per shot.
+heavy-hex backend) and the FPQA path (wOptimizer) — with the *same*
+``repro.compile`` call, and prints the compile-time / execution-time /
+fidelity trade-off the paper's evaluation quantifies: superconducting
+executes faster, the FPQA program is far more likely to be *correct* per
+shot.
 
 Run:  python examples/retarget_superconducting.py
 """
@@ -15,50 +16,38 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import (
-    SuperconductingTranspiler,
-    compile_formula,
-    program_duration_us,
-    program_eps,
-    qaoa_circuit,
-    satlib_instance,
-)
+import repro
 
 
 def main() -> None:
-    formula = satlib_instance("uf20-01")
+    formula = repro.satlib_instance("uf20-01")
     print(f"Workload: {formula.name} ({formula.num_vars} vars, {formula.num_clauses} clauses)")
+    print(f"Registered targets: {', '.join(repro.available_targets())}")
 
-    # Hardware-agnostic compilation: the shared QAOA circuit.
-    circuit = qaoa_circuit(formula, measure=True)
-    print(f"QAOA circuit: {circuit.num_qubits} qubits, {circuit.size} ops")
+    # Retargeting is the difference of one string.
+    sc = repro.compile(formula, target="superconducting")
+    fpqa = repro.compile(formula, target="fpqa")
 
-    # Path 1: superconducting (Qiskit-style transpile to heavy-hex).
-    sc = SuperconductingTranspiler().transpile(circuit)
     print("\nSuperconducting path (127-qubit heavy-hex):")
     print(f"  compile time:   {sc.compile_seconds:.2f} s")
-    print(f"  SWAPs inserted: {sc.num_swaps}")
-    print(f"  gate counts:    {sc.counts}")
-    print(f"  execution time: {sc.duration_us / 1e3:.2f} ms")
+    print(f"  SWAPs inserted: {sc.stats['num_swaps']}")
+    print(f"  gate counts:    {sc.stats['counts']}")
+    print(f"  execution time: {sc.execution_seconds * 1e3:.2f} ms")
     print(f"  EPS:            {sc.eps:.3e}")
 
-    # Path 2: FPQA (wOptimizer).
-    fpqa = compile_formula(formula)
-    duration_us = program_duration_us(fpqa.program)
-    eps = program_eps(fpqa.program)
     print("\nFPQA path (Weaver wOptimizer):")
     print(f"  compile time:   {fpqa.compile_seconds:.2f} s")
     print(f"  zones (colors): {fpqa.stats['clause-coloring']['num_colors']}")
     print(f"  pulse counts:   {fpqa.program.pulse_counts()}")
-    print(f"  execution time: {duration_us / 1e3:.2f} ms")
-    print(f"  EPS:            {eps:.3e}")
+    print(f"  execution time: {fpqa.execution_seconds * 1e3:.2f} ms")
+    print(f"  EPS:            {fpqa.eps:.3e}")
 
     print("\nTrade-off (paper §8):")
-    print(f"  superconducting executes {duration_us / sc.duration_us:.0f}x faster,")
-    print(f"  but the FPQA program is {eps / max(sc.eps, 1e-300):.3g}x more likely")
+    print(f"  superconducting executes {fpqa.execution_seconds / sc.execution_seconds:.0f}x faster,")
+    print(f"  but the FPQA program is {fpqa.eps / max(sc.eps, 1e-300):.3g}x more likely")
     print("  to produce a correct shot - superconducting fidelity collapses")
     print("  under the SWAP overhead of rigid connectivity.")
-    assert eps > sc.eps
+    assert fpqa.eps > sc.eps
 
 
 if __name__ == "__main__":

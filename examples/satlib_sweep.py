@@ -1,10 +1,11 @@
 """A fast mini-evaluation: Weaver vs Atomique over growing SATLIB sizes.
 
 A lightweight version of the paper's Figure 8(b)/11(b)/12(b) sweep using
-only the two fast FPQA compilers, showing the trends the full benchmark
-harness (``pytest benchmarks/``) reproduces with all five systems:
-compile time stays flat-ish, Weaver's execution-time and EPS advantage
-over Atomique compounds with size.
+only the two fast FPQA compilers, run through one batched
+:class:`repro.CompilerSession` — per-target budgets included — showing
+the trends the full benchmark harness (``pytest benchmarks/``) reproduces
+with all five systems: compile time stays flat-ish, Weaver's
+execution-time and EPS advantage over Atomique compounds with size.
 
 Run:  python examples/satlib_sweep.py
 """
@@ -14,17 +15,23 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.baselines import AtomiqueCompiler, WeaverCompiler, run_with_timeout
+import repro
 from repro.evaluation import format_table
-from repro.sat import satlib_instance
 
 
 def main() -> None:
+    sizes = (20, 50, 75, 100)
+    workloads = [repro.satlib_instance(f"uf{size}-01") for size in sizes]
+    session = repro.CompilerSession(budgets={"fpqa": 300.0, "atomique": 300.0})
+
+    # One batched call compiles every (workload, target) cell; results
+    # come back workload-major, in input order.
+    results = session.compile_many(workloads, targets=["fpqa", "atomique"])
+
     rows = []
-    for size in (20, 50, 75, 100):
-        formula = satlib_instance(f"uf{size}-01")
-        weaver = run_with_timeout(WeaverCompiler(), formula, budget_seconds=300)
-        atomique = run_with_timeout(AtomiqueCompiler(), formula, budget_seconds=300)
+    for size, (weaver, atomique) in zip(
+        sizes, zip(results[0::2], results[1::2])
+    ):
         rows.append(
             {
                 "vars": size,

@@ -29,6 +29,11 @@ def main() -> int:
         "--budget", type=float, default=60.0,
         help="Geyser/DPQA compile budget in seconds (default 60)",
     )
+    parser.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persist results to this JSON file and resume from it if it "
+             "exists (interrupted sweeps recompile only missing cells)",
+    )
     args = parser.parse_args()
     budgets = dict(DEFAULT_BUDGETS)
     budgets["geyser"] = args.budget
@@ -43,7 +48,12 @@ def main() -> int:
         )
     else:
         config = EvaluationConfig(budgets=budgets)
-    run_artifact(config, include_ccz_sweep=not args.no_ccz_sweep, verbose=True)
+    run_artifact(
+        config,
+        include_ccz_sweep=not args.no_ccz_sweep,
+        verbose=True,
+        store_path=args.store,
+    )
     return 0
 
 

@@ -1,3 +1,58 @@
-from setuptools import setup
+"""Packaging for the Weaver reproduction.
 
-setup()
+Installs the ``repro`` package from ``src/`` and a ``weaver`` console
+entry point (``weaver compile problem.cnf --target fpqa``).
+"""
+
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+ROOT = Path(__file__).resolve().parent
+
+
+def _version() -> str:
+    text = (ROOT / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if not match:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="weaver-repro",
+    version=_version(),
+    description=(
+        "Reproduction of Weaver: a retargetable compiler framework for "
+        "FPQA quantum architectures (CGO 2025)"
+    ),
+    long_description=(ROOT / "README.md").read_text(encoding="utf-8")
+    if (ROOT / "README.md").exists()
+    else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+        "networkx>=3.0",
+    ],
+    extras_require={
+        "test": ["pytest>=7", "pytest-benchmark>=4"],
+    },
+    entry_points={
+        "console_scripts": [
+            "weaver = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: Scientific/Engineering :: Physics",
+        "License :: OSI Approved :: MIT License",
+    ],
+)

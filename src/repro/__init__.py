@@ -1,23 +1,45 @@
 """Weaver: a retargetable compiler framework for FPQA quantum architectures.
 
 Reproduction of Kirmemis et al., CGO 2025 (arXiv:2409.07870).  The public
-API mirrors the paper's three components:
+API centers on one retargetable entrypoint backed by a target registry:
+
+* :func:`compile` — compile any workload (CNF formula, OpenQASM file or
+  circuit) for any registered target;
+* :class:`CompilerSession` — batched, cached, budget-aware compilation
+  (``compile_many(..., parallel=N)`` fans out across a process pool);
+* :func:`available_targets` / :func:`register_target` — the backend
+  registry (``fpqa``, ``fpqa-nocompress``, ``superconducting``,
+  ``atomique``, ``geyser``, ``dpqa``).
+
+The paper's three components remain available underneath:
 
 * **wQasm** (paper section 4) -- :func:`parse_wqasm`, :class:`WQasmProgram`,
   and the OpenQASM front end in :mod:`repro.qasm`;
-* **wOptimizer** (section 5) -- :class:`WeaverFPQACompiler` /
-  :func:`compile_formula` with the clause-coloring, color-shuttling, and
-  gate-compression passes;
+* **wOptimizer** (section 5) -- the ``"fpqa"`` target's clause-coloring,
+  color-shuttling, and gate-compression passes (:mod:`repro.passes`);
 * **wChecker** (section 6) -- :class:`WChecker` / :func:`check_program`.
 
 Quickstart::
 
-    from repro import satlib_instance, compile_formula, check_program
+    import repro
 
-    formula = satlib_instance("uf20-01")
-    result = compile_formula(formula)
-    report = check_program(result.program)
+    formula = repro.satlib_instance("uf20-01")
+    result = repro.compile(formula, target="fpqa")
+    report = repro.check_program(result.program)
     assert report.ok
+
+    # Retarget: same workload, different backend.
+    sc = repro.compile(formula, target="superconducting")
+
+    # Batched throughput with budgets and caching.
+    session = repro.CompilerSession(budgets={"dpqa": 60.0})
+    rows = session.compile_many(
+        [formula], targets=repro.available_targets(), parallel=4
+    )
+
+The pre-registry entrypoints (:func:`compile_formula`,
+``WeaverFPQACompiler``, :func:`~repro.baselines.run_with_timeout`) still
+work but emit :class:`DeprecationWarning`.
 """
 
 from .exceptions import (
@@ -33,8 +55,11 @@ from .exceptions import (
     RoutingError,
     SatError,
     SimulationError,
+    TargetError,
+    UnknownTargetError,
     VerificationError,
     WeaverError,
+    WorkloadError,
 )
 from .circuits import (
     Gate,
@@ -58,12 +83,29 @@ from .qaoa import QaoaParameters, qaoa_circuit
 from .qasm import circuit_to_qasm, parse_qasm, qasm_to_circuit
 from .wqasm import WQasmProgram, parse_wqasm
 from .fpqa import FPQADevice, FPQAHardwareParams
-from .passes import WeaverFPQACompiler, compile_formula, nativize_circuit
+from .passes import (
+    FPQACompiler,
+    WeaverFPQACompiler,
+    compile_formula,
+    nativize_circuit,
+)
 from .checker import CheckReport, WChecker, check_program
 from .superconducting import SuperconductingTranspiler, washington_backend
 from .metrics import program_duration_us, program_eps
+from .targets import (
+    CompilationResult,
+    CompilerSession,
+    Target,
+    Workload,
+    available_targets,
+    coerce_workload,
+    compile,
+    get_target,
+    register_target,
+    target_info,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnnotationError",
@@ -73,8 +115,11 @@ __all__ = [
     "CnfFormula",
     "ColoringError",
     "CompilationError",
+    "CompilationResult",
     "CompilationTimeout",
+    "CompilerSession",
     "EquivalenceError",
+    "FPQACompiler",
     "FPQAConstraintError",
     "FPQADevice",
     "FPQAHardwareParams",
@@ -88,18 +133,27 @@ __all__ = [
     "SatError",
     "SimulationError",
     "SuperconductingTranspiler",
+    "Target",
+    "TargetError",
+    "UnknownTargetError",
     "VerificationError",
     "WChecker",
     "WQasmProgram",
     "WeaverError",
     "WeaverFPQACompiler",
+    "Workload",
+    "WorkloadError",
+    "available_targets",
     "check_program",
     "circuit_statevector",
     "circuit_to_qasm",
     "circuit_unitary",
     "circuits_equivalent",
+    "coerce_workload",
+    "compile",
     "compile_formula",
     "formula_polynomial",
+    "get_target",
     "measurement_distribution",
     "nativize_circuit",
     "parse_dimacs",
@@ -110,7 +164,9 @@ __all__ = [
     "qaoa_circuit",
     "qasm_to_circuit",
     "random_ksat",
+    "register_target",
     "satlib_instance",
+    "target_info",
     "to_dimacs",
     "washington_backend",
 ]

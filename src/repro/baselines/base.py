@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..exceptions import CompilationTimeout
@@ -29,6 +30,43 @@ class BaselineResult:
     @property
     def succeeded(self) -> bool:
         return not self.timed_out and self.error is None
+
+    # JSON round trip used by the ResultStore persistence layer.  (Kept
+    # in the legacy field names — "compiler"/"num_vars" — so saved sweeps
+    # stay readable as evaluation rows; the unified CompilationResult has
+    # its own schema and the two convert via from/to_baseline_result.)
+    def to_dict(self) -> dict:
+        from ..targets.result import jsonify
+
+        return {
+            "compiler": self.compiler,
+            "workload": self.workload,
+            "num_vars": self.num_vars,
+            "num_clauses": self.num_clauses,
+            "compile_seconds": self.compile_seconds,
+            "execution_seconds": self.execution_seconds,
+            "eps": self.eps,
+            "num_pulses": self.num_pulses,
+            "timed_out": self.timed_out,
+            "error": self.error,
+            "extra": jsonify(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BaselineResult":
+        return cls(
+            compiler=payload["compiler"],
+            workload=payload["workload"],
+            num_vars=payload["num_vars"],
+            num_clauses=payload["num_clauses"],
+            compile_seconds=payload.get("compile_seconds", 0.0),
+            execution_seconds=payload.get("execution_seconds"),
+            eps=payload.get("eps"),
+            num_pulses=payload.get("num_pulses"),
+            timed_out=payload.get("timed_out", False),
+            error=payload.get("error"),
+            extra=payload.get("extra", {}),
+        )
 
 
 class Deadline:
@@ -70,7 +108,7 @@ class BaselineCompiler:
         return qaoa_circuit(formula, parameters or QaoaParameters(), measure=True)
 
 
-def run_with_timeout(
+def _run_with_timeout(
     compiler: BaselineCompiler,
     formula: CnfFormula,
     parameters: QaoaParameters | None = None,
@@ -103,3 +141,23 @@ def run_with_timeout(
             error=f"{type(exc).__name__}: {exc}",
         )
     return result
+
+
+def run_with_timeout(
+    compiler: BaselineCompiler,
+    formula: CnfFormula,
+    parameters: QaoaParameters | None = None,
+    budget_seconds: float | None = None,
+) -> BaselineResult:
+    """Deprecated: use a :class:`repro.CompilerSession` with budgets.
+
+    Kept as a thin shim over the internal budgeted runner so pre-registry
+    sweeps keep working.
+    """
+    warnings.warn(
+        "run_with_timeout is deprecated; use repro.CompilerSession "
+        "(budgets={...}) or repro.compile(..., budget_seconds=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_with_timeout(compiler, formula, parameters, budget_seconds)

@@ -1,11 +1,14 @@
-"""Adapter exposing the real Weaver pipeline through the baseline API."""
+"""Adapter exposing the real Weaver pipeline through the baseline API.
+
+Since the target-registry redesign this is a thin view over
+:class:`repro.targets.builtin.FPQATarget` — the metric assembly
+(duration, EPS, pulse counts) lives there in exactly one place — that
+reshapes the unified result into the legacy evaluation row.
+"""
 
 from __future__ import annotations
 
 from ..fpqa.hardware import FPQAHardwareParams
-from ..metrics.fidelity import program_eps
-from ..metrics.timing import program_duration_us
-from ..passes.woptimizer import WeaverFPQACompiler
 from ..qaoa.builder import QaoaParameters
 from ..sat.cnf import CnfFormula
 from .base import BaselineCompiler, BaselineResult, Deadline
@@ -30,26 +33,26 @@ class WeaverCompiler(BaselineCompiler):
         parameters: QaoaParameters | None = None,
         deadline: Deadline | None = None,
     ) -> BaselineResult:
-        compiler = WeaverFPQACompiler(
+        # Imported lazily: repro.targets imports this package at load time.
+        from ..targets.builtin import FPQATarget
+        from ..targets.workload import Workload
+
+        target = FPQATarget(
             hardware=self.hardware,
             compression=self.compression,
             coloring_algorithm=self.coloring_algorithm,
         )
-        result = compiler.compile(formula, parameters or QaoaParameters(), measure=True)
-        if deadline is not None:
-            deadline.check()
+        result = target.run(Workload.from_formula(formula), parameters, deadline)
         program = result.program
-        duration_us = program_duration_us(program, self.hardware)
-        eps = program_eps(program, self.hardware, duration_us)
         return BaselineResult(
             compiler=self.name,
             workload=formula.name,
             num_vars=formula.num_vars,
             num_clauses=formula.num_clauses,
             compile_seconds=result.compile_seconds,
-            execution_seconds=duration_us * 1e-6,
-            eps=eps,
-            num_pulses=program.total_pulses,
+            execution_seconds=result.execution_seconds,
+            eps=result.eps,
+            num_pulses=result.num_pulses,
             extra={
                 "num_colors": result.stats["clause-coloring"]["num_colors"],
                 "pulse_counts": program.pulse_counts(),

@@ -1,22 +1,29 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``weaver``).
 
 Commands
 --------
-``compile``   DIMACS CNF -> wQasm program (+ metrics on stderr)
+``compile``   workload (.cnf DIMACS / .qasm) -> any registered target
+``targets``   list the registered compilation targets
 ``check``     verify a wQasm file with the wChecker
 ``export``    DIMACS CNF -> DPQA-format JSON (artifact step 6)
 ``bench``     run the laptop-scale artifact sweep (same as run.py --quick)
 
 Examples::
 
-    python -m repro compile problem.cnf -o program.wqasm
-    python -m repro check program.wqasm
-    python -m repro export problem.cnf -o gates.json
+    weaver compile problem.cnf -o program.wqasm
+    weaver compile problem.cnf --target superconducting
+    weaver targets
+    weaver check program.wqasm
+    weaver export problem.cnf -o gates.json
+
+Exit codes: 0 success, 1 internal error (or failed verification),
+2 user error (bad input file, unknown target, malformed wQasm).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -24,9 +31,10 @@ from .baselines.dpqa_format import circuit_to_dpqa_json
 from .checker import check_program
 from .exceptions import WeaverError
 from .metrics import program_duration_us, program_eps
-from .passes import compile_formula, nativize_circuit
+from .passes.native_synthesis import nativize_circuit
 from .qaoa import QaoaParameters, qaoa_circuit
 from .sat import parse_dimacs
+from .targets import Workload, compile as compile_workload, target_info
 from .wqasm import parse_wqasm
 
 
@@ -36,33 +44,75 @@ def _load_formula(path: str):
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
-    formula = _load_formula(args.input)
+    workload = Workload.from_file(args.input)
     parameters = QaoaParameters((args.gamma,), (args.beta,))
-    result = compile_formula(
-        formula,
+    options: dict = {"measure": not args.no_measure}
+    if args.compression != "auto":
+        options["compression"] = args.compression == "on"
+    result = compile_workload(
+        workload,
+        target=args.target,
         parameters=parameters,
-        compression=None if args.compression == "auto" else args.compression == "on",
-        measure=not args.no_measure,
+        budget_seconds=args.budget,
+        **options,
     )
-    text = result.program.to_wqasm()
-    if args.output:
-        Path(args.output).write_text(text, encoding="utf-8")
+    summary = (
+        f"compiled {workload.name} for {result.target}: "
+        f"{result.num_qubits} qubits"
+        + (f", {result.num_clauses} clauses" if result.num_clauses else "")
+        + f" ({result.compile_seconds * 1e3:.0f} ms compile)"
+    )
+    if result.program is not None:
+        text = result.program.to_wqasm()
+        if args.output:
+            Path(args.output).write_text(text, encoding="utf-8")
+        else:
+            sys.stdout.write(text)
+        summary += (
+            f"; {result.program.total_pulses} pulses, "
+            f"{program_duration_us(result.program) / 1e3:.2f} ms, "
+            f"EPS {program_eps(result.program):.4g}"
+        )
+        print(summary, file=sys.stderr)
+        if args.verify:
+            report = check_program(result.program, reference=result.native_circuit)
+            print(f"wChecker: ok={report.ok}", file=sys.stderr)
+            if not report.ok:
+                return 1
     else:
-        sys.stdout.write(text)
-    program = result.program
-    print(
-        f"compiled {formula.name}: {formula.num_vars} vars, "
-        f"{formula.num_clauses} clauses -> {program.total_pulses} pulses, "
-        f"{program_duration_us(program) / 1e3:.2f} ms, "
-        f"EPS {program_eps(program):.4g} "
-        f"({result.compile_seconds * 1e3:.0f} ms compile)",
-        file=sys.stderr,
-    )
-    if args.verify:
-        report = check_program(program, reference=result.native_circuit)
-        print(f"wChecker: ok={report.ok}", file=sys.stderr)
-        if not report.ok:
-            return 1
+        # Gate-level targets have no wQasm emission; report metrics instead.
+        print(summary, file=sys.stderr)
+        lines = {
+            "execution_seconds": result.execution_seconds,
+            "eps": result.eps,
+            **{k: v for k, v in result.stats.items() if isinstance(v, (int, float))},
+        }
+        for key, value in lines.items():
+            if value is not None:
+                print(f"{key}: {value:.6g}" if isinstance(value, float) else f"{key}: {value}")
+        if args.verify:
+            print(
+                f"error: --verify needs a wQasm-emitting target, not {result.target!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.output:
+            print(
+                f"note: target {result.target!r} emits no program; "
+                f"ignoring -o {args.output}",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def _cmd_targets(args: argparse.Namespace) -> int:
+    infos = target_info(args.name)
+    for info in infos:
+        print(f"{info['name']}")
+        print(f"  {info['description']}")
+        print(f"  capabilities: {', '.join(info['capabilities'])}")
+        if info["pipeline"]:
+            print(f"  pipeline:     {' -> '.join(info['pipeline'])}")
     return 0
 
 
@@ -98,7 +148,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scaling_sizes=(20, 50),
         instances_per_size=1,
     )
-    run_artifact(config, include_ccz_sweep=False, verbose=True)
+    run_artifact(
+        config, include_ccz_sweep=False, verbose=True, store_path=args.store
+    )
     return 0
 
 
@@ -106,17 +158,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_compile = sub.add_parser("compile", help="DIMACS CNF -> wQasm")
-    p_compile.add_argument("input", help="DIMACS .cnf file")
+    p_compile = sub.add_parser("compile", help="compile a workload for a target")
+    p_compile.add_argument("input", help="DIMACS .cnf or OpenQASM .qasm file")
     p_compile.add_argument("-o", "--output", help="wQasm output path (default stdout)")
+    p_compile.add_argument(
+        "-t", "--target", default="fpqa",
+        help="registered target name (see `repro targets`; default fpqa)",
+    )
     p_compile.add_argument("--gamma", type=float, default=0.7, help="QAOA gamma")
     p_compile.add_argument("--beta", type=float, default=0.35, help="QAOA beta")
     p_compile.add_argument(
         "--compression", choices=("auto", "on", "off"), default="auto"
     )
+    p_compile.add_argument(
+        "--budget", type=float, default=None, help="compile budget in seconds"
+    )
     p_compile.add_argument("--no-measure", action="store_true")
     p_compile.add_argument("--verify", action="store_true", help="run the wChecker")
     p_compile.set_defaults(func=_cmd_compile)
+
+    p_targets = sub.add_parser("targets", help="list registered targets")
+    p_targets.add_argument("name", nargs="?", help="show only this target")
+    p_targets.set_defaults(func=_cmd_targets)
 
     p_check = sub.add_parser("check", help="verify a wQasm file")
     p_check.add_argument("input", help="wQasm file")
@@ -128,18 +191,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.set_defaults(func=_cmd_export)
 
     p_bench = sub.add_parser("bench", help="quick artifact sweep")
+    p_bench.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persist/resume results at this JSON path",
+    )
     p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point with one error handler for every command.
+
+    User errors — bad input files, malformed wQasm/DIMACS/QASM, unknown
+    targets — exit 2 with a one-line message.  Anything else is an
+    internal error: exit 1, with the traceback available via
+    ``REPRO_DEBUG=1``.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (WeaverError, FileNotFoundError) as exc:
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `... | head`) closed the pipe: not an
+        # error.  Point stdout at devnull so the interpreter's exit flush
+        # doesn't trip over the dead pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+    except (WeaverError, OSError, UnicodeDecodeError) as exc:
+        # Known failure modes of user input (UnknownTargetError is a
+        # WeaverError; unreadable or non-UTF-8 files land in OSError /
+        # UnicodeDecodeError).
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:  # noqa: BLE001 — the CLI must not traceback
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(
+            f"internal error: {type(exc).__name__}: {exc}\n"
+            "(this is a bug in the compiler, not your input; "
+            "set REPRO_DEBUG=1 for the full traceback)",
+            file=sys.stderr,
+        )
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -71,9 +71,21 @@ def run_artifact(
     config: EvaluationConfig | None = None,
     include_ccz_sweep: bool = True,
     verbose: bool = True,
+    store: ResultStore | None = None,
+    store_path=None,
 ) -> ArtifactReport:
-    """Execute the full evaluation and regenerate every figure/table."""
-    store = ResultStore(config)
+    """Execute the full evaluation and regenerate every figure/table.
+
+    Pass ``store_path`` to persist every compiled cell to JSON as it
+    lands (and transparently reuse any cells already saved there), so an
+    interrupted sweep loses at most the cell in flight.
+    """
+    store = store or ResultStore(config)
+    if store_path is not None:
+        loaded = store.load(store_path)
+        store.autosave_path = store_path
+        if verbose and loaded:
+            print(f"[artifact] resumed {loaded} cells from {store_path}", flush=True)
     report = ArtifactReport()
 
     def step(name: str, func) -> None:

@@ -9,8 +9,6 @@ paper's figures.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from ..fpqa.hardware import FPQAHardwareParams
@@ -21,10 +19,9 @@ from ..metrics.complexity import (
     qiskit_steps,
     weaver_steps,
 )
-from ..metrics.fidelity import program_eps
-from ..metrics.timing import program_duration_us
-from ..passes.woptimizer import WeaverFPQACompiler
 from ..qaoa.builder import qaoa_circuit
+from ..targets.builtin import FPQATarget
+from ..targets.workload import Workload
 from .runner import ResultStore, mean_of
 from .workloads import load_workload
 
@@ -140,12 +137,13 @@ def fig10c_ccz_threshold(
     sweep = []
     for fidelity in fidelities:
         hardware = FPQAHardwareParams().with_overrides(fidelity_ccz=fidelity)
-        compiler = WeaverFPQACompiler(hardware=hardware)
+        target = FPQATarget(hardware=hardware)
         eps_values = []
         for workload in store.config.fixed_instances:
-            result = compiler.compile(load_workload(workload), measure=True)
-            duration = program_duration_us(result.program, hardware)
-            eps_values.append(program_eps(result.program, hardware, duration))
+            result = target.compile(
+                Workload.from_formula(load_workload(workload), name=workload)
+            )
+            eps_values.append(result.eps)
         sweep.append({"ccz_fidelity": fidelity, "weaver_eps": float(np.mean(eps_values))})
     best_baseline = max(
         (value for value in baselines.values() if value is not None), default=0.0

@@ -4,15 +4,27 @@ The paper's experiment harness runs each compiler over the benchmark suite
 under a 20-hour timeout (§8.1).  At laptop scale the default budget is 60
 seconds — the same compilers hit it in the same places (Geyser and DPQA
 above 20 variables).  Every run is cached in the :class:`ResultStore`, so
-all figures derive from a single compile of each cell.
+all figures derive from a single compile of each cell, and a store can be
+persisted to JSON so interrupted sweeps resume instead of recompiling.
+
+Since the target-registry redesign the runner is a thin veneer over
+:mod:`repro.targets`: each evaluation "compiler" name resolves to a
+registered target, and rows are the unified results viewed as legacy
+:class:`BaselineResult` records (the shape the figure code consumes).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from ..baselines import ALL_COMPILERS
-from ..baselines.base import BaselineCompiler, BaselineResult, run_with_timeout
+from ..baselines.base import BaselineResult
+from ..targets.base import Target
+from ..targets.registry import get_target
+from ..targets.workload import Workload
 from .workloads import (
     FIXED_SIZE_INSTANCES,
     SCALING_SIZES,
@@ -59,19 +71,28 @@ class EvaluationConfig:
 
 
 class ResultStore:
-    """Cache of (compiler, workload) -> :class:`BaselineResult`."""
+    """Cache of (compiler, workload) -> :class:`BaselineResult`.
 
-    def __init__(self, config: EvaluationConfig | None = None):
+    ``compiler`` keys are evaluation names; each resolves to a registered
+    target (``"weaver"`` is the registry alias of ``"fpqa"``).
+    """
+
+    def __init__(
+        self,
+        config: EvaluationConfig | None = None,
+        autosave_path: str | Path | None = None,
+    ):
         self.config = config or EvaluationConfig()
         self.results: dict[tuple[str, str], BaselineResult] = {}
-        self._instances: dict[str, BaselineCompiler] = {}
+        self._targets: dict[str, Target] = {}
+        #: When set, every freshly-compiled cell rewrites this JSON file,
+        #: so even a mid-sweep interrupt loses at most the cell in flight.
+        self.autosave_path = Path(autosave_path) if autosave_path else None
 
-    def _compiler(self, name: str) -> BaselineCompiler:
-        if name not in self._instances:
-            if name not in ALL_COMPILERS:
-                raise KeyError(f"unknown compiler {name!r}")
-            self._instances[name] = ALL_COMPILERS[name]()
-        return self._instances[name]
+    def _target(self, name: str) -> Target:
+        if name not in self._targets:
+            self._targets[name] = get_target(name)
+        return self._targets[name]
 
     def run(self, compiler: str, workload: str) -> BaselineResult:
         """Compile one cell (cached)."""
@@ -101,13 +122,66 @@ class ResultStore:
                 error="exceeds 127-qubit backend",
             )
         else:
-            result = run_with_timeout(
-                self._compiler(compiler),
-                formula,
+            unified = self._target(compiler).compile(
+                Workload.from_formula(formula, name=workload),
                 budget_seconds=self.config.budgets.get(compiler),
+                on_error="result",
             )
+            result = unified.to_baseline_result(compiler=compiler)
         self.results[key] = result
+        if self.autosave_path is not None:
+            self.save(self.autosave_path)
         return result
+
+    # ------------------------------------------------------------------
+    # Persistence: JSON round trip so sweeps resume across runs
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> int:
+        """Write every cached cell to ``path`` as JSON; returns the count.
+
+        The write is atomic (temp file + rename): this file is rewritten
+        after every cell during autosave, and an interrupt mid-write must
+        never corrupt the store a resume depends on.
+        """
+        path = Path(path)
+        payload = {
+            "format": "weaver-result-store",
+            "version": 1,
+            "results": [row.to_dict() for row in self.results.values()],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+        return len(self.results)
+
+    def load(self, path: str | Path) -> int:
+        """Merge previously-saved cells; returns how many were loaded.
+
+        Loaded cells are keyed by (compiler, workload) exactly like live
+        runs, so a subsequent sweep recompiles only the missing cells.
+        A truncated/corrupt store is treated as empty (with a warning)
+        rather than aborting the sweep it was meant to resume.
+        """
+        path = Path(path)
+        if not path.exists():
+            return 0
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError) as exc:
+            warnings.warn(
+                f"result store {path} is unreadable ({exc}); starting fresh",
+                stacklevel=2,
+            )
+            return 0
+        if payload.get("format") != "weaver-result-store":
+            raise ValueError(f"{path} is not a saved result store")
+        count = 0
+        for row in payload.get("results", ()):
+            result = BaselineResult.from_dict(row)
+            self.results[(result.compiler, result.workload)] = result
+            count += 1
+        return count
 
     # ------------------------------------------------------------------
     def fixed_size_results(self, compiler: str) -> list[BaselineResult]:

@@ -83,3 +83,28 @@ class EquivalenceError(WeaverError):
 
 class VerificationError(WeaverError):
     """wChecker could not complete verification (unsupported instruction...)."""
+
+
+class TargetError(WeaverError):
+    """A compilation target was misused (wrong workload kind, bad options)."""
+
+
+class UnknownTargetError(TargetError, KeyError):
+    """A target name was not found in the registry.
+
+    Also a :class:`KeyError`, matching the registry-lookup contract the
+    evaluation harness has always exposed.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        hint = f"; available: {', '.join(available)}" if available else ""
+        super().__init__(f"unknown target {name!r}{hint}")
+        self.name = name
+        self.available = available
+
+
+class WorkloadError(WeaverError):
+    """A workload could not be constructed or is unusable for a target."""

@@ -10,8 +10,9 @@ The pipeline has three stages, mirroring Figure 5:
    (Figure 7), falling back to CNOT ladders when the CCZ fidelity makes
    compression unprofitable.
 
-:class:`WeaverFPQACompiler` orchestrates them and emits a validated
-:class:`repro.wqasm.WQasmProgram`.
+:class:`FPQACompiler` orchestrates them and emits a validated
+:class:`repro.wqasm.WQasmProgram`; the unified entrypoint
+``repro.compile(formula, target="fpqa")`` is the public way in.
 """
 
 from .base import CompilationContext, CompilerPass, PassManager
@@ -23,10 +24,17 @@ from .gate_compression import (
     GateCompressionPass,
     compression_beneficial,
 )
-from .woptimizer import WeaverFPQACompiler, compile_formula
+from .woptimizer import (
+    FPQACompiler,
+    WeaverCompilationResult,
+    WeaverFPQACompiler,
+    compile_formula,
+)
 
 __all__ = [
     "ClauseColoringPass",
+    "FPQACompiler",
+    "WeaverCompilationResult",
     "ClausePlacement",
     "ColorShuttlingPass",
     "ColoringResult",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -563,8 +564,12 @@ class _CodeGenerator:
         self._drop_controls(color, placements)
 
 
-class WeaverFPQACompiler:
-    """Public entry point: MAX-3SAT formula -> validated wQasm program."""
+class FPQACompiler:
+    """The FPQA pipeline: MAX-3SAT formula -> validated wQasm program.
+
+    This is the implementation behind the ``"fpqa"`` target; prefer
+    ``repro.compile(formula, target="fpqa")`` in user code.
+    """
 
     def __init__(
         self,
@@ -620,6 +625,24 @@ class WeaverFPQACompiler:
         )
 
 
+class WeaverFPQACompiler(FPQACompiler):
+    """Deprecated alias of :class:`FPQACompiler`.
+
+    Kept so pre-registry code keeps working; new code should go through
+    ``repro.compile(formula, target="fpqa")`` or
+    ``repro.get_target("fpqa")``.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "WeaverFPQACompiler is deprecated; use "
+            "repro.compile(formula, target='fpqa') or repro.targets.FPQATarget",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
 def compile_formula(
     formula: CnfFormula,
     parameters: QaoaParameters | None = None,
@@ -627,6 +650,15 @@ def compile_formula(
     compression: bool | None = None,
     measure: bool = True,
 ) -> WeaverCompilationResult:
-    """Convenience wrapper around :class:`WeaverFPQACompiler`."""
-    compiler = WeaverFPQACompiler(hardware=hardware, compression=compression)
+    """Deprecated wrapper kept for the pre-registry API.
+
+    Equivalent to ``repro.compile(formula, target="fpqa")`` except for the
+    richer legacy result type; new code should use the unified entrypoint.
+    """
+    warnings.warn(
+        "compile_formula is deprecated; use repro.compile(formula, target='fpqa')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    compiler = FPQACompiler(hardware=hardware, compression=compression)
     return compiler.compile(formula, parameters, measure=measure)

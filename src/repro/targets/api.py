@@ -1,0 +1,62 @@
+"""The one-call public entrypoint: ``repro.compile(workload, target=...)``.
+
+Retargeting a workload is the difference of one string::
+
+    import repro
+
+    formula = repro.satlib_instance("uf20-01")
+    fpqa = repro.compile(formula, target="fpqa")
+    sc = repro.compile(formula, target="superconducting")
+"""
+
+from __future__ import annotations
+
+from ..qaoa.builder import QaoaParameters
+from .base import Target
+from .registry import get_target
+from .result import CompilationResult
+from .workload import coerce_workload
+
+
+def compile(  # noqa: A001 — deliberate: the framework's verb
+    workload,
+    target: str | Target = "fpqa",
+    parameters: QaoaParameters | None = None,
+    budget_seconds: float | None = None,
+    target_options: dict | None = None,
+    **options,
+) -> CompilationResult:
+    """Compile ``workload`` for ``target`` and return the unified result.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`~repro.targets.Workload`, :class:`~repro.CnfFormula`,
+        :class:`~repro.QuantumCircuit`, OpenQASM source text, or a path to
+        a ``.cnf``/``.qasm`` file.
+    target:
+        A registered target name (see :func:`repro.available_targets`) or
+        a :class:`~repro.targets.Target` instance.
+    parameters:
+        QAOA angles for formula workloads (default: the paper's heuristic
+        single-layer pair).
+    budget_seconds:
+        Optional compile budget; exceeding it raises
+        :class:`~repro.exceptions.CompilationTimeout`.
+    target_options:
+        Keyword arguments for the target factory (e.g. ``hardware=...``);
+        only valid when ``target`` is a name.
+    options:
+        Target-specific compile options (e.g. ``measure=False``,
+        ``compression=True`` for the FPQA path).
+
+    Raises on failure; use :class:`~repro.CompilerSession` for the
+    sweep-style behavior that converts failures into result rows.
+    """
+    resolved = get_target(target, **(target_options or {}))
+    return resolved.compile(
+        coerce_workload(workload),
+        parameters=parameters,
+        budget_seconds=budget_seconds,
+        **options,
+    )

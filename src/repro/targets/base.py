@@ -1,0 +1,125 @@
+"""The :class:`Target` protocol: what it means to be a Weaver backend.
+
+A target bundles (paper Figure 3, "retargetable back end"):
+
+* **capabilities** — which workload forms it consumes and what it emits;
+* **hardware parameters** — the device model the cost estimates use;
+* **a default pass pipeline** — the names of the stages it runs, surfaced
+  for documentation and the ``repro targets`` CLI listing.
+
+Concrete targets implement :meth:`Target.run` and are registered by name
+in :mod:`repro.targets.registry`; user code goes through
+:func:`repro.compile` or :class:`repro.CompilerSession` and never
+instantiates targets directly unless it wants non-default hardware.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..baselines.base import Deadline
+from ..exceptions import CompilationTimeout
+from ..qaoa.builder import QaoaParameters
+from .result import CompilationResult
+from .workload import Workload
+
+#: Capability labels (a target advertises a subset).
+CAP_FORMULA = "formula"  #: consumes CNF-formula workloads
+CAP_CIRCUIT = "circuit"  #: consumes gate-level circuit workloads
+CAP_WQASM = "wqasm"  #: emits a wQasm program
+CAP_VERIFY = "verify"  #: results can be checked with the wChecker
+
+
+class Target(abc.ABC):
+    """One compilation backend behind the unified ``repro.compile`` API."""
+
+    #: Registry key, e.g. ``"fpqa"``.
+    name: str = "target"
+    #: One-line human description for the CLI listing.
+    description: str = ""
+    #: Subset of the ``CAP_*`` labels.
+    capabilities: frozenset[str] = frozenset()
+    #: Stage names of the default pass pipeline, for documentation.
+    default_pipeline: tuple[str, ...] = ()
+    #: Default per-compilation budget in seconds (``None`` = unlimited).
+    default_budget_seconds: float | None = None
+
+    @abc.abstractmethod
+    def run(
+        self,
+        workload: Workload,
+        parameters: QaoaParameters | None,
+        deadline: Deadline | None,
+        **options,
+    ) -> CompilationResult:
+        """Compile ``workload`` and return a result (raise on failure)."""
+
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        workload: Workload,
+        parameters: QaoaParameters | None = None,
+        budget_seconds: float | None = None,
+        deadline: Deadline | None = None,
+        on_error: str = "raise",
+        **options,
+    ) -> CompilationResult:
+        """Compile with budget handling; the template every caller uses.
+
+        ``on_error="raise"`` propagates compiler errors (interactive use);
+        ``on_error="result"`` converts timeouts and failures into result
+        rows, the behavior evaluation sweeps need (the paper's "X" cells).
+        """
+        if deadline is None:
+            budget = (
+                budget_seconds
+                if budget_seconds is not None
+                else self.default_budget_seconds
+            )
+            deadline = Deadline(budget, self.name)
+        try:
+            result = self.run(workload, parameters, deadline, **options)
+            deadline.check()
+        except CompilationTimeout:
+            if on_error == "raise":
+                raise
+            return self._failure_row(workload, deadline, timed_out=True)
+        except Exception as exc:  # noqa: BLE001 — sweep mode reports, not crashes
+            if on_error == "raise":
+                raise
+            return self._failure_row(
+                workload, deadline, error=f"{type(exc).__name__}: {exc}"
+            )
+        return result
+
+    def _failure_row(
+        self,
+        workload: Workload,
+        deadline: Deadline,
+        timed_out: bool = False,
+        error: str | None = None,
+    ) -> CompilationResult:
+        return CompilationResult(
+            target=self.name,
+            workload=workload.name,
+            num_qubits=workload.num_qubits,
+            num_clauses=workload.num_clauses,
+            compile_seconds=deadline.elapsed,
+            timed_out=timed_out,
+            error=error,
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def describe(cls) -> dict:
+        """Registry/CLI view of this target (class metadata only, so the
+        ``targets`` listing never constructs backends)."""
+        return {
+            "name": cls.name,
+            "description": cls.description,
+            "capabilities": sorted(cls.capabilities),
+            "pipeline": list(cls.default_pipeline),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,233 @@
+"""The six built-in targets behind the registry.
+
+Two native implementations and a generic adapter:
+
+* :class:`FPQATarget` — the real Weaver pipeline (wOptimizer passes plus
+  code generation), the paper's FPQA path.  ``fpqa-nocompress`` is the
+  same target with 3-qubit gate compression forced off (Figure 10c's
+  ablation).
+* :class:`SuperconductingTarget` — the Qiskit-style transpiler path onto
+  the 127-qubit heavy-hex backend.  The only target that consumes raw
+  circuit workloads as well as formulas.
+* :class:`BaselineTarget` — adapter class exposing the re-implemented
+  comparison compilers (Atomique, Geyser, DPQA) through the same seam.
+"""
+
+from __future__ import annotations
+
+from ..baselines.base import Deadline
+from ..exceptions import RoutingError, TargetError
+from ..fpqa.hardware import FPQAHardwareParams
+from ..metrics.fidelity import program_eps
+from ..metrics.timing import program_duration_us
+from ..qaoa.builder import QaoaParameters
+from .base import CAP_CIRCUIT, CAP_FORMULA, CAP_VERIFY, CAP_WQASM, Target
+from .result import CompilationResult
+from .workload import Workload
+
+
+def _reject_unknown_options(target: str, options: dict) -> None:
+    """Unknown compile options are an error, never a silent no-op."""
+    if options:
+        raise TargetError(
+            f"target {target!r} does not support option(s): "
+            f"{', '.join(sorted(options))}"
+        )
+
+
+class FPQATarget(Target):
+    """Weaver's FPQA path: clause coloring -> shuttling -> compression."""
+
+    name = "fpqa"
+    description = "Weaver wOptimizer: zoned FPQA with CCZ gate compression"
+    capabilities = frozenset({CAP_FORMULA, CAP_WQASM, CAP_VERIFY})
+    default_pipeline = (
+        "clause-coloring",
+        "zone-layout",
+        "color-shuttling",
+        "gate-compression",
+        "codegen",
+    )
+
+    def __init__(
+        self,
+        hardware: FPQAHardwareParams | None = None,
+        compression: bool | None = None,
+        coloring_algorithm: str = "dsatur",
+    ):
+        self.hardware = hardware or FPQAHardwareParams()
+        self.compression = compression
+        self.coloring_algorithm = coloring_algorithm
+
+    def run(
+        self,
+        workload: Workload,
+        parameters: QaoaParameters | None,
+        deadline: Deadline | None,
+        measure: bool = True,
+        compression: bool | None = None,
+        **options,
+    ) -> CompilationResult:
+        from ..passes.woptimizer import FPQACompiler
+
+        formula = workload.require_formula(self.name)
+        coloring_algorithm = options.pop("coloring_algorithm", self.coloring_algorithm)
+        _reject_unknown_options(self.name, options)
+        compiler = FPQACompiler(
+            hardware=self.hardware,
+            compression=compression if compression is not None else self.compression,
+            coloring_algorithm=coloring_algorithm,
+        )
+        result = compiler.compile(formula, parameters or QaoaParameters(), measure=measure)
+        if deadline is not None:
+            deadline.check()
+        program = result.program
+        duration_us = program_duration_us(program, self.hardware)
+        eps = program_eps(program, self.hardware, duration_us)
+        return CompilationResult(
+            target=self.name,
+            workload=workload.name,
+            num_qubits=formula.num_vars,
+            num_clauses=formula.num_clauses,
+            compile_seconds=result.compile_seconds,
+            execution_seconds=duration_us * 1e-6,
+            eps=eps,
+            num_pulses=program.total_pulses,
+            program=program,
+            native_circuit=result.native_circuit,
+            stats=dict(result.stats),
+        )
+
+
+class NoCompressFPQATarget(FPQATarget):
+    """The compression ablation as a first-class target (Fig. 10c)."""
+
+    name = "fpqa-nocompress"
+    description = "Weaver FPQA path with 3-qubit CCZ compression disabled"
+
+    def __init__(self, hardware: FPQAHardwareParams | None = None, **kw):
+        kw.pop("compression", None)
+        super().__init__(hardware=hardware, compression=False, **kw)
+
+
+class SuperconductingTarget(Target):
+    """SABRE routing onto a Washington-like 127-qubit heavy-hex device."""
+
+    name = "superconducting"
+    description = "Qiskit-style transpile to a 127-qubit heavy-hex backend"
+    capabilities = frozenset({CAP_FORMULA, CAP_CIRCUIT})
+    default_pipeline = ("qaoa-lowering", "basis-translation", "sabre-routing")
+
+    def __init__(self, backend=None, seed: int = 0):
+        from ..superconducting.backend import washington_backend
+
+        self.backend = backend or washington_backend()
+        self.seed = seed
+
+    def run(
+        self,
+        workload: Workload,
+        parameters: QaoaParameters | None,
+        deadline: Deadline | None,
+        measure: bool = True,
+        **options,
+    ) -> CompilationResult:
+        from ..superconducting.transpiler import SuperconductingTranspiler
+
+        _reject_unknown_options(self.name, options)
+        if workload.num_qubits > self.backend.num_qubits:
+            raise RoutingError(
+                f"{workload.num_qubits} qubits exceed the "
+                f"{self.backend.num_qubits}-qubit backend"
+            )
+        circuit = workload.circuit(parameters, measure=measure)
+        transpiler = SuperconductingTranspiler(self.backend, seed=self.seed)
+        result = transpiler.transpile(circuit)
+        if deadline is not None:
+            deadline.check()
+        return CompilationResult(
+            target=self.name,
+            workload=workload.name,
+            num_qubits=workload.num_qubits,
+            num_clauses=workload.num_clauses,
+            compile_seconds=result.compile_seconds,
+            execution_seconds=result.duration_us * 1e-6,
+            eps=result.eps,
+            num_pulses=None,  # not a pulse-level target
+            native_circuit=circuit,
+            stats={
+                "num_swaps": result.num_swaps,
+                "counts": result.counts,
+                "depth": result.circuit.depth(),
+            },
+        )
+
+
+class BaselineTarget(Target):
+    """Adapter: any legacy :class:`BaselineCompiler` as a target."""
+
+    capabilities = frozenset({CAP_FORMULA})
+    #: Subclasses set the wrapped compiler class.
+    baseline_cls: type | None = None
+
+    def __init__(self, **compiler_options):
+        self._compiler = self.baseline_cls(**compiler_options)
+
+    def run(
+        self,
+        workload: Workload,
+        parameters: QaoaParameters | None,
+        deadline: Deadline | None,
+        measure: bool = True,
+        **options,
+    ) -> CompilationResult:
+        if not measure:
+            # The wrapped pipelines always lower to a measured circuit.
+            raise TargetError(
+                f"target {self.name!r} always measures; measure=False is "
+                "not supported"
+            )
+        _reject_unknown_options(self.name, options)
+        formula = workload.require_formula(self.name)
+        row = self._compiler.compile_formula(formula, parameters, deadline)
+        result = CompilationResult.from_baseline_result(row, target=self.name)
+        result.workload = workload.name
+        return result
+
+
+class AtomiqueTarget(BaselineTarget):
+    name = "atomique"
+    description = "fixed atom array, SABRE mapping, movement-based routing"
+    default_pipeline = ("qaoa-lowering", "nativize", "sabre-routing", "scheduling")
+
+    @staticmethod
+    def baseline_cls(**kw):
+        from ..baselines.atomique import AtomiqueCompiler
+
+        return AtomiqueCompiler(**kw)
+
+
+class GeyserTarget(BaselineTarget):
+    name = "geyser"
+    description = "3-qubit circuit blocking on a fixed triangular lattice"
+    default_budget_seconds = 60.0
+    default_pipeline = ("qaoa-lowering", "sabre-routing", "blocking", "composition")
+
+    @staticmethod
+    def baseline_cls(**kw):
+        from ..baselines.geyser import GeyserCompiler
+
+        return GeyserCompiler(**kw)
+
+
+class DpqaTarget(BaselineTarget):
+    name = "dpqa"
+    description = "solver-based Rydberg stage scheduling (exact MIS)"
+    default_budget_seconds = 60.0
+    default_pipeline = ("qaoa-lowering", "nativize", "mis-staging")
+
+    @staticmethod
+    def baseline_cls(**kw):
+        from ..baselines.dpqa import DpqaCompiler
+
+        return DpqaCompiler(**kw)

@@ -1,0 +1,169 @@
+"""The common result record every target returns.
+
+:class:`CompilationResult` unifies the two historical result types —
+:class:`~repro.passes.woptimizer.WeaverCompilationResult` (FPQA path,
+carries the wQasm program) and
+:class:`~repro.baselines.base.BaselineResult` (evaluation rows) — into
+one JSON-serializable record, so the evaluation harness, the session
+cache, and user code all consume the same shape regardless of backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..wqasm.program import WQasmProgram
+
+#: Schema version stamped into serialized results; bump when the dict
+#: layout changes so stale cache entries are ignored rather than misread.
+RESULT_SCHEMA_VERSION = 1
+
+
+def jsonify(value: Any) -> Any:
+    """Best-effort conversion of metric payloads into JSON-safe values.
+
+    Shared by every result serializer in the framework (unified results,
+    legacy :class:`~repro.baselines.base.BaselineResult` rows).
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return repr(value)
+
+
+@dataclass
+class CompilationResult:
+    """One compilation of one workload for one target."""
+
+    target: str
+    workload: str
+    num_qubits: int
+    num_clauses: int | None = None
+    compile_seconds: float = 0.0
+    execution_seconds: float | None = None
+    eps: float | None = None
+    num_pulses: int | None = None
+    timed_out: bool = False
+    error: str | None = None
+    #: The emitted wQasm program, for targets that produce one (FPQA).
+    program: WQasmProgram | None = None
+    #: The hardware-agnostic reference circuit, when the target builds one.
+    native_circuit: Any = None
+    #: Per-pass statistics and backend-specific extras.
+    stats: dict = field(default_factory=dict)
+    cached: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.timed_out and self.error is None
+
+    # ------------------------------------------------------------------
+    # JSON round trip (used by the session's on-disk cache and the
+    # evaluation ResultStore persistence)
+    # ------------------------------------------------------------------
+    def to_dict(self, include_program: bool = True) -> dict:
+        payload = {
+            "schema": RESULT_SCHEMA_VERSION,
+            "target": self.target,
+            "workload": self.workload,
+            "num_qubits": self.num_qubits,
+            "num_clauses": self.num_clauses,
+            "compile_seconds": self.compile_seconds,
+            "execution_seconds": self.execution_seconds,
+            "eps": self.eps,
+            "num_pulses": self.num_pulses,
+            "timed_out": self.timed_out,
+            "error": self.error,
+            "stats": jsonify(self.stats),
+        }
+        if include_program and self.program is not None:
+            payload["program_wqasm"] = self.program.to_wqasm()
+        if include_program and self.native_circuit is not None:
+            # Preserve the verification reference across the cache, so a
+            # disk hit can still be checked against the original circuit.
+            try:
+                from ..qasm import circuit_to_qasm
+
+                payload["native_qasm"] = circuit_to_qasm(self.native_circuit)
+            except Exception:  # noqa: BLE001 — cache stays usable without it
+                pass
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompilationResult":
+        if payload.get("schema") != RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported result schema {payload.get('schema')!r}"
+            )
+        program = None
+        text = payload.get("program_wqasm")
+        if text:
+            from ..wqasm import parse_wqasm
+
+            program = parse_wqasm(text, name=payload["workload"])
+        native_circuit = None
+        native_text = payload.get("native_qasm")
+        if native_text:
+            from ..qasm import qasm_to_circuit
+
+            native_circuit = qasm_to_circuit(native_text, name=payload["workload"])
+        return cls(
+            target=payload["target"],
+            workload=payload["workload"],
+            num_qubits=payload["num_qubits"],
+            num_clauses=payload.get("num_clauses"),
+            compile_seconds=payload.get("compile_seconds", 0.0),
+            execution_seconds=payload.get("execution_seconds"),
+            eps=payload.get("eps"),
+            num_pulses=payload.get("num_pulses"),
+            timed_out=payload.get("timed_out", False),
+            error=payload.get("error"),
+            program=program,
+            native_circuit=native_circuit,
+            stats=payload.get("stats", {}),
+            cached=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Interop with the legacy evaluation record
+    # ------------------------------------------------------------------
+    def to_baseline_result(self, compiler: str | None = None):
+        """View this result as a legacy :class:`BaselineResult` row."""
+        from ..baselines.base import BaselineResult
+
+        return BaselineResult(
+            compiler=compiler or self.target,
+            workload=self.workload,
+            num_vars=self.num_qubits,
+            num_clauses=self.num_clauses or 0,
+            compile_seconds=self.compile_seconds,
+            execution_seconds=self.execution_seconds,
+            eps=self.eps,
+            num_pulses=self.num_pulses,
+            timed_out=self.timed_out,
+            error=self.error,
+            extra=dict(self.stats),
+        )
+
+    @classmethod
+    def from_baseline_result(cls, result, target: str | None = None) -> "CompilationResult":
+        """Lift a legacy :class:`BaselineResult` into the unified record."""
+        return cls(
+            target=target or result.compiler,
+            workload=result.workload,
+            num_qubits=result.num_vars,
+            num_clauses=result.num_clauses,
+            compile_seconds=result.compile_seconds,
+            execution_seconds=result.execution_seconds,
+            eps=result.eps,
+            num_pulses=result.num_pulses,
+            timed_out=result.timed_out,
+            error=result.error,
+            stats=dict(result.extra),
+        )

@@ -1,0 +1,307 @@
+"""Batched compilation sessions: production-style throughput.
+
+A :class:`CompilerSession` turns the one-shot :func:`repro.compile` call
+into a service-shaped API:
+
+* **batching** — ``compile_many(workloads, targets, parallel=N)`` fans
+  the (workload x target) grid across a process pool and returns results
+  in input order;
+* **per-target deadlines** — a budget table converts runaway compilers
+  (Geyser/DPQA beyond 20 variables, §8.2) into ``timed_out`` rows instead
+  of hung workers;
+* **result caching** — an in-memory map plus an optional on-disk JSON
+  cache keyed by (target, workload content, options), so repeated sweeps
+  re-read instead of recompile.
+
+Errors never propagate out of a session; they become result rows with
+``error`` set, the contract a long-running service needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..qaoa.builder import QaoaParameters
+from .base import Target
+from .registry import get_target, resolve_target_name
+from .result import CompilationResult
+from .workload import Workload, coerce_workload
+
+
+def _fingerprint(*parts) -> str:
+    payload = repr(parts)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def _compile_job(spec: tuple) -> CompilationResult:
+    """Module-level worker so specs pickle cleanly into a process pool."""
+    workload, target_name, target_options, parameters, budget, options = spec
+    target = get_target(target_name, **(target_options or {}))
+    return target.compile(
+        workload,
+        parameters=parameters,
+        budget_seconds=budget,
+        on_error="result",
+        **options,
+    )
+
+
+class CompilerSession:
+    """A reusable, cached, batched compilation context.
+
+    Parameters
+    ----------
+    budgets:
+        Per-target compile budgets in seconds, e.g. ``{"dpqa": 60.0}``.
+        Targets without an entry use their own default budget.
+    parameters:
+        QAOA angles applied to every compilation in the session.
+    cache_dir:
+        When set, successful and timed-out results are persisted as JSON
+        under this directory and reloaded on cache hits — sweeps resume
+        across processes and sessions.
+    target_options:
+        Per-target factory options, e.g. ``{"fpqa": {"hardware": hw}}``.
+
+    Cached results are shared objects: repeat lookups return the same
+    :class:`CompilationResult` instance (with ``cached`` flipped to
+    ``True``), so treat results as read-only.
+    """
+
+    def __init__(
+        self,
+        budgets: dict[str, float] | None = None,
+        parameters: QaoaParameters | None = None,
+        cache_dir: str | Path | None = None,
+        target_options: dict[str, dict] | None = None,
+    ):
+        self.budgets = dict(budgets or {})
+        self.parameters = parameters
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.target_options = {k: dict(v) for k, v in (target_options or {}).items()}
+        self._memory: dict[tuple, CompilationResult] = {}
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _key(
+        self,
+        workload: Workload,
+        target_name: str,
+        options: dict,
+        target_config=None,
+    ) -> tuple:
+        """Cache identity of one cell.
+
+        Everything that can change the output is part of the key: the
+        workload content, compile options, QAOA parameters, the target's
+        own configuration (factory options, or the attributes of a
+        caller-supplied instance), and the budget — a timed-out row must
+        not shadow a retry under a bigger budget.
+        """
+        if target_config is None:
+            target_config = sorted(
+                self.target_options.get(target_name, {}).items()
+            )
+        return (
+            target_name,
+            workload.cache_key(),
+            _fingerprint(
+                self.parameters,
+                sorted(options.items()),
+                target_config,
+                self.budgets.get(target_name),
+            ),
+        )
+
+    def _cache_path(self, key: tuple) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        target_name, workload_key, fingerprint = key
+        return self.cache_dir / f"{target_name}--{workload_key}--{fingerprint}.json"
+
+    def _cache_get(self, key: tuple) -> CompilationResult | None:
+        if key in self._memory:
+            result = self._memory[key]
+            result.cached = True
+            return result
+        path = self._cache_path(key)
+        if path is not None and path.exists():
+            try:
+                result = CompilationResult.from_dict(
+                    json.loads(path.read_text(encoding="utf-8"))
+                )
+            except (ValueError, KeyError, OSError):
+                return None  # stale or corrupt entry: recompile
+            self._memory[key] = result
+            return result
+        return None
+
+    def _cache_put(self, key: tuple, result: CompilationResult) -> None:
+        # Error rows are not cached at all — in memory or on disk — so a
+        # transient failure (worker death, flaky env) retries on the next
+        # call instead of being served back forever.
+        if result.error is not None:
+            return
+        self._memory[key] = result
+        path = self._cache_path(key)
+        if path is not None:
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(
+                json.dumps(result.to_dict(), indent=1), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _spec(self, workload: Workload, target_name: str, options: dict) -> tuple:
+        return (
+            workload,
+            target_name,
+            self.target_options.get(target_name, {}),
+            self.parameters,
+            self.budgets.get(target_name),
+            options,
+        )
+
+    def compile(
+        self, workload, target: str | Target = "fpqa", **options
+    ) -> CompilationResult:
+        """Compile one cell (cached; failures become result rows)."""
+        resolved = coerce_workload(workload)
+        if isinstance(target, Target):
+            # Instances bypass the registry; their attributes (hardware,
+            # seeds, wrapped compilers) become the target_config part of
+            # the key so differently-configured instances never share a
+            # cache cell.  Default object reprs make such keys unstable
+            # across processes — a cache miss, never a wrong hit.
+            name = target.name
+            key = self._key(
+                resolved, name, options, target_config=sorted(vars(target).items())
+            )
+            hit = self._cache_get(key)
+            if hit is not None:
+                return hit
+            result = target.compile(
+                resolved,
+                parameters=self.parameters,
+                budget_seconds=self.budgets.get(name),
+                on_error="result",
+                **options,
+            )
+            self._cache_put(key, result)
+            return result
+        name = resolve_target_name(target)
+        key = self._key(resolved, name, options)
+        hit = self._cache_get(key)
+        if hit is not None:
+            return hit
+        result = _compile_job(self._spec(resolved, name, options))
+        self._cache_put(key, result)
+        return result
+
+    def compile_many(
+        self,
+        workloads: Iterable,
+        targets: str | Sequence[str] = "fpqa",
+        parallel: int = 1,
+        **options,
+    ) -> list[CompilationResult]:
+        """Compile every (workload, target) pair, in input order.
+
+        The job list is workload-major: for each workload, every target in
+        ``targets`` — and the returned list matches that order exactly
+        regardless of ``parallel``.  With ``parallel > 1`` cache misses
+        are fanned across a process pool; hits are served without
+        touching the pool at all.
+        """
+        target_names = (
+            [targets] if isinstance(targets, str) else list(targets)
+        )
+        jobs: list[tuple[Workload, str]] = []
+        for workload in workloads:
+            resolved = coerce_workload(workload)
+            for target in target_names:
+                jobs.append((resolved, resolve_target_name(target)))
+
+        results: list[CompilationResult | None] = [None] * len(jobs)
+        misses: list[int] = []
+        keys: list[tuple] = []
+        for index, (workload, name) in enumerate(jobs):
+            key = self._key(workload, name, options)
+            keys.append(key)
+            hit = self._cache_get(key)
+            if hit is not None:
+                results[index] = hit
+            else:
+                misses.append(index)
+
+        if not misses:
+            return results  # type: ignore[return-value]
+
+        # A batch may name the same (workload, target) cell twice; compile
+        # it once and fan the result out.
+        first_for_key: dict[tuple, int] = {}
+        duplicate_of: dict[int, int] = {}
+        submit: list[int] = []
+        for index in misses:
+            if keys[index] in first_for_key:
+                duplicate_of[index] = first_for_key[keys[index]]
+            else:
+                first_for_key[keys[index]] = index
+                submit.append(index)
+
+        if parallel <= 1 or len(submit) == 1:
+            for index in submit:
+                workload, name = jobs[index]
+                result = _compile_job(self._spec(workload, name, options))
+                self._cache_put(keys[index], result)
+                results[index] = result
+            for index, source in duplicate_of.items():
+                results[index] = results[source]
+            return results  # type: ignore[return-value]
+
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            futures = {
+                pool.submit(
+                    _compile_job, self._spec(jobs[index][0], jobs[index][1], options)
+                ): index
+                for index in submit
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        result = future.result()
+                    except Exception as exc:  # noqa: BLE001 — worker died
+                        workload, name = jobs[index]
+                        result = CompilationResult(
+                            target=name,
+                            workload=workload.name,
+                            num_qubits=workload.num_qubits,
+                            num_clauses=workload.num_clauses,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    self._cache_put(keys[index], result)
+                    results[index] = result
+        for index, source in duplicate_of.items():
+            results[index] = results[source]
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def clear_cache(self, disk: bool = False) -> None:
+        """Drop in-memory results (and optionally the on-disk entries)."""
+        self._memory.clear()
+        if disk and self.cache_dir is not None:
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink(missing_ok=True)

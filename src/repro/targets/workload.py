@@ -1,0 +1,178 @@
+"""The :class:`Workload` abstraction: what a target compiles.
+
+Weaver's front end (paper Figure 3) accepts a problem in several shapes —
+a MAX-3SAT formula, an OpenQASM circuit, or an already-built QAOA
+circuit — and every backend consumes one of two canonical forms:
+
+* the **formula** form, required by the clause-structured FPQA paths
+  (clause coloring needs the CNF structure, not just gates); and
+* the **circuit** form, sufficient for gate-level paths such as the
+  superconducting transpiler.
+
+:class:`Workload` normalizes all accepted inputs into one object carrying
+whichever forms are available, and :func:`coerce_workload` is the single
+place the public API converts user input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..circuits import QuantumCircuit
+from ..exceptions import WorkloadError
+from ..qaoa.builder import QaoaParameters, qaoa_circuit
+from ..sat.cnf import CnfFormula
+from ..sat.dimacs import parse_dimacs, to_dimacs
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A compilation input: a named problem in formula and/or circuit form.
+
+    Exactly one of ``formula`` / ``raw_circuit`` may be ``None``.  Use the
+    ``from_*`` constructors (or :func:`coerce_workload`) rather than the
+    raw dataclass fields.
+    """
+
+    name: str
+    formula: CnfFormula | None = None
+    raw_circuit: QuantumCircuit | None = None
+    source: str = "memory"
+    _circuit_cache: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_formula(cls, formula: CnfFormula, name: str | None = None) -> "Workload":
+        """Wrap a CNF formula (the paper's MAX-3SAT workload)."""
+        return cls(name=name or formula.name, formula=formula, source="formula")
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit, name: str | None = None) -> "Workload":
+        """Wrap a prebuilt circuit (e.g. a hand-written QAOA ansatz)."""
+        return cls(
+            name=name or getattr(circuit, "name", "circuit") or "circuit",
+            raw_circuit=circuit,
+            source="circuit",
+        )
+
+    @classmethod
+    def from_qasm(cls, source: str, name: str | None = None) -> "Workload":
+        """Parse OpenQASM 3 source text into a circuit workload."""
+        from ..qasm import qasm_to_circuit
+
+        circuit = qasm_to_circuit(source, name=name or "qasm")
+        return cls(name=name or "qasm", raw_circuit=circuit, source="qasm")
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Workload":
+        """Load a workload from a ``.cnf`` (DIMACS) or ``.qasm`` file."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise WorkloadError(f"cannot read workload file {path}: {exc}") from exc
+        except UnicodeDecodeError as exc:
+            raise WorkloadError(f"workload file {path} is not UTF-8 text: {exc}") from exc
+        # The suffix is authoritative; content sniffing only breaks ties
+        # for unknown extensions (a QASM file may well start with "c...").
+        suffix = path.suffix.lower()
+        is_qasm = suffix in (".qasm", ".wqasm") or (
+            suffix not in (".cnf", ".dimacs") and "OPENQASM" in text[:200]
+        )
+        if is_qasm:
+            workload = cls.from_qasm(text, name=path.stem)
+            return cls(
+                name=path.stem, raw_circuit=workload.raw_circuit, source=str(path)
+            )
+        if suffix in (".cnf", ".dimacs") or text.lstrip().startswith(("c", "p cnf")):
+            formula = parse_dimacs(text, name=path.stem)
+            return cls(name=path.stem, formula=formula, source=str(path))
+        raise WorkloadError(
+            f"cannot infer workload format of {path}: expected DIMACS CNF "
+            "(.cnf) or OpenQASM (.qasm)"
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def has_formula(self) -> bool:
+        return self.formula is not None
+
+    @property
+    def num_qubits(self) -> int:
+        if self.formula is not None:
+            return self.formula.num_vars
+        return self.raw_circuit.num_qubits
+
+    @property
+    def num_clauses(self) -> int | None:
+        return self.formula.num_clauses if self.formula is not None else None
+
+    def require_formula(self, target: str) -> CnfFormula:
+        """The CNF form, or a clear error naming the target that needs it."""
+        if self.formula is None:
+            raise WorkloadError(
+                f"target {target!r} compiles clause structure and needs a CNF "
+                f"formula workload; {self.name!r} only provides a circuit"
+            )
+        return self.formula
+
+    def circuit(
+        self, parameters: QaoaParameters | None = None, measure: bool = True
+    ) -> QuantumCircuit:
+        """The gate-level form: the raw circuit, or its QAOA lowering.
+
+        For formula workloads this is the shared MAX-3SAT -> QAOA lowering
+        of paper §A.4.1 (cached per parameter set).
+        """
+        if self.raw_circuit is not None:
+            return self.raw_circuit
+        key = (parameters or QaoaParameters(), measure)
+        if key not in self._circuit_cache:
+            self._circuit_cache[key] = qaoa_circuit(
+                self.formula, parameters or QaoaParameters(), measure=measure
+            )
+        return self._circuit_cache[key]
+
+    def cache_key(self) -> str:
+        """Stable content hash used by the on-disk result cache."""
+        if self.formula is not None:
+            payload = to_dimacs(self.formula)
+        else:
+            from ..qasm import circuit_to_qasm
+
+            payload = circuit_to_qasm(self.raw_circuit)
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        return f"{self.name}-{digest}"
+
+
+def coerce_workload(obj) -> Workload:
+    """Normalize any accepted input into a :class:`Workload`.
+
+    Accepts a :class:`Workload` (returned as-is), a :class:`CnfFormula`,
+    a :class:`QuantumCircuit`, a path to a ``.cnf``/``.qasm`` file, or
+    OpenQASM source text.
+    """
+    if isinstance(obj, Workload):
+        return obj
+    if isinstance(obj, CnfFormula):
+        return Workload.from_formula(obj)
+    if isinstance(obj, QuantumCircuit):
+        return Workload.from_circuit(obj)
+    if isinstance(obj, Path):
+        return Workload.from_file(obj)
+    if isinstance(obj, str):
+        if "OPENQASM" in obj or "\n" in obj:
+            return Workload.from_qasm(obj)
+        return Workload.from_file(obj)
+    raise WorkloadError(
+        f"cannot build a workload from {type(obj).__name__}; expected "
+        "Workload, CnfFormula, QuantumCircuit, OpenQASM text, or a file path"
+    )

@@ -1,0 +1,96 @@
+"""CLI: the target-aware compile command and the unified error handler."""
+
+import pytest
+
+from repro.cli import main
+from repro.sat import to_dimacs
+
+
+@pytest.fixture()
+def cnf_file(tmp_path, tiny_formula):
+    path = tmp_path / "tiny.cnf"
+    path.write_text(to_dimacs(tiny_formula))
+    return path
+
+
+class TestTargetsCommand:
+    def test_lists_all_targets(self, capsys):
+        assert main(["targets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fpqa", "fpqa-nocompress", "superconducting", "atomique",
+                     "geyser", "dpqa"):
+            assert name in out
+
+    def test_single_target(self, capsys):
+        assert main(["targets", "fpqa"]) == 0
+        out = capsys.readouterr().out
+        assert "clause-coloring" in out
+
+    def test_unknown_target_is_user_error(self, capsys):
+        assert main(["targets", "pixie"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompileTarget:
+    def test_default_target_emits_wqasm(self, cnf_file, tmp_path):
+        out = tmp_path / "out.wqasm"
+        assert main(["compile", str(cnf_file), "-o", str(out)]) == 0
+        assert out.read_text().startswith("OPENQASM 3.0;")
+
+    def test_explicit_target_flag(self, cnf_file, capsys):
+        assert main(["compile", str(cnf_file), "--target", "superconducting"]) == 0
+        captured = capsys.readouterr()
+        assert "superconducting" in captured.err
+        assert "eps:" in captured.out
+
+    def test_unknown_target_is_user_error(self, cnf_file, capsys):
+        assert main(["compile", str(cnf_file), "--target", "pixie"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown target" in err
+
+    def test_verify_rejected_for_gate_level_target(self, cnf_file, capsys):
+        rc = main(["compile", str(cnf_file), "--target", "atomique", "--verify"])
+        assert rc == 2
+
+
+class TestErrorHandler:
+    def test_missing_input_is_user_error(self, capsys):
+        assert main(["compile", "/nonexistent/x.cnf"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_wqasm_is_user_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.wqasm"
+        bad.write_bytes(b"\xff\xfe\x00 not text")
+        assert main(["check", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_syntactically_broken_wqasm_is_user_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.wqasm"
+        bad.write_text("this is not wqasm {{{")
+        assert main(["check", str(bad)]) == 2
+
+    def test_internal_error_exits_1(self, cnf_file, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def boom(text, name="x"):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(cli, "parse_wqasm", boom)
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        assert cli.main(["check", str(cnf_file)]) == 1
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "synthetic failure" in err
+
+    def test_internal_error_reraises_under_debug(self, cnf_file, monkeypatch):
+        import repro.cli as cli
+
+        def boom(text, name="x"):
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(cli, "parse_wqasm", boom)
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        with pytest.raises(RuntimeError):
+            cli.main(["check", str(cnf_file)])

@@ -1,0 +1,96 @@
+"""ResultStore JSON persistence: sweeps resume instead of recompiling."""
+
+import json
+
+import pytest
+
+from repro.baselines.base import BaselineResult
+from repro.evaluation import EvaluationConfig, ResultStore
+
+
+def _row(compiler: str, workload: str, **kw) -> BaselineResult:
+    defaults = dict(
+        num_vars=20,
+        num_clauses=91,
+        compile_seconds=0.5,
+        execution_seconds=0.01,
+        eps=0.05,
+        num_pulses=1234,
+        extra={"num_colors": 7},
+    )
+    defaults.update(kw)
+    return BaselineResult(compiler=compiler, workload=workload, **defaults)
+
+
+class TestBaselineResultRoundTrip:
+    def test_round_trip(self):
+        row = _row("weaver", "uf20-01")
+        restored = BaselineResult.from_dict(row.to_dict())
+        assert restored == row
+
+    def test_round_trip_timed_out(self):
+        row = _row("dpqa", "uf50-01", timed_out=True, eps=None, num_pulses=None)
+        restored = BaselineResult.from_dict(row.to_dict())
+        assert restored.timed_out
+        assert restored.eps is None
+
+
+class TestStorePersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(EvaluationConfig())
+        store.results[("weaver", "uf20-01")] = _row("weaver", "uf20-01")
+        store.results[("dpqa", "uf50-01")] = _row(
+            "dpqa", "uf50-01", timed_out=True, eps=None
+        )
+        path = tmp_path / "results.json"
+        assert store.save(path) == 2
+
+        fresh = ResultStore(EvaluationConfig())
+        assert fresh.load(path) == 2
+        assert fresh.results.keys() == store.results.keys()
+        loaded = fresh.results[("weaver", "uf20-01")]
+        assert loaded.eps == pytest.approx(0.05)
+        assert loaded.extra["num_colors"] == 7
+
+    def test_loaded_cells_are_not_recompiled(self, tmp_path):
+        """A loaded cell short-circuits run() — the resume property."""
+        path = tmp_path / "results.json"
+        seed = ResultStore(EvaluationConfig())
+        marker = _row("weaver", "uf20-01", compile_seconds=123.456)
+        seed.results[("weaver", "uf20-01")] = marker
+        seed.save(path)
+
+        store = ResultStore(EvaluationConfig())
+        store.load(path)
+        result = store.run("weaver", "uf20-01")
+        assert result.compile_seconds == pytest.approx(123.456)
+
+    def test_load_missing_file_is_noop(self, tmp_path):
+        store = ResultStore(EvaluationConfig())
+        assert store.load(tmp_path / "absent.json") == 0
+        assert not store.results
+
+    def test_load_tolerates_truncated_store(self, tmp_path):
+        """A half-written store must not abort the sweep it should resume."""
+        path = tmp_path / "results.json"
+        store = ResultStore(EvaluationConfig())
+        store.results[("weaver", "uf20-01")] = _row("weaver", "uf20-01")
+        store.save(path)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        fresh = ResultStore(EvaluationConfig())
+        with pytest.warns(UserWarning, match="unreadable"):
+            assert fresh.load(path) == 0
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "results.json"
+        store = ResultStore(EvaluationConfig())
+        store.results[("weaver", "uf20-01")] = _row("weaver", "uf20-01")
+        store.save(path)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError):
+            ResultStore(EvaluationConfig()).load(path)

@@ -1,0 +1,151 @@
+"""CompilerSession: batching, ordering, budgets, and the result caches."""
+
+import pytest
+
+import repro
+from repro import CompilerSession
+from repro.sat import CnfFormula
+
+
+def _formulas(count: int) -> list[CnfFormula]:
+    return [
+        CnfFormula.from_lists(
+            [[1, -2, 3], [-1, 2, 4], [2, 3, -4]], num_vars=4, name=f"batch-{i}"
+        )
+        for i in range(count)
+    ]
+
+
+class TestCompileMany:
+    def test_results_in_input_order_parallel_2(self):
+        workloads = _formulas(4)
+        session = CompilerSession()
+        results = session.compile_many(
+            workloads, targets=["fpqa", "atomique"], parallel=2
+        )
+        assert [(r.workload, r.target) for r in results] == [
+            (w.name, t) for w in workloads for t in ("fpqa", "atomique")
+        ]
+        assert all(r.succeeded for r in results)
+
+    def test_sequential_matches_parallel(self):
+        workloads = _formulas(3)
+        sequential = CompilerSession().compile_many(workloads, targets="fpqa")
+        parallel = CompilerSession().compile_many(
+            workloads, targets="fpqa", parallel=2
+        )
+        assert [r.num_pulses for r in sequential] == [r.num_pulses for r in parallel]
+        assert [r.eps for r in sequential] == pytest.approx([r.eps for r in parallel])
+
+    def test_duplicate_cells_compiled_once(self):
+        workload = _formulas(1)[0]
+        session = CompilerSession()
+        results = session.compile_many([workload, workload], targets="fpqa")
+        assert results[0] is results[1]
+
+    def test_unknown_target_rejected_before_compiling(self):
+        with pytest.raises(repro.UnknownTargetError):
+            CompilerSession().compile_many(_formulas(1), targets=["fpqa", "pixie"])
+
+    def test_failures_become_result_rows(self, tiny_formula):
+        # A circuit workload cannot feed a formula-only target: the session
+        # reports the error instead of raising (service contract).
+        circuit = repro.qaoa_circuit(tiny_formula, measure=False)
+        session = CompilerSession()
+        result = session.compile(circuit, target="atomique")
+        assert not result.succeeded
+        assert "WorkloadError" in result.error
+
+    def test_budget_becomes_timed_out_row(self, tiny_formula):
+        session = CompilerSession(budgets={"fpqa": 1e-9})
+        result = session.compile(tiny_formula, target="fpqa")
+        assert result.timed_out
+        assert not result.succeeded
+
+
+class TestCaching:
+    def test_memory_cache_hits(self, tiny_formula):
+        session = CompilerSession()
+        first = session.compile(tiny_formula, target="fpqa")
+        second = session.compile(tiny_formula, target="fpqa")
+        assert second is first
+        assert second.cached
+
+    def test_disk_cache_survives_sessions(self, tmp_path, tiny_formula):
+        cache = tmp_path / "cache"
+        first = CompilerSession(cache_dir=cache).compile(tiny_formula, target="fpqa")
+        assert not first.cached
+        assert list(cache.glob("*.json"))
+        second = CompilerSession(cache_dir=cache).compile(tiny_formula, target="fpqa")
+        assert second.cached
+        assert second.num_pulses == first.num_pulses
+        assert second.program.pulse_counts() == first.program.pulse_counts()
+
+    def test_distinct_options_are_distinct_cells(self, tmp_path, tiny_formula):
+        session = CompilerSession(cache_dir=tmp_path / "cache")
+        on = session.compile(tiny_formula, target="fpqa", compression=True)
+        off = session.compile(tiny_formula, target="fpqa", compression=False)
+        assert on.num_pulses != off.num_pulses
+
+    def test_error_rows_not_persisted(self, tmp_path, tiny_formula):
+        cache = tmp_path / "cache"
+        session = CompilerSession(cache_dir=cache)
+        circuit = repro.qaoa_circuit(tiny_formula, measure=False)
+        result = session.compile(circuit, target="atomique")
+        assert result.error is not None
+        assert not list(cache.glob("*.json"))
+
+    def test_error_rows_retried_within_session(self, tiny_formula):
+        """Transient failures must not be served back from the memory cache."""
+        circuit = repro.qaoa_circuit(tiny_formula, measure=False)
+        session = CompilerSession()
+        first = session.compile(circuit, target="atomique")
+        second = session.compile(circuit, target="atomique")
+        assert first.error is not None
+        assert second is not first  # recompiled, not a cache hit
+        assert not second.cached
+
+    def test_unsupported_option_is_error_not_noop(self, tiny_formula):
+        with pytest.raises(repro.TargetError, match="measure"):
+            repro.compile(tiny_formula, target="atomique", measure=False)
+        with pytest.raises(repro.TargetError, match="compression"):
+            repro.compile(tiny_formula, target="superconducting", compression=True)
+
+    def test_bigger_budget_retries_cached_timeout(self, tmp_path, tiny_formula):
+        """A timed-out row must not shadow a retry under a larger budget."""
+        cache = tmp_path / "cache"
+        strangled = CompilerSession(budgets={"fpqa": 1e-9}, cache_dir=cache)
+        first = strangled.compile(tiny_formula, target="fpqa")
+        assert first.timed_out
+        generous = CompilerSession(budgets={"fpqa": 120.0}, cache_dir=cache)
+        second = generous.compile(tiny_formula, target="fpqa")
+        assert second.succeeded
+
+    def test_target_options_are_part_of_cache_key(self, tmp_path, tiny_formula):
+        from repro import FPQAHardwareParams
+
+        cache = tmp_path / "cache"
+        default = CompilerSession(cache_dir=cache).compile(tiny_formula)
+        degraded_hw = FPQAHardwareParams().with_overrides(fidelity_ccz=0.5)
+        degraded = CompilerSession(
+            cache_dir=cache, target_options={"fpqa": {"hardware": degraded_hw}}
+        ).compile(tiny_formula)
+        assert not degraded.cached
+        assert degraded.eps < default.eps
+
+    def test_disk_cache_restores_native_circuit(self, tmp_path, tiny_formula):
+        cache = tmp_path / "cache"
+        first = CompilerSession(cache_dir=cache).compile(tiny_formula, target="fpqa")
+        second = CompilerSession(cache_dir=cache).compile(tiny_formula, target="fpqa")
+        assert second.cached
+        assert second.native_circuit is not None
+        assert second.native_circuit.num_qubits == first.native_circuit.num_qubits
+
+    def test_clear_cache(self, tmp_path, tiny_formula):
+        cache = tmp_path / "cache"
+        session = CompilerSession(cache_dir=cache)
+        session.compile(tiny_formula, target="fpqa")
+        session.clear_cache(disk=True)
+        assert not list(cache.glob("*.json"))
+        again = session.compile(tiny_formula, target="fpqa")
+        assert not again.cached
