@@ -36,6 +36,19 @@ def _config() -> EvaluationConfig:
     return EvaluationConfig(instances_per_size=instances, budgets=budgets)
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under ``benchmarks/`` is the slow lane.
+
+    The figure-regeneration suite dominates tier-1 wall clock (~10 min on
+    one CPU); marking it ``slow`` lets CI run ``-m "not slow"`` for
+    minutes-scale signal while the full run stays the default.
+    """
+    here = Path(__file__).resolve().parent
+    for item in items:
+        if here in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def store() -> ResultStore:
     return ResultStore(_config())

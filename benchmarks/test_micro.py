@@ -68,3 +68,27 @@ def test_bench_unitary_simulation_10q(benchmark):
         lambda: circuit_unitary(circuit), rounds=3, iterations=1
     )
     assert unitary.shape == (1024, 1024)
+
+
+def test_bench_cost_model_repeated_evaluation(benchmark):
+    """Fidelity+timing of one program on one device, evaluated repeatedly.
+
+    The device-profile subsystem's precomputed tables (log-fidelity terms
+    resolved once per device, not once per instruction per call) should
+    keep repeated evaluation — the shape of every figure sweep — well
+    under the seed path's cost; see
+    ``tests/test_devices.py::TestCostModel::test_precompute_beats_seed_path``
+    for the direct seed-vs-table comparison.
+    """
+    from repro.devices import cost_model_for
+    from repro.passes import FPQACompiler
+
+    program = FPQACompiler().compile(load_workload("uf20-01")).program
+    hardware = FPQAHardwareParams()
+
+    def evaluate():
+        model = cost_model_for(hardware)
+        return model.program_eps(program, model.program_duration_us(program))
+
+    eps = benchmark(evaluate)
+    assert 0.0 < eps < 1.0

@@ -34,10 +34,40 @@ def main() -> int:
         help="persist results to this JSON file and resume from it if it "
              "exists (interrupted sweeps recompile only missing cells)",
     )
+    parser.add_argument(
+        "--devices", metavar="NAMES", default=None,
+        help="comma-separated device profiles to sweep the Weaver path "
+             "over (see `weaver devices`); adds a per-device comparison "
+             "table to the report",
+    )
     args = parser.parse_args()
     budgets = dict(DEFAULT_BUDGETS)
     budgets["geyser"] = args.budget
     budgets["dpqa"] = args.budget
+    devices = (
+        tuple(name.strip() for name in args.devices.split(",") if name.strip())
+        if args.devices
+        else ()
+    )
+    if devices:
+        # Validate up front: a typo'd or non-FPQA device must fail in
+        # milliseconds, not after the whole figure sweep has run.
+        from repro.devices import get_device
+        from repro.exceptions import DeviceError
+
+        for name in devices:
+            try:
+                profile = get_device(name)
+            except DeviceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if profile.kind != "fpqa":
+                print(
+                    f"error: --devices sweeps the Weaver FPQA path; "
+                    f"{name!r} is a {profile.kind} profile",
+                    file=sys.stderr,
+                )
+                return 2
     if args.quick:
         config = EvaluationConfig(
             compilers=("superconducting", "atomique", "weaver", "dpqa", "geyser"),
@@ -45,9 +75,10 @@ def main() -> int:
             scaling_sizes=(20, 50, 75),
             instances_per_size=1,
             budgets=budgets,
+            devices=devices,
         )
     else:
-        config = EvaluationConfig(budgets=budgets)
+        config = EvaluationConfig(budgets=budgets, devices=devices)
     run_artifact(
         config,
         include_ccz_sweep=not args.no_ccz_sweep,

@@ -4,12 +4,17 @@ Reproduction of Kirmemis et al., CGO 2025 (arXiv:2409.07870).  The public
 API centers on one retargetable entrypoint backed by a target registry:
 
 * :func:`compile` — compile any workload (CNF formula, OpenQASM file or
-  circuit) for any registered target;
+  circuit) for any registered target, on any registered device profile;
 * :class:`CompilerSession` — batched, cached, budget-aware compilation
-  (``compile_many(..., parallel=N)`` fans out across a process pool);
+  (``compile_many(..., parallel=N, devices=[...])`` fans a
+  workload x target x device grid across a process pool);
 * :func:`available_targets` / :func:`register_target` — the backend
   registry (``fpqa``, ``fpqa-nocompress``, ``superconducting``,
-  ``atomique``, ``geyser``, ``dpqa``).
+  ``atomique``, ``geyser``, ``dpqa``);
+* :func:`list_devices` / :func:`get_device` / :func:`register_device` —
+  the device-profile registry (:mod:`repro.devices`): declarative
+  machine specs with validated hardware parameters and precomputed
+  noise-aware cost models.
 
 The paper's three components remain available underneath:
 
@@ -30,6 +35,9 @@ Quickstart::
 
     # Retarget: same workload, different backend.
     sc = repro.compile(formula, target="superconducting")
+
+    # Redevice: same pipeline, different machine.
+    aquila = repro.compile(formula, target="fpqa", device="aquila-256")
 
     # Batched throughput with budgets and caching.
     session = repro.CompilerSession(budgets={"dpqa": 60.0})
@@ -92,6 +100,16 @@ from .passes import (
 from .checker import CheckReport, WChecker, check_program
 from .superconducting import SuperconductingTranspiler, washington_backend
 from .metrics import program_duration_us, program_eps
+from .devices import (
+    DeviceProfile,
+    FPQACostModel,
+    cost_model_for,
+    device_info,
+    get_device,
+    list_devices,
+    register_device,
+)
+from .exceptions import DeviceError, DeviceSpecError, UnknownDeviceError
 from .targets import (
     CompilationResult,
     CompilerSession,
@@ -105,7 +123,7 @@ from .targets import (
     target_info,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnnotationError",
@@ -118,7 +136,11 @@ __all__ = [
     "CompilationResult",
     "CompilationTimeout",
     "CompilerSession",
+    "DeviceError",
+    "DeviceProfile",
+    "DeviceSpecError",
     "EquivalenceError",
+    "FPQACostModel",
     "FPQACompiler",
     "FPQAConstraintError",
     "FPQADevice",
@@ -135,6 +157,7 @@ __all__ = [
     "SuperconductingTranspiler",
     "Target",
     "TargetError",
+    "UnknownDeviceError",
     "UnknownTargetError",
     "VerificationError",
     "WChecker",
@@ -152,8 +175,12 @@ __all__ = [
     "coerce_workload",
     "compile",
     "compile_formula",
+    "cost_model_for",
+    "device_info",
     "formula_polynomial",
+    "get_device",
     "get_target",
+    "list_devices",
     "measurement_distribution",
     "nativize_circuit",
     "parse_dimacs",
@@ -164,6 +191,7 @@ __all__ = [
     "qaoa_circuit",
     "qasm_to_circuit",
     "random_ksat",
+    "register_device",
     "register_target",
     "satlib_instance",
     "target_info",

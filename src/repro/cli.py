@@ -4,6 +4,7 @@ Commands
 --------
 ``compile``   workload (.cnf DIMACS / .qasm) -> any registered target
 ``targets``   list the registered compilation targets
+``devices``   list the registered device profiles
 ``check``     verify a wQasm file with the wChecker
 ``export``    DIMACS CNF -> DPQA-format JSON (artifact step 6)
 ``bench``     run the laptop-scale artifact sweep (same as run.py --quick)
@@ -12,7 +13,9 @@ Examples::
 
     weaver compile problem.cnf -o program.wqasm
     weaver compile problem.cnf --target superconducting
+    weaver compile problem.cnf --device aquila-256
     weaver targets
+    weaver devices rubidium-baseline
     weaver check program.wqasm
     weaver export problem.cnf -o gates.json
 
@@ -54,11 +57,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         target=args.target,
         parameters=parameters,
         budget_seconds=args.budget,
+        device=args.device,
         **options,
     )
     summary = (
-        f"compiled {workload.name} for {result.target}: "
-        f"{result.num_qubits} qubits"
+        f"compiled {workload.name} for {result.target}"
+        + (f" on {result.device}" if result.device else "")
+        + f": {result.num_qubits} qubits"
         + (f", {result.num_clauses} clauses" if result.num_clauses else "")
         + f" ({result.compile_seconds * 1e3:.0f} ms compile)"
     )
@@ -68,10 +73,18 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             Path(args.output).write_text(text, encoding="utf-8")
         else:
             sys.stdout.write(text)
+        # The result's metrics were computed on the target's own hardware
+        # (the selected device profile), so report those, not defaults.
+        duration_ms = (
+            result.execution_seconds * 1e3
+            if result.execution_seconds is not None
+            else program_duration_us(result.program) / 1e3
+        )
+        eps = result.eps if result.eps is not None else program_eps(result.program)
         summary += (
             f"; {result.program.total_pulses} pulses, "
-            f"{program_duration_us(result.program) / 1e3:.2f} ms, "
-            f"EPS {program_eps(result.program):.4g}"
+            f"{duration_ms:.2f} ms, "
+            f"EPS {eps:.4g}"
         )
         print(summary, file=sys.stderr)
         if args.verify:
@@ -113,6 +126,29 @@ def _cmd_targets(args: argparse.Namespace) -> int:
         print(f"  capabilities: {', '.join(info['capabilities'])}")
         if info["pipeline"]:
             print(f"  pipeline:     {' -> '.join(info['pipeline'])}")
+    return 0
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from .devices import device_info, get_device
+
+    for info in device_info(args.name):
+        print(f"{info['name']}  [{info['kind']}]")
+        print(f"  {info['description']}")
+        details = []
+        if info["vendor"]:
+            details.append(f"vendor: {info['vendor']}")
+        if info["generation"]:
+            details.append(f"generation: {info['generation']}")
+        if info["max_qubits"] is not None:
+            details.append(f"max qubits: {info['max_qubits']}")
+        if details:
+            print(f"  {'; '.join(details)}")
+        if args.name:
+            # Detail view: the full resolved parameter set of the spec.
+            profile = get_device(args.name)
+            for key, value in sorted(profile.params.items()):
+                print(f"    {key} = {value}")
     return 0
 
 
@@ -162,8 +198,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("input", help="DIMACS .cnf or OpenQASM .qasm file")
     p_compile.add_argument("-o", "--output", help="wQasm output path (default stdout)")
     p_compile.add_argument(
-        "-t", "--target", default="fpqa",
-        help="registered target name (see `repro targets`; default fpqa)",
+        "-t", "--target", default=None,
+        help="registered target name (see `repro targets`; default fpqa, "
+             "or the target matching --device's kind)",
+    )
+    p_compile.add_argument(
+        "-d", "--device", default=None,
+        help="registered device profile to compile for (see `repro devices`)",
     )
     p_compile.add_argument("--gamma", type=float, default=0.7, help="QAOA gamma")
     p_compile.add_argument("--beta", type=float, default=0.35, help="QAOA beta")
@@ -180,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_targets = sub.add_parser("targets", help="list registered targets")
     p_targets.add_argument("name", nargs="?", help="show only this target")
     p_targets.set_defaults(func=_cmd_targets)
+
+    p_devices = sub.add_parser("devices", help="list registered device profiles")
+    p_devices.add_argument(
+        "name", nargs="?", help="show this device with its full parameter set"
+    )
+    p_devices.set_defaults(func=_cmd_devices)
 
     p_check = sub.add_parser("check", help="verify a wQasm file")
     p_check.add_argument("input", help="wQasm file")

@@ -1,0 +1,176 @@
+"""Noise-aware cost models precomputed once per device.
+
+The seed metrics walked every program instruction calling
+``math.log(hardware.fidelity_*)`` and rebuilding derived geometry for
+every compilation, so a sweep over N programs on one device paid the
+same per-device work N times.  :class:`FPQACostModel` hoists everything
+that depends only on the hardware — log-fidelity terms, per-instruction
+durations, the cluster-fidelity table, the zone geometry — into one
+object built once per device profile; :func:`cost_model_for` memoizes it
+per hardware configuration, so :mod:`repro.metrics` and every target get
+the fast path transparently.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+from ..exceptions import FPQAConstraintError
+from ..fpqa.hardware import FPQAHardwareParams
+from ..fpqa.instructions import (
+    AodInit,
+    BindAtom,
+    ParallelShuttle,
+    RamanGlobal,
+    RamanLocal,
+    RydbergPulse,
+    Shuttle,
+    SlmInit,
+    Transfer,
+)
+from ..wqasm.program import WQasmProgram
+
+#: Cluster sizes whose log-fidelity is table-driven; larger clusters fall
+#: back to the multiplicative-degradation formula (they never occur in
+#: compiled programs, which cap at CCZ).
+_CLUSTER_TABLE_SIZE = 8
+
+
+class FPQACostModel:
+    """Per-device timing and error tables for FPQA program evaluation.
+
+    Construction resolves every hardware-derived constant once; the
+    ``program_duration_us``/``program_eps`` walks then touch only plain
+    float attributes and isinstance checks.
+    """
+
+    def __init__(self, hardware: FPQAHardwareParams):
+        self.hardware = hardware
+        # Durations ----------------------------------------------------
+        self.raman_local_us = hardware.raman_local_duration_us
+        self.raman_global_us = hardware.raman_global_duration_us
+        self.rydberg_us = hardware.rydberg_pulse_duration_us
+        self.transfer_us = hardware.transfer_duration_us
+        self.measurement_us = hardware.measurement_duration_us
+        self.settle_us = hardware.shuttle_settle_us
+        # Loaded moves: t = 2 sqrt(d/a) + settle; precompute 2/sqrt(a).
+        self._loaded_scale = 2.0 / math.sqrt(hardware.aod_acceleration_um_per_us2)
+        self._empty_inv_speed = 1.0 / hardware.aod_empty_speed_um_per_us
+        # Error terms --------------------------------------------------
+        self.log_raman_local = math.log(hardware.fidelity_raman_local)
+        self.log_raman_global = math.log(hardware.fidelity_raman_global)
+        self.log_transfer = math.log(hardware.fidelity_transfer)
+        self.log_measurement = math.log(hardware.fidelity_measurement)
+        self._cluster_log = tuple(
+            math.log(hardware.cluster_fidelity(size)) if size >= 2 else 0.0
+            for size in range(_CLUSTER_TABLE_SIZE + 1)
+        )
+        self._inv_t2 = 1.0 / hardware.t2_us
+
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def geometry(self):
+        """The device's derived zone-placement constants (cached)."""
+        from ..fpqa.geometry import zone_layout
+
+        return zone_layout(self.hardware)
+
+    def cluster_log_fidelity(self, size: int) -> float:
+        if size <= _CLUSTER_TABLE_SIZE:
+            return self._cluster_log[size]
+        return math.log(self.hardware.cluster_fidelity(size))
+
+    def shuttle_us(self, distance_um: float, loaded: bool = True) -> float:
+        if loaded:
+            return self._loaded_scale * math.sqrt(abs(distance_um)) + self.settle_us
+        return abs(distance_um) * self._empty_inv_speed + self.settle_us
+
+    # ------------------------------------------------------------------
+    # Program evaluation (the semantics of repro.metrics, table-driven)
+    # ------------------------------------------------------------------
+    def program_duration_us(self, program: WQasmProgram) -> float:
+        """Total wall-clock duration in microseconds (paper §8.3).
+
+        Strictly sequential sum over instructions; consecutive transfers
+        batch into one window, a parallel shuttle costs its longest move,
+        and measured programs end with one readout.
+        """
+        total = 0.0
+        previous_was_transfer = False
+        for instruction in program.fpqa_instructions():
+            if isinstance(instruction, Transfer):
+                if not previous_was_transfer:
+                    total += self.transfer_us
+                previous_was_transfer = True
+                continue
+            previous_was_transfer = False
+            if isinstance(instruction, RamanLocal):
+                total += self.raman_local_us
+            elif isinstance(instruction, RamanGlobal):
+                total += self.raman_global_us
+            elif isinstance(instruction, RydbergPulse):
+                total += self.rydberg_us
+            elif isinstance(instruction, Shuttle):
+                move = instruction.move
+                total += self.shuttle_us(move.offset, loaded=move.loaded)
+            elif isinstance(instruction, ParallelShuttle):
+                if instruction.moves:
+                    total += max(
+                        self.shuttle_us(move.offset, loaded=move.loaded)
+                        for move in instruction.moves
+                    )
+            elif isinstance(instruction, (SlmInit, AodInit, BindAtom)):
+                pass  # setup happens before the circuit clock starts
+            else:
+                raise FPQAConstraintError(f"unknown instruction {instruction!r}")
+        if program.measured:
+            total += self.measurement_us
+        return total
+
+    def program_eps(
+        self, program: WQasmProgram, duration_us: float | None = None
+    ) -> float:
+        """Estimated probability of one fully-correct execution (§8.4).
+
+        Per-pulse error accumulation: one term per Raman pulse (global
+        pulses count once), one per Rydberg pulse rated by the largest
+        cluster it drove, one per batch of consecutive transfers, plus
+        idle decoherence over the program duration and a readout term for
+        measured programs.
+        """
+        log_eps = 0.0
+        previous_was_transfer = False
+        for operation in program.operations:
+            for instruction in operation.instructions:
+                is_transfer = isinstance(instruction, Transfer)
+                if is_transfer and not previous_was_transfer:
+                    log_eps += self.log_transfer
+                previous_was_transfer = is_transfer
+                if isinstance(instruction, RamanLocal):
+                    log_eps += self.log_raman_local
+                elif isinstance(instruction, RamanGlobal):
+                    log_eps += self.log_raman_global
+                elif isinstance(instruction, RydbergPulse):
+                    largest = max(
+                        (len(gate.qubits) for gate in operation.gates), default=0
+                    )
+                    if largest >= 2:
+                        log_eps += self.cluster_log_fidelity(largest)
+        if duration_us is None:
+            duration_us = self.program_duration_us(program)
+        log_eps += -duration_us * program.num_qubits * self._inv_t2
+        if program.measured:
+            log_eps += program.num_qubits * self.log_measurement
+        return math.exp(log_eps)
+
+
+@functools.lru_cache(maxsize=64)
+def cost_model_for(hardware: FPQAHardwareParams) -> FPQACostModel:
+    """The shared :class:`FPQACostModel` of a hardware configuration.
+
+    :class:`FPQAHardwareParams` is frozen and hashable, so equal
+    configurations — every compilation against the same device profile —
+    share one precomputed model.
+    """
+    return FPQACostModel(hardware)

@@ -1,0 +1,81 @@
+"""Load :class:`DeviceProfile` objects from declarative spec files.
+
+Specs are plain JSON or TOML documents (the OpenQL platform-configuration
+pattern): top-level identity keys plus a ``params`` table of hardware
+numbers.  The built-in profiles live in ``devices/specs/`` and are loaded
+lazily the first time the registry is consulted.
+
+Minimal JSON spec::
+
+    {
+      "name": "my-fpqa",
+      "kind": "fpqa",
+      "description": "lab prototype",
+      "max_qubits": 64,
+      "params": {"rydberg_radius_um": 7.0, "fidelity_cz": 0.993}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+
+from ..exceptions import DeviceSpecError
+from .profile import DeviceProfile
+
+SPECS_DIR = Path(__file__).resolve().parent / "specs"
+
+_TOP_LEVEL_KEYS = {
+    "name",
+    "kind",
+    "description",
+    "vendor",
+    "generation",
+    "max_qubits",
+    "params",
+    "aliases",
+}
+
+
+def profile_from_spec(spec: dict, source: str = "user") -> DeviceProfile:
+    """Build (and validate) a profile from a parsed spec document."""
+    if not isinstance(spec, dict):
+        raise DeviceSpecError(f"device spec must be an object, got {type(spec).__name__}")
+    unknown = set(spec) - _TOP_LEVEL_KEYS
+    if unknown:
+        raise DeviceSpecError(
+            f"device spec {spec.get('name', '<unnamed>')!r}: unknown "
+            f"key(s): {', '.join(sorted(unknown))}"
+        )
+    fields = {key: spec[key] for key in _TOP_LEVEL_KEYS - {"aliases"} if key in spec}
+    return DeviceProfile(source=source, **fields)
+
+
+def load_spec_document(path: str | Path) -> dict:
+    """Parse one ``.json``/``.toml`` spec file into its raw document."""
+    path = Path(path)
+    try:
+        if path.suffix == ".toml":
+            return tomllib.loads(path.read_text(encoding="utf-8"))
+        if path.suffix == ".json":
+            return json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, tomllib.TOMLDecodeError) as exc:
+        raise DeviceSpecError(f"device spec {path.name}: {exc}") from exc
+    raise DeviceSpecError(
+        f"device spec {path.name}: expected a .json or .toml file"
+    )
+
+
+def load_spec_file(path: str | Path) -> DeviceProfile:
+    """Parse one ``.json``/``.toml`` spec file into a validated profile."""
+    return profile_from_spec(load_spec_document(path), source=str(Path(path)))
+
+
+def builtin_spec_files() -> list[Path]:
+    """Every packaged spec file, sorted for deterministic registration."""
+    return sorted(
+        [*SPECS_DIR.glob("*.json"), *SPECS_DIR.glob("*.toml")],
+        key=lambda p: p.name,
+    )

@@ -1,0 +1,104 @@
+"""String-keyed device registry, mirroring the target registry.
+
+Adding a machine is one call::
+
+    from repro.devices import DeviceProfile, register_device
+
+    register_device(DeviceProfile(name="lab-64", kind="fpqa",
+                                  params={"fidelity_cz": 0.993}))
+
+after which ``repro.compile(workload, target="fpqa", device="lab-64")``,
+the ``--device`` CLI flag, and ``CompilerSession.compile_many(...,
+devices=[...])`` all reach it.  Built-in profiles are loaded lazily from
+the packaged spec files the first time the registry is consulted.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DeviceError, UnknownDeviceError
+from .loader import builtin_spec_files, load_spec_document, profile_from_spec
+from .profile import DeviceProfile
+
+_REGISTRY: dict[str, DeviceProfile] = {}
+_ALIASES: dict[str, str] = {}
+_BUILTINS_LOADED = False
+
+
+def _load_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    for path in builtin_spec_files():
+        document = load_spec_document(path)
+        profile = profile_from_spec(document, source=str(path))
+        register_device(
+            profile, aliases=tuple(document.get("aliases", ())), replace=True
+        )
+
+
+def register_device(
+    profile: DeviceProfile,
+    aliases: tuple[str, ...] = (),
+    replace: bool = False,
+) -> None:
+    """Register ``profile`` under its name (plus optional aliases)."""
+    _load_builtins()
+    if not isinstance(profile, DeviceProfile):
+        raise DeviceError(
+            f"register_device expects a DeviceProfile, got {type(profile).__name__}"
+        )
+    if not replace:
+        # A name shadowed by an existing alias would register fine but be
+        # unreachable (aliases win during lookup) — reject both directions.
+        for name in (profile.name, *aliases):
+            if name in _REGISTRY or name in _ALIASES:
+                raise DeviceError(f"device {name!r} is already registered")
+    _REGISTRY[profile.name] = profile
+    for alias in aliases:
+        _ALIASES[alias] = profile.name
+
+
+def resolve_device(device: str | DeviceProfile) -> DeviceProfile:
+    """The profile behind a name/alias (instances pass through)."""
+    if isinstance(device, DeviceProfile):
+        return device
+    _load_builtins()
+    canonical = _ALIASES.get(device, device)
+    if canonical not in _REGISTRY:
+        raise UnknownDeviceError(device, available=tuple(list_devices()))
+    return _REGISTRY[canonical]
+
+
+def get_device(name: str | DeviceProfile) -> DeviceProfile:
+    """Alias of :func:`resolve_device` (the target-registry idiom)."""
+    return resolve_device(name)
+
+
+def list_devices(kind: str | None = None) -> list[str]:
+    """Sorted canonical device names, optionally filtered by kind."""
+    _load_builtins()
+    return sorted(
+        name
+        for name, profile in _REGISTRY.items()
+        if kind is None or profile.kind == kind
+    )
+
+
+def device_info(name: str | None = None) -> list[dict]:
+    """Describe one device, or all of them (the ``repro devices`` view)."""
+    names = [resolve_device(name).name] if name else list_devices()
+    out = []
+    for key in names:
+        profile = _REGISTRY[key]
+        out.append(
+            {
+                "name": profile.name,
+                "kind": profile.kind,
+                "description": profile.description,
+                "vendor": profile.vendor,
+                "generation": profile.generation,
+                "max_qubits": profile.max_qubits,
+            }
+        )
+    return out

@@ -24,8 +24,31 @@ from .figures import (
     fig12b_eps_scaling,
 )
 from .reporting import format_table
-from .runner import EvaluationConfig, ResultStore
+from .runner import EvaluationConfig, ResultStore, mean_of
 from .tables import table2_complexity
+
+
+def device_sweep_table(store: ResultStore, devices: tuple[str, ...]) -> list[dict]:
+    """Per-device means of the Weaver path over the fixed suite.
+
+    The retargetability demonstration the paper's single-device artifact
+    cannot make: one compiler, the same workloads, N machines.
+    """
+    rows = []
+    for device in devices:
+        cells = store.device_sweep_results(device)
+        ok = [c for c in cells if c.succeeded]
+        rows.append(
+            {
+                "device": device,
+                "instances": len(ok),
+                "compile_s": mean_of([c.compile_seconds for c in ok]),
+                "execution_s": mean_of([c.execution_seconds for c in ok]),
+                "eps": mean_of([c.eps for c in ok]),
+                "pulses": mean_of([float(c.num_pulses) for c in ok if c.num_pulses]),
+            }
+        )
+    return rows
 
 
 @dataclass
@@ -51,6 +74,14 @@ class ArtifactReport:
         for key, title in titles.items():
             if key in self.figures:
                 sections.append(format_table(self.figures[key], title=title))
+        if "device_sweep" in self.figures:
+            sections.append(
+                format_table(
+                    self.figures["device_sweep"],
+                    title="Device sweep: Weaver path across device profiles "
+                          "(fixed-suite means)",
+                )
+            )
         if "fig10c" in self.figures:
             data = self.figures["fig10c"]
             sections.append(
@@ -106,6 +137,11 @@ def run_artifact(
     step("fig12b", lambda: fig12b_eps_scaling(store))
     if include_ccz_sweep:
         step("fig10c", lambda: fig10c_ccz_threshold(store))
+    if store.config.devices:
+        step(
+            "device_sweep",
+            lambda: device_sweep_table(store, store.config.devices),
+        )
     if verbose:
         print(report.render())
     return report

@@ -68,6 +68,9 @@ class EvaluationConfig:
     scaling_sizes: tuple[int, ...] = SCALING_SIZES
     instances_per_size: int = 3
     budgets: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_BUDGETS))
+    #: Device profiles for the device-sweep axis (empty = skip the sweep).
+    #: Each name must be registered in :mod:`repro.devices`.
+    devices: tuple[str, ...] = ()
 
 
 class ResultStore:
@@ -89,21 +92,32 @@ class ResultStore:
         #: so even a mid-sweep interrupt loses at most the cell in flight.
         self.autosave_path = Path(autosave_path) if autosave_path else None
 
-    def _target(self, name: str) -> Target:
-        if name not in self._targets:
-            self._targets[name] = get_target(name)
-        return self._targets[name]
+    def _target(self, name: str, device: str | None = None) -> Target:
+        key = name if device is None else f"{name}@{device}"
+        if key not in self._targets:
+            options = {} if device is None else {"device": device}
+            self._targets[key] = get_target(name, **options)
+        return self._targets[key]
 
-    def run(self, compiler: str, workload: str) -> BaselineResult:
-        """Compile one cell (cached)."""
-        key = (compiler, workload)
+    def run(
+        self, compiler: str, workload: str, device: str | None = None
+    ) -> BaselineResult:
+        """Compile one cell (cached).
+
+        ``device`` selects a registered device profile for device-aware
+        compilers (the fpqa and superconducting paths); the cell is then
+        keyed and recorded as ``compiler@device``, so device-sweep rows
+        persist and resume alongside the plain grid.
+        """
+        label = compiler if device is None else f"{compiler}@{device}"
+        key = (label, workload)
         if key in self.results:
             return self.results[key]
         formula = load_workload(workload)
         limit = ATTEMPT_LIMIT.get(compiler)
         if limit is not None and formula.num_vars > limit:
             result = BaselineResult(
-                compiler=compiler,
+                compiler=label,
                 workload=workload,
                 num_vars=formula.num_vars,
                 num_clauses=formula.num_clauses,
@@ -112,22 +126,23 @@ class ResultStore:
             )
         elif (
             compiler == "superconducting"
+            and device is None
             and formula.num_vars > SUPERCONDUCTING_MAX_VARS
         ):
             result = BaselineResult(
-                compiler=compiler,
+                compiler=label,
                 workload=workload,
                 num_vars=formula.num_vars,
                 num_clauses=formula.num_clauses,
                 error="exceeds 127-qubit backend",
             )
         else:
-            unified = self._target(compiler).compile(
+            unified = self._target(compiler, device).compile(
                 Workload.from_formula(formula, name=workload),
                 budget_seconds=self.config.budgets.get(compiler),
                 on_error="result",
             )
-            result = unified.to_baseline_result(compiler=compiler)
+            result = unified.to_baseline_result(compiler=label)
         self.results[key] = result
         if self.autosave_path is not None:
             self.save(self.autosave_path)
@@ -194,6 +209,15 @@ class ResultStore:
         """The cells of one scaling data point (Figures 8b/10b/11b/12b)."""
         names = scaling_instances(num_vars, self.config.instances_per_size)
         return [self.run(compiler, name) for name in names]
+
+    def device_sweep_results(
+        self, device: str, compiler: str = "weaver"
+    ) -> list[BaselineResult]:
+        """The fixed-suite cells of one device (the device-sweep axis)."""
+        return [
+            self.run(compiler, name, device=device)
+            for name in self.config.fixed_instances
+        ]
 
 
 def mean_of(values: list[float | None]) -> float | None:

@@ -108,3 +108,31 @@ class UnknownTargetError(TargetError, KeyError):
 
 class WorkloadError(WeaverError):
     """A workload could not be constructed or is unusable for a target."""
+
+
+class DeviceError(WeaverError):
+    """A device profile was misused (wrong kind for a target, bad options)."""
+
+
+class DeviceSpecError(DeviceError):
+    """A device spec is malformed or physically inconsistent.
+
+    Examples: Rydberg radius below the trap spacing, negative durations,
+    fidelities outside ``[0, 1]``, a disconnected coupling map.
+    """
+
+
+class UnknownDeviceError(DeviceError, KeyError):
+    """A device name was not found in the registry.
+
+    Also a :class:`KeyError`, mirroring :class:`UnknownTargetError`.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        hint = f"; available: {', '.join(available)}" if available else ""
+        super().__init__(f"unknown device {name!r}{hint}")
+        self.name = name
+        self.available = available

@@ -16,6 +16,7 @@ fast instead of miscompiling.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -229,8 +230,31 @@ def _default_side(hardware: FPQAHardwareParams) -> float:
     return max(side, hardware.min_trap_spacing_um)
 
 
+@functools.lru_cache(maxsize=256)
+def _cached_layout(
+    hardware: FPQAHardwareParams, zones_per_row: int, slots_per_zone: int
+) -> ZoneGeometry:
+    return ZoneGeometry(
+        hardware, zones_per_row=zones_per_row, slots_per_zone=slots_per_zone
+    )
+
+
 def zone_layout(
     hardware: FPQAHardwareParams | None = None, **overrides: float
 ) -> ZoneGeometry:
-    """Convenience constructor with optional field overrides."""
-    return ZoneGeometry(hardware or FPQAHardwareParams(), **overrides)
+    """Convenience constructor with optional field overrides.
+
+    The common shapes — the compiler's auto layout, which only varies
+    ``zones_per_row``/``slots_per_zone`` — are cached per hardware
+    configuration: the derived placement constants (and their validation)
+    are computed once per device instead of once per compiled program.
+    Explicit distance overrides bypass the cache.
+    """
+    hardware = hardware or FPQAHardwareParams()
+    if set(overrides) <= {"zones_per_row", "slots_per_zone"}:
+        return _cached_layout(
+            hardware,
+            int(overrides.get("zones_per_row", 0)),
+            int(overrides.get("slots_per_zone", 1)),
+        )
+    return ZoneGeometry(hardware, **overrides)

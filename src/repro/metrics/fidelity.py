@@ -15,19 +15,9 @@ per atom over the program duration.
 
 from __future__ import annotations
 
-import math
-
+from ..devices.cost import cost_model_for
 from ..fpqa.hardware import FPQAHardwareParams
-from ..fpqa.instructions import (
-    ParallelShuttle,
-    RamanGlobal,
-    RamanLocal,
-    RydbergPulse,
-    Shuttle,
-    Transfer,
-)
 from ..wqasm.program import WQasmProgram
-from .timing import program_duration_us
 
 
 def program_eps(
@@ -40,31 +30,11 @@ def program_eps(
     Rydberg pulse fidelity depends on the largest cluster it drove (CZ vs
     CCZ), which the program records alongside each pulse; those records
     are exactly what the wChecker validates, so they are trustworthy here.
+
+    Delegates to the per-device :class:`~repro.devices.FPQACostModel`:
+    the log-fidelity of every pulse class is computed once per hardware
+    configuration, not once per instruction per call.
     """
-    hardware = hardware or FPQAHardwareParams()
-    log_eps = 0.0
-    previous_was_transfer = False
-    for operation in program.operations:
-        for instruction in operation.instructions:
-            is_transfer = isinstance(instruction, Transfer)
-            if is_transfer and not previous_was_transfer:
-                log_eps += math.log(hardware.fidelity_transfer)
-            previous_was_transfer = is_transfer
-            if isinstance(instruction, RamanLocal):
-                log_eps += math.log(hardware.fidelity_raman_local)
-            elif isinstance(instruction, RamanGlobal):
-                log_eps += math.log(hardware.fidelity_raman_global)
-            elif isinstance(instruction, RydbergPulse):
-                largest = max(
-                    (len(gate.qubits) for gate in operation.gates), default=0
-                )
-                if largest >= 2:
-                    log_eps += math.log(hardware.cluster_fidelity(largest))
-            elif isinstance(instruction, (Shuttle, ParallelShuttle)):
-                pass  # movement noise enters through idle decoherence below
-    if duration_us is None:
-        duration_us = program_duration_us(program, hardware)
-    log_eps += -duration_us * program.num_qubits / hardware.t2_us
-    if program.measured:
-        log_eps += program.num_qubits * math.log(hardware.fidelity_measurement)
-    return math.exp(log_eps)
+    return cost_model_for(hardware or FPQAHardwareParams()).program_eps(
+        program, duration_us=duration_us
+    )

@@ -11,8 +11,8 @@ of atom count.  A final readout is added for measured programs.
 
 from __future__ import annotations
 
+from ..devices.cost import cost_model_for
 from ..fpqa.hardware import FPQAHardwareParams
-from ..fpqa.instructions import Transfer, instruction_duration_us
 from ..wqasm.program import WQasmProgram
 
 
@@ -24,21 +24,13 @@ def program_duration_us(
     Consecutive atom transfers are batched into one transfer window: a
     trap handoff is performed by ramping trap depths, which moves every
     aligned atom simultaneously.
+
+    Delegates to the per-device :class:`~repro.devices.FPQACostModel`, so
+    repeated evaluations against one device reuse its precomputed tables.
     """
-    hardware = hardware or FPQAHardwareParams()
-    total = 0.0
-    previous_was_transfer = False
-    for instruction in program.fpqa_instructions():
-        if isinstance(instruction, Transfer):
-            if not previous_was_transfer:
-                total += hardware.transfer_duration_us
-            previous_was_transfer = True
-            continue
-        previous_was_transfer = False
-        total += instruction_duration_us(instruction, hardware)
-    if program.measured:
-        total += hardware.measurement_duration_us
-    return total
+    return cost_model_for(hardware or FPQAHardwareParams()).program_duration_us(
+        program
+    )
 
 
 def program_duration_seconds(

@@ -1,12 +1,14 @@
 """The one-call public entrypoint: ``repro.compile(workload, target=...)``.
 
-Retargeting a workload is the difference of one string::
+Retargeting a workload is the difference of one string — a target picks
+the pipeline, a device profile picks the machine::
 
     import repro
 
     formula = repro.satlib_instance("uf20-01")
     fpqa = repro.compile(formula, target="fpqa")
     sc = repro.compile(formula, target="superconducting")
+    aquila = repro.compile(formula, target="fpqa", device="aquila-256")
 """
 
 from __future__ import annotations
@@ -20,10 +22,11 @@ from .workload import coerce_workload
 
 def compile(  # noqa: A001 — deliberate: the framework's verb
     workload,
-    target: str | Target = "fpqa",
+    target: str | Target | None = None,
     parameters: QaoaParameters | None = None,
     budget_seconds: float | None = None,
     target_options: dict | None = None,
+    device=None,
     **options,
 ) -> CompilationResult:
     """Compile ``workload`` for ``target`` and return the unified result.
@@ -36,7 +39,10 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
         a ``.cnf``/``.qasm`` file.
     target:
         A registered target name (see :func:`repro.available_targets`) or
-        a :class:`~repro.targets.Target` instance.
+        a :class:`~repro.targets.Target` instance.  Defaults to ``"fpqa"``;
+        when only ``device`` is given, the target matching the device's
+        kind is used (a superconducting profile selects the
+        ``superconducting`` pipeline).
     parameters:
         QAOA angles for formula workloads (default: the paper's heuristic
         single-layer pair).
@@ -46,6 +52,10 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
     target_options:
         Keyword arguments for the target factory (e.g. ``hardware=...``);
         only valid when ``target`` is a name.
+    device:
+        A registered device-profile name (see :func:`repro.list_devices`)
+        or a :class:`~repro.devices.DeviceProfile`; shorthand for
+        ``target_options={"device": ...}``.
     options:
         Target-specific compile options (e.g. ``measure=False``,
         ``compression=True`` for the FPQA path).
@@ -53,7 +63,25 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
     Raises on failure; use :class:`~repro.CompilerSession` for the
     sweep-style behavior that converts failures into result rows.
     """
-    resolved = get_target(target, **(target_options or {}))
+    resolved_options = dict(target_options or {})
+    if device is not None:
+        from ..devices.registry import resolve_device
+        from ..exceptions import TargetError
+
+        if "device" in resolved_options:
+            raise TargetError(
+                "pass the device either as device= or inside "
+                "target_options, not both"
+            )
+        profile = resolve_device(device)
+        resolved_options["device"] = profile
+        if target is None:
+            target = (
+                "superconducting"
+                if profile.kind == "superconducting"
+                else "fpqa"
+            )
+    resolved = get_target(target if target is not None else "fpqa", **resolved_options)
     return resolved.compile(
         coerce_workload(workload),
         parameters=parameters,

@@ -104,6 +104,7 @@ class Target(abc.ABC):
             workload=workload.name,
             num_qubits=workload.num_qubits,
             num_clauses=workload.num_clauses,
+            device=getattr(self, "device_name", None),
             compile_seconds=deadline.elapsed,
             timed_out=timed_out,
             error=error,

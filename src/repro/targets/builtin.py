@@ -16,10 +16,11 @@ Two native implementations and a generic adapter:
 from __future__ import annotations
 
 from ..baselines.base import Deadline
+from ..devices.cost import cost_model_for
+from ..devices.profile import DeviceProfile
+from ..devices.registry import resolve_device
 from ..exceptions import RoutingError, TargetError
 from ..fpqa.hardware import FPQAHardwareParams
-from ..metrics.fidelity import program_eps
-from ..metrics.timing import program_duration_us
 from ..qaoa.builder import QaoaParameters
 from .base import CAP_CIRCUIT, CAP_FORMULA, CAP_VERIFY, CAP_WQASM, Target
 from .result import CompilationResult
@@ -33,6 +34,19 @@ def _reject_unknown_options(target: str, options: dict) -> None:
             f"target {target!r} does not support option(s): "
             f"{', '.join(sorted(options))}"
         )
+
+
+def _resolve_profile(
+    target: str, device: str | DeviceProfile, kind: str
+) -> DeviceProfile:
+    """Look up ``device`` and insist it matches the target's hardware kind."""
+    profile = resolve_device(device)
+    if profile.kind != kind:
+        raise TargetError(
+            f"target {target!r} needs a {kind} device profile; "
+            f"{profile.name!r} is {profile.kind}"
+        )
+    return profile
 
 
 class FPQATarget(Target):
@@ -54,8 +68,21 @@ class FPQATarget(Target):
         hardware: FPQAHardwareParams | None = None,
         compression: bool | None = None,
         coloring_algorithm: str = "dsatur",
+        device: str | DeviceProfile | None = None,
+        **unknown,
     ):
+        _reject_unknown_options(self.name, unknown)
+        self.profile: DeviceProfile | None = None
+        if device is not None:
+            if hardware is not None:
+                raise TargetError(
+                    f"target {self.name!r}: pass either hardware= or "
+                    "device=, not both"
+                )
+            self.profile = _resolve_profile(self.name, device, "fpqa")
+            hardware = self.profile.hardware
         self.hardware = hardware or FPQAHardwareParams()
+        self.device_name = self.profile.name if self.profile else None
         self.compression = compression
         self.coloring_algorithm = coloring_algorithm
 
@@ -71,6 +98,15 @@ class FPQATarget(Target):
         from ..passes.woptimizer import FPQACompiler
 
         formula = workload.require_formula(self.name)
+        if (
+            self.profile is not None
+            and self.profile.max_qubits is not None
+            and formula.num_vars > self.profile.max_qubits
+        ):
+            raise RoutingError(
+                f"{formula.num_vars} qubits exceed device "
+                f"{self.profile.name!r} capacity of {self.profile.max_qubits} atoms"
+            )
         coloring_algorithm = options.pop("coloring_algorithm", self.coloring_algorithm)
         _reject_unknown_options(self.name, options)
         compiler = FPQACompiler(
@@ -82,8 +118,9 @@ class FPQATarget(Target):
         if deadline is not None:
             deadline.check()
         program = result.program
-        duration_us = program_duration_us(program, self.hardware)
-        eps = program_eps(program, self.hardware, duration_us)
+        cost = cost_model_for(self.hardware)
+        duration_us = cost.program_duration_us(program)
+        eps = cost.program_eps(program, duration_us)
         return CompilationResult(
             target=self.name,
             workload=workload.name,
@@ -96,6 +133,8 @@ class FPQATarget(Target):
             program=program,
             native_circuit=result.native_circuit,
             stats=dict(result.stats),
+            device=self.device_name,
+            device_profile=self.profile.to_dict() if self.profile else None,
         )
 
 
@@ -105,9 +144,30 @@ class NoCompressFPQATarget(FPQATarget):
     name = "fpqa-nocompress"
     description = "Weaver FPQA path with 3-qubit CCZ compression disabled"
 
-    def __init__(self, hardware: FPQAHardwareParams | None = None, **kw):
-        kw.pop("compression", None)
+    def __init__(
+        self,
+        hardware: FPQAHardwareParams | None = None,
+        compression: bool | None = None,
+        **kw,
+    ):
+        # Historically a compression= option here was dropped on the
+        # floor; asking this target to compress is a user error.
+        if compression:
+            raise TargetError(
+                "target 'fpqa-nocompress' forces compression off; use "
+                "target 'fpqa' to compile with compression"
+            )
         super().__init__(hardware=hardware, compression=False, **kw)
+
+    def run(self, workload, parameters, deadline, compression=None, **options):
+        if compression:
+            raise TargetError(
+                "target 'fpqa-nocompress' forces compression off; use "
+                "target 'fpqa' to compile with compression"
+            )
+        return super().run(
+            workload, parameters, deadline, compression=False, **options
+        )
 
 
 class SuperconductingTarget(Target):
@@ -118,10 +178,27 @@ class SuperconductingTarget(Target):
     capabilities = frozenset({CAP_FORMULA, CAP_CIRCUIT})
     default_pipeline = ("qaoa-lowering", "basis-translation", "sabre-routing")
 
-    def __init__(self, backend=None, seed: int = 0):
+    def __init__(
+        self,
+        backend=None,
+        seed: int = 0,
+        device: str | DeviceProfile | None = None,
+        **unknown,
+    ):
         from ..superconducting.backend import washington_backend
 
+        _reject_unknown_options(self.name, unknown)
+        self.profile: DeviceProfile | None = None
+        if device is not None:
+            if backend is not None:
+                raise TargetError(
+                    f"target {self.name!r}: pass either backend= or "
+                    "device=, not both"
+                )
+            self.profile = _resolve_profile(self.name, device, "superconducting")
+            backend = self.profile.backend
         self.backend = backend or washington_backend()
+        self.device_name = self.profile.name if self.profile else None
         self.seed = seed
 
     def run(
@@ -160,6 +237,8 @@ class SuperconductingTarget(Target):
                 "counts": result.counts,
                 "depth": result.circuit.depth(),
             },
+            device=self.device_name,
+            device_profile=self.profile.to_dict() if self.profile else None,
         )
 
 
@@ -171,7 +250,16 @@ class BaselineTarget(Target):
     baseline_cls: type | None = None
 
     def __init__(self, **compiler_options):
-        self._compiler = self.baseline_cls(**compiler_options)
+        if "device" in compiler_options:
+            raise TargetError(
+                f"target {self.name!r} does not support device profiles; "
+                "only fpqa and superconducting targets are device-aware"
+            )
+        try:
+            self._compiler = self.baseline_cls(**compiler_options)
+        except TypeError as exc:
+            # Unknown constructor options are a user error, not a crash.
+            raise TargetError(f"target {self.name!r}: {exc}") from exc
 
     def run(
         self,

@@ -45,6 +45,11 @@ class CompilationResult:
     workload: str
     num_qubits: int
     num_clauses: int | None = None
+    #: Name of the device profile compiled for (``None`` = target default).
+    device: str | None = None
+    #: JSON snapshot of that profile (result provenance: a stored result
+    #: reconstructs the exact machine via ``DeviceProfile.from_dict``).
+    device_profile: dict | None = None
     compile_seconds: float = 0.0
     execution_seconds: float | None = None
     eps: float | None = None
@@ -74,6 +79,10 @@ class CompilationResult:
             "workload": self.workload,
             "num_qubits": self.num_qubits,
             "num_clauses": self.num_clauses,
+            "device": self.device,
+            "device_profile": jsonify(self.device_profile)
+            if self.device_profile is not None
+            else None,
             "compile_seconds": self.compile_seconds,
             "execution_seconds": self.execution_seconds,
             "eps": self.eps,
@@ -118,6 +127,8 @@ class CompilationResult:
             workload=payload["workload"],
             num_qubits=payload["num_qubits"],
             num_clauses=payload.get("num_clauses"),
+            device=payload.get("device"),
+            device_profile=payload.get("device_profile"),
             compile_seconds=payload.get("compile_seconds", 0.0),
             execution_seconds=payload.get("execution_seconds"),
             eps=payload.get("eps"),
@@ -137,6 +148,9 @@ class CompilationResult:
         """View this result as a legacy :class:`BaselineResult` row."""
         from ..baselines.base import BaselineResult
 
+        extra = dict(self.stats)
+        if self.device is not None:
+            extra.setdefault("device", self.device)
         return BaselineResult(
             compiler=compiler or self.target,
             workload=self.workload,
@@ -148,7 +162,7 @@ class CompilationResult:
             num_pulses=self.num_pulses,
             timed_out=self.timed_out,
             error=self.error,
-            extra=dict(self.stats),
+            extra=extra,
         )
 
     @classmethod

@@ -26,6 +26,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from ..exceptions import TargetError
 from ..qaoa.builder import QaoaParameters
 from .base import Target
 from .registry import get_target, resolve_target_name
@@ -38,10 +39,41 @@ def _fingerprint(*parts) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
 
+def _canonical_device(device):
+    """Validate a device argument for a sweep cell.
+
+    Accepts registry names and :class:`~repro.devices.DeviceProfile`
+    instances (whose deterministic repr becomes part of the cache
+    fingerprint); anything else is rejected up front rather than deep in
+    a worker process.
+    """
+    if device is None or isinstance(device, str):
+        return device
+    from ..devices.profile import DeviceProfile
+
+    if isinstance(device, DeviceProfile):
+        return device
+    raise TargetError(
+        f"devices entries must be names or DeviceProfile instances, "
+        f"got {type(device).__name__}"
+    )
+
+
 def _compile_job(spec: tuple) -> CompilationResult:
     """Module-level worker so specs pickle cleanly into a process pool."""
     workload, target_name, target_options, parameters, budget, options = spec
-    target = get_target(target_name, **(target_options or {}))
+    try:
+        target = get_target(target_name, **(target_options or {}))
+    except Exception as exc:  # noqa: BLE001 — sessions report, never crash
+        device = (target_options or {}).get("device")
+        return CompilationResult(
+            target=target_name,
+            workload=workload.name,
+            num_qubits=workload.num_qubits,
+            num_clauses=workload.num_clauses,
+            device=device if isinstance(device, str) else getattr(device, "name", None),
+            error=f"{type(exc).__name__}: {exc}",
+        )
     return target.compile(
         workload,
         parameters=parameters,
@@ -91,24 +123,32 @@ class CompilerSession:
     # ------------------------------------------------------------------
     # Cache plumbing
     # ------------------------------------------------------------------
+    def _target_options_for(self, target_name: str, device=None) -> dict:
+        """Factory options for one cell: session defaults plus the device."""
+        options = dict(self.target_options.get(target_name, {}))
+        if device is not None:
+            options["device"] = device
+        return options
+
     def _key(
         self,
         workload: Workload,
         target_name: str,
         options: dict,
         target_config=None,
+        device=None,
     ) -> tuple:
         """Cache identity of one cell.
 
         Everything that can change the output is part of the key: the
         workload content, compile options, QAOA parameters, the target's
-        own configuration (factory options, or the attributes of a
-        caller-supplied instance), and the budget — a timed-out row must
-        not shadow a retry under a bigger budget.
+        own configuration (factory options, the device profile, or the
+        attributes of a caller-supplied instance), and the budget — a
+        timed-out row must not shadow a retry under a bigger budget.
         """
         if target_config is None:
             target_config = sorted(
-                self.target_options.get(target_name, {}).items()
+                self._target_options_for(target_name, device).items()
             )
         return (
             target_name,
@@ -162,22 +202,30 @@ class CompilerSession:
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
-    def _spec(self, workload: Workload, target_name: str, options: dict) -> tuple:
+    def _spec(
+        self, workload: Workload, target_name: str, options: dict, device=None
+    ) -> tuple:
         return (
             workload,
             target_name,
-            self.target_options.get(target_name, {}),
+            self._target_options_for(target_name, device),
             self.parameters,
             self.budgets.get(target_name),
             options,
         )
 
     def compile(
-        self, workload, target: str | Target = "fpqa", **options
+        self, workload, target: str | Target = "fpqa", device=None, **options
     ) -> CompilationResult:
         """Compile one cell (cached; failures become result rows)."""
         resolved = coerce_workload(workload)
+        device = _canonical_device(device)
         if isinstance(target, Target):
+            if device is not None:
+                raise TargetError(
+                    "device= is only accepted with a target *name*; "
+                    "configure the instance directly instead"
+                )
             # Instances bypass the registry; their attributes (hardware,
             # seeds, wrapped compilers) become the target_config part of
             # the key so differently-configured instances never share a
@@ -200,11 +248,11 @@ class CompilerSession:
             self._cache_put(key, result)
             return result
         name = resolve_target_name(target)
-        key = self._key(resolved, name, options)
+        key = self._key(resolved, name, options, device=device)
         hit = self._cache_get(key)
         if hit is not None:
             return hit
-        result = _compile_job(self._spec(resolved, name, options))
+        result = _compile_job(self._spec(resolved, name, options, device=device))
         self._cache_put(key, result)
         return result
 
@@ -213,30 +261,39 @@ class CompilerSession:
         workloads: Iterable,
         targets: str | Sequence[str] = "fpqa",
         parallel: int = 1,
+        devices: Sequence | None = None,
         **options,
     ) -> list[CompilationResult]:
-        """Compile every (workload, target) pair, in input order.
+        """Compile every (workload, target[, device]) cell, in input order.
 
         The job list is workload-major: for each workload, every target in
-        ``targets`` — and the returned list matches that order exactly
-        regardless of ``parallel``.  With ``parallel > 1`` cache misses
-        are fanned across a process pool; hits are served without
-        touching the pool at all.
+        ``targets``, and — when ``devices`` is given — every device per
+        target; the returned list matches that order exactly regardless
+        of ``parallel``.  With ``parallel > 1`` cache misses are fanned
+        across a process pool; hits are served without touching the pool
+        at all.  ``devices`` entries are registered profile names (or
+        profiles); only device-aware targets (fpqa, superconducting)
+        accept them — other combinations become error rows, the sweep
+        contract.
         """
         target_names = (
             [targets] if isinstance(targets, str) else list(targets)
         )
-        jobs: list[tuple[Workload, str]] = []
+        device_list = (
+            [None] if devices is None else [_canonical_device(d) for d in devices]
+        )
+        jobs: list[tuple[Workload, str, object]] = []
         for workload in workloads:
             resolved = coerce_workload(workload)
             for target in target_names:
-                jobs.append((resolved, resolve_target_name(target)))
+                for device in device_list:
+                    jobs.append((resolved, resolve_target_name(target), device))
 
         results: list[CompilationResult | None] = [None] * len(jobs)
         misses: list[int] = []
         keys: list[tuple] = []
-        for index, (workload, name) in enumerate(jobs):
-            key = self._key(workload, name, options)
+        for index, (workload, name, device) in enumerate(jobs):
+            key = self._key(workload, name, options, device=device)
             keys.append(key)
             hit = self._cache_get(key)
             if hit is not None:
@@ -261,8 +318,10 @@ class CompilerSession:
 
         if parallel <= 1 or len(submit) == 1:
             for index in submit:
-                workload, name = jobs[index]
-                result = _compile_job(self._spec(workload, name, options))
+                workload, name, device = jobs[index]
+                result = _compile_job(
+                    self._spec(workload, name, options, device=device)
+                )
                 self._cache_put(keys[index], result)
                 results[index] = result
             for index, source in duplicate_of.items():
@@ -272,7 +331,11 @@ class CompilerSession:
         with ProcessPoolExecutor(max_workers=parallel) as pool:
             futures = {
                 pool.submit(
-                    _compile_job, self._spec(jobs[index][0], jobs[index][1], options)
+                    _compile_job,
+                    self._spec(
+                        jobs[index][0], jobs[index][1], options,
+                        device=jobs[index][2],
+                    ),
                 ): index
                 for index in submit
             }
@@ -284,12 +347,15 @@ class CompilerSession:
                     try:
                         result = future.result()
                     except Exception as exc:  # noqa: BLE001 — worker died
-                        workload, name = jobs[index]
+                        workload, name, device = jobs[index]
                         result = CompilationResult(
                             target=name,
                             workload=workload.name,
                             num_qubits=workload.num_qubits,
                             num_clauses=workload.num_clauses,
+                            device=device
+                            if isinstance(device, str)
+                            else getattr(device, "name", None),
                             error=f"{type(exc).__name__}: {exc}",
                         )
                     self._cache_put(keys[index], result)

@@ -53,6 +53,77 @@ class TestCompileTarget:
         assert rc == 2
 
 
+class TestDevicesCommand:
+    def test_lists_all_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("rubidium-baseline", "aquila-256", "washington-127",
+                     "zone-lite-16"):
+            assert name in out
+
+    def test_single_device_shows_params(self, capsys):
+        assert main(["devices", "aquila-256"]) == 0
+        out = capsys.readouterr().out
+        assert "fidelity_cz" in out
+
+    def test_unknown_device_is_user_error(self, capsys):
+        assert main(["devices", "pixie-dust"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+
+class TestCompileDevice:
+    def test_device_flag(self, cnf_file, tmp_path, capsys):
+        out = tmp_path / "out.wqasm"
+        rc = main(["compile", str(cnf_file), "--device", "rubidium-nextgen",
+                   "-o", str(out)])
+        assert rc == 0
+        assert "on rubidium-nextgen" in capsys.readouterr().err
+        assert out.read_text().startswith("OPENQASM 3.0;")
+
+    def test_device_infers_target(self, cnf_file, capsys):
+        assert main(["compile", str(cnf_file), "--device", "heavyhex-23"]) == 0
+        assert "superconducting" in capsys.readouterr().err
+
+    def test_unknown_device_is_user_error(self, cnf_file, capsys):
+        assert main(["compile", str(cnf_file), "--device", "pixie"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_kind_mismatch_is_user_error(self, cnf_file, capsys):
+        rc = main(["compile", str(cnf_file), "--target", "fpqa",
+                   "--device", "washington-127"])
+        assert rc == 2
+        assert "fpqa device profile" in capsys.readouterr().err
+
+
+class TestUnknownOptionRejection:
+    def test_nocompress_rejects_compression_on(self, cnf_file, capsys):
+        rc = main(["compile", str(cnf_file), "--target", "fpqa-nocompress",
+                   "--compression", "on"])
+        assert rc == 2
+        assert "forces compression off" in capsys.readouterr().err
+
+    def test_nocompress_accepts_compression_off(self, cnf_file, tmp_path):
+        out = tmp_path / "out.wqasm"
+        rc = main(["compile", str(cnf_file), "--target", "fpqa-nocompress",
+                   "--compression", "off", "-o", str(out)])
+        assert rc == 0
+
+    def test_unknown_factory_option_is_target_error(self):
+        import pytest
+
+        from repro.exceptions import TargetError
+        from repro.targets import get_target
+
+        with pytest.raises(TargetError, match="does not support option"):
+            get_target("fpqa", warp_drive=True)
+        with pytest.raises(TargetError, match="does not support option"):
+            get_target("superconducting", warp_drive=True)
+        with pytest.raises(TargetError, match="atomique"):
+            get_target("atomique", warp_drive=True)
+        with pytest.raises(TargetError, match="device"):
+            get_target("geyser", device="rubidium-baseline")
+
+
 class TestErrorHandler:
     def test_missing_input_is_user_error(self, capsys):
         assert main(["compile", "/nonexistent/x.cnf"]) == 2

@@ -1,0 +1,78 @@
+"""Smoke tests for the installable entry points.
+
+``python -m repro`` and the ``weaver`` console script are the two ways a
+user reaches the CLI without writing code; neither goes through
+``repro.cli.main`` in-process (``__main__`` calls ``sys.exit`` at import
+time), so they are exercised as real subprocesses.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(*args: str, entry=None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = entry or [sys.executable, "-m", "repro"]
+    return subprocess.run(
+        [*command, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+
+
+class TestPythonDashM:
+    def test_targets_listing(self):
+        proc = _run("targets")
+        assert proc.returncode == 0, proc.stderr
+        assert "fpqa" in proc.stdout
+        assert "superconducting" in proc.stdout
+
+    def test_devices_listing(self):
+        proc = _run("devices")
+        assert proc.returncode == 0, proc.stderr
+        assert "rubidium-baseline" in proc.stdout
+
+    def test_no_arguments_is_usage_error(self):
+        proc = _run()
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr.lower()
+
+    def test_unknown_target_exit_code(self, tmp_path):
+        cnf = tmp_path / "t.cnf"
+        cnf.write_text("p cnf 2 1\n1 -2 0\n")
+        proc = _run("compile", str(cnf), "--target", "pixie")
+        assert proc.returncode == 2
+        assert "unknown target" in proc.stderr
+
+    def test_compile_emits_wqasm(self, tmp_path):
+        cnf = tmp_path / "t.cnf"
+        cnf.write_text("p cnf 3 2\n1 -2 3 0\n-1 2 3 0\n")
+        out = tmp_path / "out.wqasm"
+        proc = _run("compile", str(cnf), "-o", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert out.read_text().startswith("OPENQASM 3.0;")
+
+
+@pytest.mark.skipif(
+    shutil.which("weaver") is None,
+    reason="weaver console script not installed (pip install -e .)",
+)
+class TestConsoleScript:
+    def test_targets_listing(self):
+        proc = _run("targets", entry=["weaver"])
+        assert proc.returncode == 0, proc.stderr
+        assert "fpqa" in proc.stdout
