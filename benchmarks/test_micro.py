@@ -70,6 +70,94 @@ def test_bench_unitary_simulation_10q(benchmark):
     assert unitary.shape == (1024, 1024)
 
 
+def test_bench_closed_form_euler_beats_so3(benchmark):
+    """Closed-form angle extraction must stay well ahead of the legacy
+    SU(2)->SO(3) trace path it replaced (measured ~25x; assert 4x)."""
+    import time
+
+    import numpy as np
+
+    from repro.circuits.euler import zyx_euler_angles, zyx_euler_angles_so3
+
+    rng = np.random.default_rng(0)
+    matrices = [
+        np.linalg.qr(rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2)))[0]
+        for _ in range(500)
+    ]
+
+    def closed():
+        for matrix in matrices:
+            zyx_euler_angles(matrix)
+
+    benchmark.pedantic(closed, rounds=3, iterations=1)
+    start = time.perf_counter()
+    closed()
+    closed_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for matrix in matrices:
+        zyx_euler_angles_so3(matrix)
+    so3_seconds = time.perf_counter() - start
+    assert so3_seconds > 4.0 * closed_seconds, (
+        f"closed-form Euler path regressed: {closed_seconds * 1e3:.1f} ms vs "
+        f"SO(3) reference {so3_seconds * 1e3:.1f} ms"
+    )
+
+
+def test_bench_incremental_clusters_beat_brute_force(benchmark):
+    """Cached + spatial-hash Rydberg resolution vs dense O(n^2) per pulse.
+
+    Models the real pulse pattern (two pulses per stance: the second
+    resolution is always a cache hit) on a 400-atom array.  Measured
+    ~30x; assert a generous 4x.
+    """
+    import time
+
+    from repro.fpqa.device import FPQADevice
+    from repro.fpqa.instructions import BindAtom, SlmInit
+
+    def loaded_device(**kwargs):
+        device = FPQADevice(**kwargs)
+        # 10x20 grid of atom *pairs* (400 atoms): partners sit 6 um apart
+        # (inside the 8 um radius, so every pair clusters) while pairs
+        # stay >8 um from each other — a valid dense pulse geometry.
+        positions = tuple(
+            (20.0 * col + dx, 10.0 * row)
+            for row in range(20)
+            for col in range(10)
+            for dx in (0.0, 6.0)
+        )
+        device.apply(SlmInit(positions))
+        for qubit in range(len(positions)):
+            device.apply(BindAtom(qubit=qubit, slm_index=qubit))
+        return device
+
+    fast = loaded_device()
+    slow = loaded_device(incremental_clusters=False)
+    rounds = 40
+
+    def incremental():
+        # Invalidate, then resolve twice (stance pattern: miss + hit).
+        fast._geometry_epoch += 1
+        fast.resolve_rydberg_clusters()
+        fast.resolve_rydberg_clusters()
+
+    benchmark.pedantic(incremental, rounds=3, iterations=1)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        incremental()
+    fast_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(rounds):
+        slow.resolve_rydberg_clusters()
+        slow.resolve_rydberg_clusters()
+    slow_seconds = time.perf_counter() - start
+    assert fast._resolve_spatial_hash() == slow._resolve_brute_force()
+    assert slow_seconds > 4.0 * fast_seconds, (
+        f"cluster resolution regressed: {fast_seconds * 1e3:.1f} ms vs "
+        f"brute force {slow_seconds * 1e3:.1f} ms"
+    )
+
+
 def test_bench_cost_model_repeated_evaluation(benchmark):
     """Fidelity+timing of one program on one device, evaluated repeatedly.
 

@@ -110,6 +110,7 @@ from .devices import (
     register_device,
 )
 from .exceptions import DeviceError, DeviceSpecError, UnknownDeviceError
+from .perf import OptimizationFlags, format_profile_table
 from .targets import (
     CompilationResult,
     CompilerSession,
@@ -147,6 +148,7 @@ __all__ = [
     "FPQAHardwareParams",
     "Gate",
     "Instruction",
+    "OptimizationFlags",
     "QaoaParameters",
     "QasmSemanticError",
     "QasmSyntaxError",
@@ -177,6 +179,7 @@ __all__ = [
     "compile_formula",
     "cost_model_for",
     "device_info",
+    "format_profile_table",
     "formula_polynomial",
     "get_device",
     "get_target",

@@ -46,6 +46,13 @@ def _load_formula(path: str):
     return parse_dimacs(text, name=Path(path).stem)
 
 
+def _print_profile(args: argparse.Namespace, result) -> None:
+    if args.profile:
+        from .perf import format_profile_table
+
+        print(format_profile_table(result.profile or {}), file=sys.stderr)
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
     workload = Workload.from_file(args.input)
     parameters = QaoaParameters((args.gamma,), (args.beta,))
@@ -87,6 +94,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             f"EPS {eps:.4g}"
         )
         print(summary, file=sys.stderr)
+        _print_profile(args, result)
         if args.verify:
             report = check_program(result.program, reference=result.native_circuit)
             print(f"wChecker: ok={report.ok}", file=sys.stderr)
@@ -103,6 +111,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         for key, value in lines.items():
             if value is not None:
                 print(f"{key}: {value:.6g}" if isinstance(value, float) else f"{key}: {value}")
+        _print_profile(args, result)
         if args.verify:
             print(
                 f"error: --verify needs a wQasm-emitting target, not {result.target!r}",
@@ -216,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_compile.add_argument("--no-measure", action="store_true")
     p_compile.add_argument("--verify", action="store_true", help="run the wChecker")
+    p_compile.add_argument(
+        "--profile", action="store_true",
+        help="print the per-pass / per-primitive time+count table",
+    )
     p_compile.set_defaults(func=_cmd_compile)
 
     p_targets = sub.add_parser("targets", help="list registered targets")

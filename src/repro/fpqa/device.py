@@ -8,6 +8,16 @@ machine serves two roles:
   programs are physically executable; and
 * the wChecker replays a wQasm annotation stream through it to learn atom
   positions before each Rydberg pulse (§6, Figure 9).
+
+Hot-path notes: instruction dispatch is a ``type -> handler`` dict (not an
+isinstance chain), Rydberg cluster resolution uses the same spatial-hash
+neighbor query as the trap spacing check plus dirty tracking (consecutive
+pulses with no movement in between reuse the previous cluster set), and
+history recording is optional so the compiler-internal device does not
+accumulate an unbounded copy of the program it is emitting.  The dense
+O(n^2) resolver is kept as :meth:`_resolve_brute_force` — the reference
+implementation the equivalence tests and the unoptimized benchmark
+pipeline run against.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import FPQAConstraintError
+from .geometry import position_key
 from .hardware import FPQAHardwareParams
 from .instructions import (
     AodInit,
@@ -49,10 +60,24 @@ class RydbergCluster:
 
 
 class FPQADevice:
-    """Mutable FPQA state: trap layers, atoms, and an instruction log."""
+    """Mutable FPQA state: trap layers, atoms, and an instruction log.
 
-    def __init__(self, hardware: FPQAHardwareParams | None = None):
+    ``record_history`` keeps the applied-instruction log (the default;
+    the code generator opts out because it already records the program
+    stream itself).  ``incremental_clusters`` selects the spatial-hash +
+    dirty-tracked Rydberg resolver; ``False`` falls back to the dense
+    brute-force reference on every pulse.
+    """
+
+    def __init__(
+        self,
+        hardware: FPQAHardwareParams | None = None,
+        record_history: bool = True,
+        incremental_clusters: bool = True,
+    ):
         self.hardware = hardware or FPQAHardwareParams()
+        self.record_history = record_history
+        self.incremental_clusters = incremental_clusters
         self.slm_positions: list[tuple[float, float]] = []
         self.slm_atoms: list[int | None] = []
         self.aod_col_x: list[float] = []
@@ -60,6 +85,28 @@ class FPQADevice:
         self.aod_atoms: dict[tuple[int, int], int] = {}
         self.qubit_location: dict[int, Location] = {}
         self.history: list[FPQAInstruction] = []
+        #: position_key -> SLM trap index; the O(1) backing of
+        #: :meth:`slm_index_at`, kept in lockstep with ``slm_positions``.
+        self._slm_key_index: dict[tuple[float, float], int] = {}
+        #: Bumped on every mutation that can move an atom; the cluster
+        #: cache is valid while the epoch it was computed at still holds.
+        self._geometry_epoch = 0
+        self._cluster_cache_epoch = -1
+        self._cluster_cache: list[RydbergCluster] = []
+        #: Cluster-resolution statistics (surfaced in compile profiles).
+        self.cluster_cache_hits = 0
+        self.cluster_resolutions = 0
+        self._handlers = {
+            SlmInit: self._init_slm,
+            AodInit: self._init_aod,
+            BindAtom: self._bind,
+            Transfer: self._transfer,
+            Shuttle: self._apply_shuttle,
+            ParallelShuttle: self._apply_parallel_shuttle,
+            RamanLocal: self._apply_raman_local,
+            RamanGlobal: self._apply_raman_global,
+            RydbergPulse: self._apply_rydberg,
+        }
 
     # ------------------------------------------------------------------
     # Queries
@@ -82,12 +129,16 @@ class FPQADevice:
         """Positions of all bound atoms, keyed by qubit id."""
         return {q: self.qubit_position(q) for q in self.qubit_location}
 
-    def slm_index_at(self, x: float, y: float, tol: float = 1e-6) -> int | None:
-        """Index of the SLM trap at (x, y), if any."""
-        for idx, (px, py) in enumerate(self.slm_positions):
-            if abs(px - x) <= tol and abs(py - y) <= tol:
-                return idx
-        return None
+    def slm_index_at(self, x: float, y: float) -> int | None:
+        """Index of the SLM trap at (x, y), if any.
+
+        O(1): both this lookup and the compiler's trap index are backed by
+        the same :func:`~repro.fpqa.geometry.position_key` rounding (6
+        decimal places), so the two can never disagree about which trap
+        sits at a coordinate.  (Historically this was a linear scan with
+        its own ``1e-6`` tolerance, which could mismatch the key index.)
+        """
+        return self._slm_key_index.get(position_key((x, y)))
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -108,42 +159,42 @@ class FPQADevice:
             self.slm_atoms[location[1]] = None
         else:
             del self.aod_atoms[(location[1], location[2])]
+        self._geometry_epoch += 1
 
     # ------------------------------------------------------------------
     # Instruction dispatch
     # ------------------------------------------------------------------
     def apply(self, instruction: FPQAInstruction) -> list[RydbergCluster] | None:
         """Validate and execute ``instruction``; Rydberg returns clusters."""
-        result: list[RydbergCluster] | None = None
-        if isinstance(instruction, SlmInit):
-            self._init_slm(instruction)
-        elif isinstance(instruction, AodInit):
-            self._init_aod(instruction)
-        elif isinstance(instruction, BindAtom):
-            self._bind(instruction)
-        elif isinstance(instruction, Transfer):
-            self._transfer(instruction)
-        elif isinstance(instruction, Shuttle):
-            self._shuttle([instruction.move])
-        elif isinstance(instruction, ParallelShuttle):
-            self._shuttle(list(instruction.moves))
-        elif isinstance(instruction, RamanLocal):
-            if instruction.qubit not in self.qubit_location:
-                raise FPQAConstraintError(
-                    f"@raman local targets unbound qubit {instruction.qubit}"
-                )
-        elif isinstance(instruction, RamanGlobal):
-            pass  # no pre-condition (Table 1)
-        elif isinstance(instruction, RydbergPulse):
-            result = self.resolve_rydberg_clusters()
-        else:
+        handler = self._handlers.get(type(instruction))
+        if handler is None:
             raise FPQAConstraintError(f"unknown instruction {instruction!r}")
-        self.history.append(instruction)
+        result = handler(instruction)
+        if self.record_history:
+            self.history.append(instruction)
         return result
 
     def run(self, instructions: list[FPQAInstruction]) -> None:
         for instruction in instructions:
             self.apply(instruction)
+
+    def _apply_raman_local(self, instruction: RamanLocal) -> None:
+        if instruction.qubit not in self.qubit_location:
+            raise FPQAConstraintError(
+                f"@raman local targets unbound qubit {instruction.qubit}"
+            )
+
+    def _apply_raman_global(self, instruction: RamanGlobal) -> None:
+        pass  # no pre-condition (Table 1)
+
+    def _apply_rydberg(self, instruction: RydbergPulse) -> list[RydbergCluster]:
+        return self.resolve_rydberg_clusters()
+
+    def _apply_shuttle(self, instruction: Shuttle) -> None:
+        self._shuttle([instruction.move])
+
+    def _apply_parallel_shuttle(self, instruction: ParallelShuttle) -> None:
+        self._shuttle(list(instruction.moves))
 
     # ------------------------------------------------------------------
     # Layer initialization
@@ -155,6 +206,11 @@ class FPQADevice:
         self._check_spacing(positions, self.hardware.min_trap_spacing_um, "@slm")
         self.slm_positions = positions
         self.slm_atoms = [None] * len(positions)
+        self._slm_key_index = {
+            position_key(position): index
+            for index, position in enumerate(positions)
+        }
+        self._geometry_epoch += 1
 
     def _init_aod(self, instruction: AodInit) -> None:
         if self.aod_col_x or self.aod_row_y:
@@ -172,6 +228,7 @@ class FPQADevice:
                     )
         self.aod_col_x = list(instruction.xs)
         self.aod_row_y = list(instruction.ys)
+        self._geometry_epoch += 1
 
     def _check_spacing(
         self, positions: list[tuple[float, float]], spacing: float, what: str
@@ -206,6 +263,7 @@ class FPQADevice:
                 raise FPQAConstraintError(f"SLM trap {idx} already holds an atom")
             self.slm_atoms[idx] = qubit
             self.qubit_location[qubit] = ("slm", idx)
+            self._geometry_epoch += 1
             return
         col, row = instruction.aod_col, instruction.aod_row
         if not (0 <= col < len(self.aod_col_x) and 0 <= row < len(self.aod_row_y)):
@@ -214,6 +272,7 @@ class FPQADevice:
             raise FPQAConstraintError(f"AOD crossing ({col}, {row}) already holds an atom")
         self.aod_atoms[(col, row)] = qubit
         self.qubit_location[qubit] = ("aod", col, row)
+        self._geometry_epoch += 1
 
     def _transfer(self, instruction: Transfer) -> None:
         idx, col, row = instruction.slm_index, instruction.aod_col, instruction.aod_row
@@ -244,6 +303,7 @@ class FPQADevice:
                 "@transfer requires exactly one occupied and one empty trap "
                 f"(slm {idx} holds {slm_atom}, aod ({col}, {row}) holds {aod_atom})"
             )
+        self._geometry_epoch += 1
 
     # ------------------------------------------------------------------
     # Shuttling
@@ -269,6 +329,7 @@ class FPQADevice:
                     )
         self.aod_col_x = new_cols
         self.aod_row_y = new_rows
+        self._geometry_epoch += 1
 
     # ------------------------------------------------------------------
     # Rydberg resolution
@@ -281,6 +342,106 @@ class FPQADevice:
         of three or more atoms must be (approximately) equidistant for the
         digital CZ/CCZ semantics to hold (§7); otherwise the pulse is
         rejected.  Singleton clusters are unaffected by the pulse.
+
+        With ``incremental_clusters`` the interaction graph is built from
+        a spatial hash (radius-sized cells, 3x3 neighborhood probes) and
+        the result is cached until the next atom movement: back-to-back
+        pulses in the same stance — every mid-fragment pulse pair in the
+        ladder/compressed schedules, and the wChecker's replay of them —
+        skip resolution entirely.
+        """
+        if (
+            self.incremental_clusters
+            and self._cluster_cache_epoch == self._geometry_epoch
+        ):
+            self.cluster_cache_hits += 1
+            return list(self._cluster_cache)
+        self.cluster_resolutions += 1
+        if self.incremental_clusters:
+            clusters = self._resolve_spatial_hash()
+            self._cluster_cache = clusters
+            self._cluster_cache_epoch = self._geometry_epoch
+            return list(clusters)
+        return self._resolve_brute_force()
+
+    def _resolve_spatial_hash(self) -> list[RydbergCluster]:
+        """Connected components via radius-cell hashing (near-linear)."""
+        qubits = sorted(self.qubit_location)
+        n = len(qubits)
+        if n == 0:
+            return []
+        positions = [self.qubit_position(q) for q in qubits]
+        radius = self.hardware.rydberg_radius_um
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        cells: dict[tuple[int, int], list[int]] = {}
+        cells_get = cells.get
+        floor = math.floor
+        sqrt = math.sqrt
+        for i, (x, y) in enumerate(positions):
+            cell_x, cell_y = floor(x / radius), floor(y / radius)
+            for dx in (-1, 0, 1):
+                column = cell_x + dx
+                for dy in (-1, 0, 1):
+                    neighbors = cells_get((column, cell_y + dy))
+                    if not neighbors:
+                        continue
+                    for j in neighbors:
+                        ox, oy = positions[j]
+                        # Same arithmetic as the dense reference resolver
+                        # (sqrt of the coordinate-square sum), so the two
+                        # paths agree bit-for-bit at the radius boundary.
+                        if sqrt((x - ox) ** 2 + (y - oy) ** 2) <= radius:
+                            ri, rj = find(i), find(j)
+                            if ri != rj:
+                                parent[ri] = rj
+            cell = (cell_x, cell_y)
+            members = cells_get(cell)
+            if members is None:
+                cells[cell] = [i]
+            else:
+                members.append(i)
+        groups: dict[int, list[int]] = {}
+        for i in range(n):
+            groups.setdefault(find(i), []).append(i)
+        clusters = []
+        tol = self.hardware.equidistance_tolerance_um
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            member_qubits = tuple(qubits[i] for i in members)
+            member_positions = tuple(positions[i] for i in members)
+            if len(members) >= 3:
+                dists = [
+                    math.sqrt(
+                        (positions[a][0] - positions[b][0]) ** 2
+                        + (positions[a][1] - positions[b][1]) ** 2
+                    )
+                    for ai, a in enumerate(members)
+                    for b in members[ai + 1 :]
+                ]
+                if max(dists) - min(dists) > tol:
+                    raise FPQAConstraintError(
+                        f"Rydberg cluster {member_qubits} is not equidistant "
+                        f"(pairwise distances {min(dists):.2f}..{max(dists):.2f} um); "
+                        "the digital C^nZ semantics does not apply (§7)"
+                    )
+            clusters.append(RydbergCluster(member_qubits, member_positions))
+        clusters.sort(key=lambda c: c.qubits)
+        return clusters
+
+    def _resolve_brute_force(self) -> list[RydbergCluster]:
+        """Dense O(n^2) reference resolver (the original implementation).
+
+        Kept verbatim as the ground truth the randomized equivalence tests
+        compare :meth:`_resolve_spatial_hash` against, and as the cluster
+        path of the unoptimized benchmark pipeline.
         """
         qubits = sorted(self.qubit_location)
         if not qubits:

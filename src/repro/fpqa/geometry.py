@@ -24,6 +24,16 @@ from ..exceptions import FPQAConstraintError
 from .hardware import FPQAHardwareParams
 
 
+def position_key(position: tuple[float, float]) -> tuple[float, float]:
+    """Canonical dict key for a trap coordinate (micrometer grid, 6 dp).
+
+    The single rounding rule shared by every position-indexed lookup in
+    the FPQA stack (the code generator's trap index and the device's SLM
+    index), so two lookups of the same physical site can never disagree.
+    """
+    return (round(position[0], 6), round(position[1], 6))
+
+
 @dataclass(frozen=True)
 class ZoneGeometry:
     """Derived placement constants for a given hardware configuration."""

@@ -16,6 +16,7 @@ from typing import Any
 from ..exceptions import CompilationError
 from ..fpqa.geometry import ZoneGeometry
 from ..fpqa.hardware import FPQAHardwareParams
+from ..perf.profile import Profiler
 from ..qaoa.builder import QaoaParameters
 from ..sat.cnf import CnfFormula
 
@@ -38,6 +39,9 @@ class CompilationContext:
     properties: dict[str, Any] = field(default_factory=dict)
     #: Per-pass statistics (counts, durations) for reporting.
     stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Per-pass / per-primitive performance instrumentation (always cheap
+    #: enough to leave on; surfaced as ``CompilationResult.profile``).
+    profiler: Profiler = field(default_factory=Profiler)
 
     def require(self, key: str) -> Any:
         """Fetch a property a previous pass must have produced."""
@@ -72,4 +76,5 @@ class PassManager:
             compiler_pass.run(context)
             elapsed = time.perf_counter() - start
             context.stats.setdefault(compiler_pass.name, {})["seconds"] = elapsed
+            context.profiler.add_pass(compiler_pass.name, elapsed)
         return context

@@ -15,6 +15,7 @@ by the unit tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -113,17 +114,10 @@ def control_flip_needed(sign: float) -> bool:
     return sign > 0
 
 
-def compressed_raman_matrices(
-    placement: ClausePlacement, gamma: float
+def _build_compressed(
+    signs: tuple[float, ...], gamma: float
 ) -> dict[str, np.ndarray | None]:
-    """Raman pulse matrices for one 3-literal clause, compressed mode.
-
-    Keys: ``ctrl_pre_a/b`` (X flip or None), ``target_pre`` (H),
-    ``target_mid`` (between the CCZ pulses), ``target_post``,
-    ``ctrl_post_a/b``, ``b_pre``/``b_mid``/``b_post`` (CZ-ladder stage).
-    """
-    gamma = gamma * placement.weight  # weighted MAX-SAT
-    sa, sb, st = placement.signs
+    sa, sb, st = signs
     x = gate_matrix("x")
     out: dict[str, np.ndarray | None] = {
         "ctrl_pre_a": x if control_flip_needed(sa) else None,
@@ -140,18 +134,8 @@ def compressed_raman_matrices(
     return out
 
 
-def ladder_raman_matrices(
-    placement: ClausePlacement, gamma: float
-) -> dict[str, np.ndarray]:
-    """Raman pulse matrices for one 3-literal clause, CNOT-ladder mode.
-
-    The zone executor visits stances ``pair -> bt -> pair -> bt -> at`` and
-    needs: quad(a,b) on the pair stance, the cubic term opened/closed by
-    ``CX(a,b)`` with its inner ``CX(b,t) RZ CX(b,t)`` on the bt stance,
-    then quad(b,t) and quad(a,t) on hover stances, plus linear RZ pulses.
-    """
-    gamma = gamma * placement.weight  # weighted MAX-SAT
-    sa, sb, st = placement.signs
+def _build_ladder(signs: tuple[float, ...], gamma: float) -> dict[str, np.ndarray]:
+    sa, sb, st = signs
     return {
         "pair_b_pre": _H,
         "pair_b_mid": _rx(gamma * sa * sb / 4.0),
@@ -172,18 +156,77 @@ def ladder_raman_matrices(
     }
 
 
-def pair_raman_matrices(
-    placement: ClausePlacement, gamma: float
-) -> dict[str, np.ndarray]:
-    """Raman pulse matrices for a 2-literal clause (CZ-ladder pair)."""
-    gamma = gamma * placement.weight  # weighted MAX-SAT
-    sa, sb = placement.signs
+def _build_pair(signs: tuple[float, ...], gamma: float) -> dict[str, np.ndarray]:
+    sa, sb = signs
     return {
         "b_pre": _H,
         "b_mid": _rx(gamma * sa * sb / 2.0),
         "b_post": _rz(gamma * sb / 2.0) @ _H,
         "a_post": _rz(gamma * sa / 2.0),
     }
+
+
+_BUILDERS = {
+    "compressed": _build_compressed,
+    "ladder": _build_ladder,
+    "pair": _build_pair,
+}
+
+#: Total cache misses of :func:`cached_clause_matrices` (the body only
+#: runs on a miss); callers snapshot it around a call to learn whether
+#: that call hit, without paying for ``cache_info()`` on the hot path.
+clause_matrix_misses = 0
+
+
+@lru_cache(maxsize=4096)
+def cached_clause_matrices(
+    mode: str, signs: tuple[float, ...], effective_gamma: float
+) -> dict[str, np.ndarray | None]:
+    """Clause Raman matrices, cached by everything they depend on.
+
+    The matrix sets are pure functions of (literal signs, weight*gamma) —
+    the placement's geometry plays no role — and a formula uses only a
+    handful of distinct sign patterns, so across layers and placements the
+    same sets recur dozens of times.  The cache persists across compiles
+    (the inputs fully determine the outputs).  Treat the returned dict and
+    its arrays as read-only: they are shared between all callers.
+    """
+    global clause_matrix_misses
+    clause_matrix_misses += 1
+    return _BUILDERS[mode](signs, effective_gamma)
+
+
+def compressed_raman_matrices(
+    placement: ClausePlacement, gamma: float
+) -> dict[str, np.ndarray | None]:
+    """Raman pulse matrices for one 3-literal clause, compressed mode.
+
+    Keys: ``ctrl_pre_a/b`` (X flip or None), ``target_pre`` (H),
+    ``target_mid`` (between the CCZ pulses), ``target_post``,
+    ``ctrl_post_a/b``, ``b_pre``/``b_mid``/``b_post`` (CZ-ladder stage).
+    """
+    # gamma scaled by the clause weight: weighted MAX-SAT
+    return _build_compressed(placement.signs, gamma * placement.weight)
+
+
+def ladder_raman_matrices(
+    placement: ClausePlacement, gamma: float
+) -> dict[str, np.ndarray]:
+    """Raman pulse matrices for one 3-literal clause, CNOT-ladder mode.
+
+    The zone executor visits stances ``pair -> bt -> pair -> bt -> at`` and
+    needs: quad(a,b) on the pair stance, the cubic term opened/closed by
+    ``CX(a,b)`` with its inner ``CX(b,t) RZ CX(b,t)`` on the bt stance,
+    then quad(b,t) and quad(a,t) on hover stances, plus linear RZ pulses.
+    """
+    return _build_ladder(placement.signs, gamma * placement.weight)
+
+
+def pair_raman_matrices(
+    placement: ClausePlacement, gamma: float
+) -> dict[str, np.ndarray]:
+    """Raman pulse matrices for a 2-literal clause (CZ-ladder pair)."""
+    return _build_pair(placement.signs, gamma * placement.weight)
 
 
 def unit_raman_matrix(placement: ClausePlacement, gamma: float) -> np.ndarray:

@@ -17,15 +17,17 @@ import math
 import time
 import warnings
 from dataclasses import dataclass, field
+from functools import lru_cache
+from time import perf_counter
 
 import numpy as np
 
 from ..circuits import Instruction, QuantumCircuit
-from ..circuits.euler import raman_angles_for
-from ..circuits.gates import gate_matrix, make_gate, u3_from_matrix
+from ..circuits.euler import zyx_euler_angles, zyx_euler_angles_so3
+from ..circuits.gates import Gate, gate_matrix, make_gate, u3_from_matrix
 from ..exceptions import CompilationError
 from ..fpqa.device import FPQADevice
-from ..fpqa.geometry import ZoneGeometry, zone_layout
+from ..fpqa.geometry import ZoneGeometry, position_key, zone_layout
 from ..fpqa.hardware import FPQAHardwareParams
 from ..fpqa.instructions import (
     AodInit,
@@ -51,9 +53,12 @@ from .color_shuttling import (
     ZoneMovePlan,
     plan_zone_moves,
 )
+from ..perf import OptimizationFlags
+from . import gate_compression
 from .gate_compression import (
     FragmentSchedule,
     GateCompressionPass,
+    cached_clause_matrices,
     compressed_raman_matrices,
     ladder_raman_matrices,
     pair_raman_matrices,
@@ -63,6 +68,19 @@ from .gate_compression import (
 Position = tuple[float, float]
 
 _H = gate_matrix("h")
+
+_UNCACHED_MATRIX_BUILDERS = {
+    "compressed": compressed_raman_matrices,
+    "ladder": ladder_raman_matrices,
+    "pair": pair_raman_matrices,
+}
+
+
+@lru_cache(maxsize=8)
+def _cluster_gate(size: int) -> Gate:
+    """The CZ/CCZ/MCZ gate a Rydberg cluster of ``size`` atoms applies."""
+    name = "cz" if size == 2 else ("ccz" if size == 3 else "mcz")
+    return make_gate(name, num_qubits=size)
 
 
 class ZoneLayoutPass:
@@ -101,14 +119,17 @@ class WeaverCompilationResult:
     context: CompilationContext
     native_circuit: QuantumCircuit
     compile_seconds: float
+    #: JSON-safe per-pass / per-primitive performance profile.
+    profile: dict | None = None
 
     @property
     def stats(self) -> dict:
         return self.context.stats
 
 
-def _position_key(position: Position) -> tuple[float, float]:
-    return (round(position[0], 6), round(position[1], 6))
+# Shared with the device's SLM index: one rounding rule for every
+# position-keyed lookup (see repro.fpqa.geometry.position_key).
+_position_key = position_key
 
 
 class _CodeGenerator:
@@ -119,6 +140,7 @@ class _CodeGenerator:
         context: CompilationContext,
         coloring: ColoringResult,
         schedule: FragmentSchedule,
+        flags: OptimizationFlags | None = None,
     ):
         self.context = context
         self.coloring = coloring
@@ -127,19 +149,47 @@ class _CodeGenerator:
         self.hardware = context.hardware
         self.formula = context.formula
         self.num_qubits = context.formula.num_vars
-        self.device = FPQADevice(context.hardware)
+        self.flags = flags or OptimizationFlags()
+        self.profiler = context.profiler
+        self.device = FPQADevice(
+            context.hardware,
+            record_history=self.flags.record_history,
+            incremental_clusters=self.flags.incremental_clusters,
+        )
         self.operations: list[AnnotatedOperation] = []
         self.pending: list[FPQAInstruction] = []
         self.trap_index: dict[tuple[float, float], int] = {}
         self.column_of: dict[int, int] = {}
         self.park_xs: list[float] = []
+        self._angle_fn = (
+            zyx_euler_angles if self.flags.closed_form_euler else zyx_euler_angles_so3
+        )
+        #: matrix bytes -> ((x, y, z), u3 gate); the same handful of
+        #: matrices (H, rx(2*beta), per-clause pre/mid/post) recur dozens
+        #: of times per layer, so angle extraction runs ~once per distinct
+        #: matrix instead of once per pulse.
+        self._raman_cache: dict[bytes, tuple[tuple[float, float, float], Gate]] | None = (
+            {} if self.flags.memoize_angles else None
+        )
+        #: (matrix bytes, qubit) -> (RamanLocal pulse, logical gate tuple);
+        #: one level above the angle cache: the whole immutable operation.
+        self._local_op_cache: dict[tuple[bytes, int], tuple] | None = (
+            {} if self.flags.memoize_angles else None
+        )
+        #: matrix bytes -> (RamanGlobal pulse, ready logical gate tuple).
+        self._global_gates_cache: dict[bytes, tuple] = {}
 
     # ------------------------------------------------------------------
     # Emission primitives
     # ------------------------------------------------------------------
     def _emit_move(self, instruction: FPQAInstruction) -> None:
+        start = perf_counter()
         self.device.apply(instruction)
         self.pending.append(instruction)
+        self.profiler.add(
+            "transfer" if type(instruction) is Transfer else "shuttle",
+            perf_counter() - start,
+        )
 
     def _finish_op(
         self, pulse: FPQAInstruction, gates: tuple[Instruction, ...]
@@ -153,24 +203,76 @@ class _CodeGenerator:
             self.operations.append(AnnotatedOperation(tuple(self.pending), ()))
             self.pending.clear()
 
+    def _raman_parts(
+        self, matrix: np.ndarray, key: bytes | None = None
+    ) -> tuple[tuple[float, float, float], Gate]:
+        """(Euler angles, logical u3 gate) for ``matrix``, memoized."""
+        cache = self._raman_cache
+        if cache is None:
+            return self._angle_fn(matrix), u3_from_matrix(matrix)
+        if key is None:
+            key = matrix.tobytes()
+        parts = cache.get(key)
+        if parts is None:
+            parts = (self._angle_fn(matrix), u3_from_matrix(matrix))
+            cache[key] = parts
+            self.profiler.miss("raman_angles")
+        else:
+            self.profiler.hit("raman_angles")
+        return parts
+
     def _emit_raman_local(self, qubit: int, matrix: np.ndarray) -> None:
-        x, y, z = raman_angles_for(matrix)
-        instruction = RamanLocal(qubit, x, y, z)
+        start = perf_counter()
+        if self._local_op_cache is None:
+            (x, y, z), gate = self._raman_parts(matrix)
+            instruction = RamanLocal(qubit, x, y, z)
+            gates = (Instruction(gate, (qubit,)),)
+        else:
+            # Both the pulse and its logical annotation are pure values of
+            # (matrix, qubit); reuse whole immutable operation parts.
+            matrix_key = matrix.tobytes()
+            entry = self._local_op_cache.get((matrix_key, qubit))
+            if entry is None:
+                (x, y, z), gate = self._raman_parts(matrix, key=matrix_key)
+                entry = (RamanLocal(qubit, x, y, z), (Instruction(gate, (qubit,)),))
+                self._local_op_cache[(matrix_key, qubit)] = entry
+            else:
+                self.profiler.hit("raman_angles")
+            instruction, gates = entry
         self.device.apply(instruction)
-        gate = u3_from_matrix(matrix)
-        self._finish_op(instruction, (Instruction(gate, (qubit,)),))
+        self._finish_op(instruction, gates)
+        self.profiler.add("raman_local", perf_counter() - start)
 
     def _emit_raman_global(self, matrix: np.ndarray) -> None:
-        x, y, z = raman_angles_for(matrix)
-        instruction = RamanGlobal(x, y, z)
+        start = perf_counter()
+        if self._raman_cache is None:
+            (x, y, z), gate = self._raman_parts(matrix)
+            instruction = RamanGlobal(x, y, z)
+            gates = tuple(
+                Instruction(gate, (qubit,)) for qubit in range(self.num_qubits)
+            )
+        else:
+            key = matrix.tobytes()
+            entry = self._global_gates_cache.get(key)
+            if entry is None:
+                (x, y, z), gate = self._raman_parts(matrix, key=key)
+                entry = (
+                    RamanGlobal(x, y, z),
+                    tuple(
+                        Instruction(gate, (qubit,))
+                        for qubit in range(self.num_qubits)
+                    ),
+                )
+                self._global_gates_cache[key] = entry
+            else:
+                self.profiler.hit("raman_angles")
+            instruction, gates = entry
         self.device.apply(instruction)
-        gate = u3_from_matrix(matrix)
-        gates = tuple(
-            Instruction(gate, (qubit,)) for qubit in range(self.num_qubits)
-        )
         self._finish_op(instruction, gates)
+        self.profiler.add("raman_global", perf_counter() - start)
 
     def _emit_rydberg(self, expected: set[frozenset[int]]) -> None:
+        start = perf_counter()
         instruction = RydbergPulse()
         clusters = self.device.apply(instruction)
         got = {frozenset(cluster.qubits) for cluster in clusters}
@@ -179,32 +281,27 @@ class _CodeGenerator:
                 f"Rydberg pulse produced clusters {sorted(map(sorted, got))}, "
                 f"plan intended {sorted(map(sorted, expected))}"
             )
-        gates = []
-        for cluster in clusters:
-            name = "cz" if cluster.size == 2 else ("ccz" if cluster.size == 3 else "mcz")
-            gates.append(
-                Instruction(
-                    make_gate(name, num_qubits=cluster.size), tuple(sorted(cluster.qubits))
-                )
-            )
-        self._finish_op(instruction, tuple(gates))
+        gates = tuple(
+            Instruction(_cluster_gate(cluster.size), tuple(sorted(cluster.qubits)))
+            for cluster in clusters
+        )
+        self._finish_op(instruction, gates)
+        self.profiler.add("rydberg", perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Movement primitives
     # ------------------------------------------------------------------
-    def _column_loaded(self, index: int) -> bool:
-        return any(col == index for col, _ in self.device.aod_atoms)
-
     def _row_loaded(self) -> bool:
         return bool(self.device.aod_atoms)
 
     def _park_columns(self) -> None:
         moves = []
+        loaded_cols = {col for col, _ in self.device.aod_atoms}
         for index, park_x in enumerate(self.park_xs):
             delta = park_x - self.device.aod_col_x[index]
             if abs(delta) > 1e-9:
                 moves.append(
-                    ShuttleMove("column", index, delta, loaded=self._column_loaded(index))
+                    ShuttleMove("column", index, delta, loaded=index in loaded_cols)
                 )
         if moves:
             self._emit_move(ParallelShuttle(tuple(moves)))
@@ -213,11 +310,12 @@ class _CodeGenerator:
         """Send columns ``0..len(xs)-1`` to ``xs`` (must be sorted)."""
         self._park_columns()
         moves = []
+        loaded_cols = {col for col, _ in self.device.aod_atoms}
         for index, x in enumerate(xs):
             delta = x - self.device.aod_col_x[index]
             if abs(delta) > 1e-9:
                 moves.append(
-                    ShuttleMove("column", index, delta, loaded=self._column_loaded(index))
+                    ShuttleMove("column", index, delta, loaded=index in loaded_cols)
                 )
         if moves:
             self._emit_move(ParallelShuttle(tuple(moves)))
@@ -270,13 +368,38 @@ class _CodeGenerator:
             for var in range(self.num_qubits)
         }
         layers = []
+        #: frozen parked map -> (plans, parked map after the layer).  The
+        #: zone plan is a pure function of where the atoms start, so once
+        #: the parked map returns to a layer-start state already seen
+        #: (always true from layer 2 on: every layer visits the zones in
+        #: the same order), the remaining layers reuse the first plan.
+        cache: dict[tuple, tuple[list[ZoneMovePlan], dict[int, Position]]] | None = (
+            {} if self.flags.memoize_plans else None
+        )
         for _ in range(self.context.parameters.num_layers):
-            plans, parked = plan_zone_moves(
-                self.coloring,
-                self.geometry,
-                parked,
-                self.hardware.min_trap_spacing_um,
-            )
+            if cache is not None:
+                key = tuple(sorted(parked.items()))
+                hit = cache.get(key)
+                if hit is not None:
+                    self.profiler.hit("zone_plans")
+                    plans, parked = hit
+                    layers.append(plans)
+                    continue
+                self.profiler.miss("zone_plans")
+                plans, parked = plan_zone_moves(
+                    self.coloring,
+                    self.geometry,
+                    parked,
+                    self.hardware.min_trap_spacing_um,
+                )
+                cache[key] = (plans, parked)
+            else:
+                plans, parked = plan_zone_moves(
+                    self.coloring,
+                    self.geometry,
+                    parked,
+                    self.hardware.min_trap_spacing_um,
+                )
             layers.append(plans)
         return layers
 
@@ -361,6 +484,22 @@ class _CodeGenerator:
     # ------------------------------------------------------------------
     # Zone execution
     # ------------------------------------------------------------------
+    def _clause_matrices(
+        self, mode: str, placement: ClausePlacement, gamma: float
+    ) -> dict[str, np.ndarray | None]:
+        """Per-clause Raman matrix set, cached by (signs, weight*gamma)."""
+        if not self.flags.memoize_matrices:
+            return _UNCACHED_MATRIX_BUILDERS[mode](placement, gamma)
+        before = gate_compression.clause_matrix_misses
+        matrices = cached_clause_matrices(
+            mode, placement.signs, gamma * placement.weight
+        )
+        if gate_compression.clause_matrix_misses > before:
+            self.profiler.miss("clause_matrices")
+        else:
+            self.profiler.hit("clause_matrices")
+        return matrices
+
     def _execute_zone(self, color: int, gamma: float) -> None:
         group = self.coloring.group_placements(color)
         three = [p for p in group if p.arity == 3]
@@ -447,7 +586,8 @@ class _CodeGenerator:
         self, color: int, placements: list[ClausePlacement], gamma: float
     ) -> None:
         matrices = {
-            p.clause_index: compressed_raman_matrices(p, gamma) for p in placements
+            p.clause_index: self._clause_matrices("compressed", p, gamma)
+            for p in placements
         }
         triangles = {frozenset(p.qubits) for p in placements}
         pairs = {frozenset(p.controls) for p in placements}
@@ -483,7 +623,8 @@ class _CodeGenerator:
         self, color: int, placements: list[ClausePlacement], gamma: float
     ) -> None:
         matrices = {
-            p.clause_index: ladder_raman_matrices(p, gamma) for p in placements
+            p.clause_index: self._clause_matrices("ladder", p, gamma)
+            for p in placements
         }
         pairs = {frozenset(p.controls) for p in placements}
         bt_pairs = {frozenset((p.qubits[1], p.qubits[2])) for p in placements}
@@ -548,7 +689,8 @@ class _CodeGenerator:
             self._transfer(pos, column)
         self._set_stance(color, placements, "pair")
         matrices = {
-            p.clause_index: pair_raman_matrices(p, gamma) for p in placements
+            p.clause_index: self._clause_matrices("pair", p, gamma)
+            for p in placements
         }
         pairs = {frozenset(p.controls) for p in placements}
         for p in placements:
@@ -577,12 +719,16 @@ class FPQACompiler:
         geometry: ZoneGeometry | None = None,
         coloring_algorithm: str = "dsatur",
         compression: bool | None = None,
+        optimize: bool | OptimizationFlags = True,
     ):
         self.hardware = hardware or FPQAHardwareParams()
         self._auto_geometry = geometry is None
         self.geometry = geometry or zone_layout(self.hardware)
         self.coloring_algorithm = coloring_algorithm
         self.compression = compression
+        #: Hot-path optimization switchboard; ``False`` replicates the
+        #: unoptimized legacy pipeline (see repro.perf.OptimizationFlags).
+        self.flags = OptimizationFlags.coerce(optimize)
 
     def compile(
         self,
@@ -612,16 +758,28 @@ class FPQACompiler:
         manager.run(context)
         coloring: ColoringResult = context.require("coloring")
         schedule: FragmentSchedule = context.require("fragments")
-        generator = _CodeGenerator(context, coloring, schedule)
+        profiler = context.profiler
+        generator = _CodeGenerator(context, coloring, schedule, flags=self.flags)
+        codegen_start = time.perf_counter()
         program = generator.generate(measure=measure)
+        profiler.add_pass("codegen", time.perf_counter() - codegen_start)
+        native_start = time.perf_counter()
         native = qaoa_circuit(formula, parameters, measure=False)
+        profiler.add_pass("reference-circuit", time.perf_counter() - native_start)
+        profiler.set_cache(
+            "rydberg_clusters",
+            hits=generator.device.cluster_cache_hits,
+            misses=generator.device.cluster_resolutions,
+        )
         elapsed = time.perf_counter() - start
         context.stats.setdefault("total", {})["seconds"] = elapsed
+        profile = profiler.profile(total_seconds=elapsed)
         return WeaverCompilationResult(
             program=program,
             context=context,
             native_circuit=native,
             compile_seconds=elapsed,
+            profile=profile,
         )
 
 

@@ -1,0 +1,44 @@
+"""Performance instrumentation for the compiler hot paths.
+
+Industrial compiler stacks (Quilc, OpenQL) treat per-pass profiling as a
+first-class subsystem; this package is Weaver's equivalent.  It has three
+pieces:
+
+* :class:`Profiler` — cheap per-pass / per-primitive counters and timers
+  threaded through the :class:`~repro.passes.base.PassManager` and the
+  FPQA code generator.  Every compile carries one; the result surfaces it
+  as ``CompilationResult.profile`` (a JSON-safe dict) and the CLI renders
+  it via ``weaver compile --profile``.
+* :class:`OptimizationFlags` — the switchboard for the hot-path
+  optimizations (closed-form Euler angles, angle/matrix/plan memoization,
+  incremental Rydberg cluster resolution, history recording).
+  ``OptimizationFlags.reference()`` replicates the unoptimized legacy
+  pipeline so benchmarks can measure speedups against it on the same
+  machine and equivalence tests can diff emitted programs.
+* :mod:`repro.perf.bench` — the benchmark runner behind
+  ``python -m repro.perf.bench``; it appends compile-time measurements
+  (sizes x targets x devices, optimized vs reference) to
+  ``BENCH_compile.json`` so the repo keeps a performance trajectory.
+"""
+
+from .flags import OptimizationFlags
+from .profile import PROFILE_SCHEMA_VERSION, Profiler, format_profile_table
+
+
+def __getattr__(name: str):
+    # Lazy: keeps `python -m repro.perf.bench` from double-importing the
+    # bench module (runpy warns when the package eagerly imports it).
+    if name in ("run_compile_bench", "write_bench_file"):
+        from . import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "OptimizationFlags",
+    "PROFILE_SCHEMA_VERSION",
+    "Profiler",
+    "format_profile_table",
+    "run_compile_bench",
+    "write_bench_file",
+]

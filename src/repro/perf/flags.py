@@ -1,0 +1,73 @@
+"""The hot-path optimization switchboard.
+
+Every optimization that changed the *implementation* (never the emitted
+program) of the FPQA compile path sits behind one boolean here, so that
+
+* the default pipeline runs with everything on,
+* ``OptimizationFlags.reference()`` replicates the legacy pipeline for
+  same-machine speedup benchmarks, and
+* equivalence tests can toggle one mechanism at a time and assert the
+  emitted wQasm program is byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Which compiler fast paths are enabled.
+
+    All flags preserve the emitted program exactly except
+    ``closed_form_euler``, which swaps the numerically-equivalent (but not
+    bit-identical) legacy SU(2)->SO(3) Euler extraction for the direct
+    closed form; the wChecker verifies both to the same tolerance.
+    """
+
+    #: Derive ZYX Raman angles in closed form from the SU(2) entries
+    #: instead of building the 3x3 SO(3) image via nine traces.
+    closed_form_euler: bool = True
+    #: Memoize ``(angles, u3 gate)`` by matrix bytes in the code generator.
+    memoize_angles: bool = True
+    #: Cache per-clause Raman matrix sets by (signs, weight, gamma).
+    memoize_matrices: bool = True
+    #: Reuse zone-move plans when the parked map repeats across layers.
+    memoize_plans: bool = True
+    #: Spatial-hash + dirty-tracked Rydberg cluster resolution instead of
+    #: the dense O(n^2) distance matrix on every pulse.
+    incremental_clusters: bool = True
+    #: Record every instruction on the compiler-internal device.  The
+    #: code generator already keeps the program stream itself, so its
+    #: device history is pure overhead (time and unbounded memory); the
+    #: wChecker's replay devices keep recording by default.
+    record_history: bool = False
+
+    @classmethod
+    def reference(cls) -> "OptimizationFlags":
+        """The unoptimized legacy pipeline (pre-optimization behavior)."""
+        return cls(
+            closed_form_euler=False,
+            memoize_angles=False,
+            memoize_matrices=False,
+            memoize_plans=False,
+            incremental_clusters=False,
+            record_history=True,
+        )
+
+    @classmethod
+    def coerce(cls, value) -> "OptimizationFlags":
+        """Accept ``True`` / ``False`` / an instance (target option seam)."""
+        if isinstance(value, cls):
+            return value
+        if value is True or value is None:
+            return cls()
+        if value is False:
+            return cls.reference()
+        raise TypeError(
+            f"optimize= expects bool or OptimizationFlags, got {value!r}"
+        )
+
+    def but(self, **overrides) -> "OptimizationFlags":
+        """Copy with selected flags replaced (test convenience)."""
+        return replace(self, **overrides)

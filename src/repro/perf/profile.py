@@ -1,0 +1,139 @@
+"""Per-pass / per-primitive profiling counters.
+
+The :class:`Profiler` is deliberately primitive-cheap: hot-path call sites
+do one dict lookup and two float adds, so instrumentation stays on for
+every compile (the profile is part of every ``CompilationResult``).  The
+finished profile is a plain JSON-safe dict with a schema version, so it
+round-trips through the result serializers unchanged.
+"""
+
+from __future__ import annotations
+
+#: Bump when the profile dict layout changes.
+PROFILE_SCHEMA_VERSION = 1
+
+
+class Profiler:
+    """Accumulates pass timings, primitive counters, and cache hit rates."""
+
+    __slots__ = ("passes", "primitives", "caches")
+
+    def __init__(self) -> None:
+        #: pass name -> cumulative seconds
+        self.passes: dict[str, float] = {}
+        #: primitive name -> [count, cumulative seconds]
+        self.primitives: dict[str, list] = {}
+        #: cache name -> [hits, misses]
+        self.caches: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Recording (hot path: keep these tiny)
+    # ------------------------------------------------------------------
+    def add_pass(self, name: str, seconds: float) -> None:
+        self.passes[name] = self.passes.get(name, 0.0) + seconds
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        entry = self.primitives.get(name)
+        if entry is None:
+            self.primitives[name] = [count, seconds]
+        else:
+            entry[0] += count
+            entry[1] += seconds
+
+    def hit(self, name: str, count: int = 1) -> None:
+        entry = self.caches.get(name)
+        if entry is None:
+            self.caches[name] = [count, 0]
+        else:
+            entry[0] += count
+
+    def miss(self, name: str, count: int = 1) -> None:
+        entry = self.caches.get(name)
+        if entry is None:
+            self.caches[name] = [0, count]
+        else:
+            entry[1] += count
+
+    def set_cache(self, name: str, hits: int, misses: int) -> None:
+        """Overwrite a cache's counters (for caches tracked elsewhere)."""
+        self.caches[name] = [int(hits), int(misses)]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def profile(self, total_seconds: float | None = None) -> dict:
+        """Freeze the counters into the JSON-safe profile dict."""
+        payload: dict = {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "passes": {
+                name: {"seconds": seconds} for name, seconds in self.passes.items()
+            },
+            "primitives": {
+                name: {"count": entry[0], "seconds": entry[1]}
+                for name, entry in self.primitives.items()
+            },
+            "caches": {
+                name: {"hits": entry[0], "misses": entry[1]}
+                for name, entry in self.caches.items()
+            },
+        }
+        if total_seconds is not None:
+            payload["total_seconds"] = float(total_seconds)
+        return payload
+
+
+def _rows(title: tuple[str, ...], rows: list[tuple[str, ...]]) -> list[str]:
+    widths = [
+        max(len(str(cell)) for cell in column)
+        for column in zip(title, *rows)
+    ]
+    lines = []
+    for row in (title, *rows):
+        lines.append(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+    return lines
+
+
+def format_profile_table(profile: dict) -> str:
+    """Render a profile dict as the ``--profile`` terminal table."""
+    if not profile:
+        return "(no profile recorded)"
+    sections: list[str] = []
+    passes = profile.get("passes") or {}
+    if passes:
+        rows = [
+            (name, f"{data['seconds'] * 1e3:.2f} ms")
+            for name, data in sorted(
+                passes.items(), key=lambda item: -item[1]["seconds"]
+            )
+        ]
+        sections.extend(_rows(("pass", "seconds"), rows))
+    primitives = profile.get("primitives") or {}
+    if primitives:
+        if sections:
+            sections.append("")
+        rows = [
+            (name, str(data["count"]), f"{data['seconds'] * 1e3:.2f} ms")
+            for name, data in sorted(
+                primitives.items(), key=lambda item: -item[1]["seconds"]
+            )
+        ]
+        sections.extend(_rows(("primitive", "count", "seconds"), rows))
+    caches = profile.get("caches") or {}
+    if caches:
+        if sections:
+            sections.append("")
+        rows = []
+        for name, data in sorted(caches.items()):
+            hits, misses = data["hits"], data["misses"]
+            total = hits + misses
+            rate = f"{100.0 * hits / total:.1f}%" if total else "-"
+            rows.append((name, str(hits), str(misses), rate))
+        sections.extend(_rows(("cache", "hits", "misses", "hit rate"), rows))
+    total = profile.get("total_seconds")
+    if total is not None:
+        if sections:
+            sections.append("")
+        sections.append(f"total: {total * 1e3:.1f} ms")
+    return "\n".join(sections)

@@ -62,6 +62,9 @@ class CompilationResult:
     native_circuit: Any = None
     #: Per-pass statistics and backend-specific extras.
     stats: dict = field(default_factory=dict)
+    #: Per-pass / per-primitive performance profile (see
+    #: :mod:`repro.perf`); ``None`` for targets without instrumentation.
+    profile: dict | None = None
     cached: bool = False
 
     @property
@@ -90,6 +93,7 @@ class CompilationResult:
             "timed_out": self.timed_out,
             "error": self.error,
             "stats": jsonify(self.stats),
+            "profile": jsonify(self.profile) if self.profile is not None else None,
         }
         if include_program and self.program is not None:
             payload["program_wqasm"] = self.program.to_wqasm()
@@ -138,6 +142,7 @@ class CompilationResult:
             program=program,
             native_circuit=native_circuit,
             stats=payload.get("stats", {}),
+            profile=payload.get("profile"),
             cached=True,
         )
 

@@ -1,0 +1,339 @@
+"""The repro.perf subsystem and the hot-path optimizations it guards.
+
+Three concerns:
+
+* the instrumentation itself (Profiler counters, profile dict schema,
+  JSON round trip, the ``--profile`` CLI table);
+* semantics preservation — the optimized pipeline must emit *exactly* the
+  program the uncached pipeline emits (byte-for-byte wQasm), and the
+  fully legacy pipeline (SO(3) Euler path) must stay equivalent under the
+  wChecker; and
+* the individual mechanisms: closed-form Euler extraction, history
+  opt-out, position-key SLM lookup, zone-plan memoization, and the bench
+  runner's trajectory file.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.checker import check_program
+from repro.circuits.euler import zyx_euler_angles, zyx_euler_angles_so3
+from repro.circuits.gates import gate_matrix
+from repro.cli import main
+from repro.exceptions import CircuitError
+from repro.fpqa.device import FPQADevice
+from repro.fpqa.geometry import position_key
+from repro.fpqa.instructions import BindAtom, RamanGlobal, SlmInit
+from repro.linalg import allclose_up_to_global_phase
+from repro.passes.woptimizer import FPQACompiler
+from repro.perf import (
+    OptimizationFlags,
+    Profiler,
+    format_profile_table,
+    run_compile_bench,
+    write_bench_file,
+)
+from repro.qaoa import QaoaParameters
+from repro.sat import to_dimacs
+from repro.sat.generator import random_ksat
+from repro.targets.result import CompilationResult
+
+
+# ----------------------------------------------------------------------
+# Profiler / profile dict
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_counters_accumulate(self):
+        profiler = Profiler()
+        profiler.add_pass("coloring", 0.25)
+        profiler.add_pass("coloring", 0.25)
+        profiler.add("raman_local", 0.001, count=2)
+        profiler.add("raman_local", 0.003)
+        profiler.hit("angles")
+        profiler.miss("angles", count=3)
+        profile = profiler.profile(total_seconds=1.0)
+        assert profile["passes"]["coloring"]["seconds"] == 0.5
+        assert profile["primitives"]["raman_local"] == {"count": 3, "seconds": 0.004}
+        assert profile["caches"]["angles"] == {"hits": 1, "misses": 3}
+        assert profile["total_seconds"] == 1.0
+
+    def test_profile_is_json_safe(self):
+        profiler = Profiler()
+        profiler.add_pass("p", 0.1)
+        profiler.add("x", 0.2)
+        profiler.set_cache("c", hits=5, misses=1)
+        profile = profiler.profile(total_seconds=0.3)
+        assert json.loads(json.dumps(profile)) == profile
+
+    def test_format_table_mentions_everything(self):
+        profiler = Profiler()
+        profiler.add_pass("clause-coloring", 0.01)
+        profiler.add("rydberg", 0.002, count=7)
+        profiler.set_cache("raman_angles", hits=99, misses=1)
+        table = format_profile_table(profiler.profile(total_seconds=0.5))
+        assert "clause-coloring" in table
+        assert "rydberg" in table and "7" in table
+        assert "raman_angles" in table and "99.0%" in table
+        assert "total" in table
+
+    def test_empty_profile_renders(self):
+        assert "no profile" in format_profile_table({})
+
+
+class TestOptimizationFlags:
+    def test_coerce(self):
+        assert OptimizationFlags.coerce(True) == OptimizationFlags()
+        assert OptimizationFlags.coerce(None) == OptimizationFlags()
+        assert OptimizationFlags.coerce(False) == OptimizationFlags.reference()
+        flags = OptimizationFlags(memoize_angles=False)
+        assert OptimizationFlags.coerce(flags) is flags
+        with pytest.raises(TypeError):
+            OptimizationFlags.coerce("fast")
+
+    def test_reference_disables_everything(self):
+        ref = OptimizationFlags.reference()
+        assert not ref.closed_form_euler
+        assert not ref.memoize_angles
+        assert not ref.incremental_clusters
+        assert ref.record_history
+
+    def test_but_overrides(self):
+        flags = OptimizationFlags.reference().but(closed_form_euler=True)
+        assert flags.closed_form_euler and not flags.memoize_angles
+
+    def test_bad_optimize_option_is_a_target_error(self, tiny_formula):
+        from repro.exceptions import TargetError
+
+        with pytest.raises(TargetError, match="optimize"):
+            repro.compile(
+                tiny_formula, target="fpqa", target_options={"optimize": "fast"}
+            )
+
+
+# ----------------------------------------------------------------------
+# End-to-end: profile surfaces and round-trips
+# ----------------------------------------------------------------------
+class TestCompileProfile:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_formula):
+        return repro.compile(tiny_formula, target="fpqa")
+
+    def test_profile_present_with_passes_and_primitives(self, result):
+        profile = result.profile
+        assert profile is not None
+        assert "codegen" in profile["passes"]
+        assert "clause-coloring" in profile["passes"]
+        assert profile["primitives"]["raman_local"]["count"] > 0
+        assert profile["primitives"]["rydberg"]["count"] > 0
+        assert "rydberg_clusters" in profile["caches"]
+
+    def test_profile_round_trips_through_json(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = CompilationResult.from_dict(payload)
+        assert restored.profile == result.profile
+
+    def test_profile_none_for_targets_without_instrumentation(self, tiny_formula):
+        result = repro.compile(tiny_formula, target="atomique")
+        assert result.profile is None
+        restored = CompilationResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert restored.profile is None
+
+
+class TestCliProfile:
+    def test_compile_profile_prints_table(self, tmp_path, tiny_formula, capsys):
+        cnf = tmp_path / "tiny.cnf"
+        cnf.write_text(to_dimacs(tiny_formula))
+        out = tmp_path / "out.wqasm"
+        assert main(["compile", str(cnf), "-o", str(out), "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "codegen" in err
+        assert "raman_local" in err
+        assert "hit rate" in err
+
+
+# ----------------------------------------------------------------------
+# Semantics preservation
+# ----------------------------------------------------------------------
+class TestSemanticsPreserved:
+    """The optimizations must not change the emitted program."""
+
+    @pytest.fixture(scope="class")
+    def formula(self):
+        return random_ksat(24, 100, seed=11)
+
+    @pytest.fixture(scope="class")
+    def parameters(self):
+        # Three layers so the zone-plan memoization actually fires: layer 1
+        # starts from the home row, layer 2 from the steady parked state,
+        # and layer 3 sees that state again (the first cache hit).
+        return QaoaParameters((0.7, 0.4, 0.6), (0.35, 0.2, 0.1))
+
+    def test_memoized_pipeline_emits_identical_program(self, formula, parameters):
+        optimized = FPQACompiler(optimize=True).compile(formula, parameters)
+        uncached = FPQACompiler(
+            # Same angle math, every cache and fast path disabled.
+            optimize=OptimizationFlags.reference().but(closed_form_euler=True)
+        ).compile(formula, parameters)
+        assert optimized.program.to_wqasm() == uncached.program.to_wqasm()
+        assert optimized.profile["caches"]["raman_angles"]["hits"] > 0
+        assert optimized.profile["caches"]["zone_plans"]["hits"] == 1
+        assert optimized.profile["caches"]["rydberg_clusters"]["hits"] > 0
+
+    def test_optimized_program_passes_wchecker(self, formula, parameters):
+        result = FPQACompiler(optimize=True).compile(formula, parameters)
+        report = check_program(result.program, reference=result.native_circuit)
+        assert report.ok, report.operation_failures[:3]
+
+    def test_legacy_pipeline_still_equivalent(self, formula):
+        """Full reference mode (SO(3) angles) stays checker-clean too."""
+        result = FPQACompiler(optimize=False).compile(formula)
+        report = check_program(result.program, reference=result.native_circuit)
+        assert report.ok, report.operation_failures[:3]
+
+
+# ----------------------------------------------------------------------
+# Closed-form Euler extraction
+# ----------------------------------------------------------------------
+class TestClosedFormEuler:
+    def test_matches_so3_reference_on_random_unitaries(self):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            mat = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+            unitary, _ = np.linalg.qr(mat)
+            fast = zyx_euler_angles(unitary)
+            slow = zyx_euler_angles_so3(unitary)
+            rec_fast = gate_matrix("raman", fast)
+            rec_slow = gate_matrix("raman", slow)
+            assert allclose_up_to_global_phase(rec_fast, unitary, atol=1e-9)
+            assert allclose_up_to_global_phase(rec_fast, rec_slow, atol=1e-9)
+
+    def test_gimbal_lock_cases(self):
+        for name, params in (
+            ("h", ()),
+            ("ry", (np.pi / 2,)),
+            ("ry", (-np.pi / 2,)),
+        ):
+            unitary = gate_matrix(name, params)
+            angles = zyx_euler_angles(unitary)
+            assert angles[0] == 0.0  # roll folded into yaw at the pole
+            assert allclose_up_to_global_phase(
+                gate_matrix("raman", angles), unitary, atol=1e-9
+            )
+        # X is a plain pi rotation about x — not gimbal-locked: pure roll.
+        x_angles = zyx_euler_angles(gate_matrix("x"))
+        assert x_angles == pytest.approx((np.pi, 0.0, 0.0))
+
+    def test_rejects_non_square_and_singular(self):
+        with pytest.raises(CircuitError):
+            zyx_euler_angles(np.zeros((2, 2)))
+        with pytest.raises(CircuitError):
+            zyx_euler_angles(np.eye(3))
+
+
+# ----------------------------------------------------------------------
+# Device fast paths
+# ----------------------------------------------------------------------
+class TestDeviceFastPaths:
+    def _loaded_device(self, **kwargs) -> FPQADevice:
+        device = FPQADevice(**kwargs)
+        positions = tuple((10.0 * i, 0.0) for i in range(4))
+        device.apply(SlmInit(positions))
+        for qubit in range(4):
+            device.apply(BindAtom(qubit=qubit, slm_index=qubit))
+        return device
+
+    def test_history_recorded_by_default(self):
+        device = self._loaded_device()
+        device.apply(RamanGlobal(0.1, 0.2, 0.3))
+        assert len(device.history) == 6
+
+    def test_history_opt_out(self):
+        device = self._loaded_device(record_history=False)
+        device.apply(RamanGlobal(0.1, 0.2, 0.3))
+        assert device.history == []
+
+    def test_codegen_device_does_not_accumulate_history(self):
+        # The program stream itself is the record; the compiler-internal
+        # device must not keep a second unbounded copy (default flags opt
+        # out), while the checker's replay devices keep the default on.
+        assert OptimizationFlags().record_history is False
+        assert FPQACompiler().flags.record_history is False
+        assert FPQADevice().record_history is True
+
+    def test_slm_index_at_matches_position_key(self):
+        device = self._loaded_device()
+        for index, position in enumerate(device.slm_positions):
+            assert device.slm_index_at(*position) == index
+            # Sub-rounding jitter maps to the same key, hence same trap.
+            assert device.slm_index_at(position[0] + 1e-9, position[1]) == index
+        assert device.slm_index_at(1234.5, 0.0) is None
+        assert position_key((1.0000004, 2.0)) == position_key((1.0, 2.0))
+
+    def test_cluster_cache_invalidated_by_movement(self):
+        device = self._loaded_device()
+        first = device.resolve_rydberg_clusters()
+        again = device.resolve_rydberg_clusters()
+        assert first == again
+        assert device.cluster_cache_hits == 1
+        assert device.cluster_resolutions == 1
+        device.lose_atom(3)
+        assert device.resolve_rydberg_clusters() == []
+        assert device.cluster_resolutions == 2
+
+
+# ----------------------------------------------------------------------
+# Bench runner
+# ----------------------------------------------------------------------
+class TestBenchRunner:
+    def test_writes_and_appends_trajectory(self, tmp_path):
+        run = run_compile_bench(
+            sizes=(8,), repeats=1, include_reference=True, seed=3
+        )
+        (cell,) = run["cells"]
+        assert cell["target"] == "fpqa"
+        assert cell["optimized_seconds"] > 0
+        assert cell["reference_seconds"] > 0
+        assert cell["speedup"] == cell["reference_seconds"] / cell["optimized_seconds"]
+        path = tmp_path / "BENCH_compile.json"
+        write_bench_file(run, path)
+        write_bench_file(run, path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert len(payload["runs"]) == 2
+
+    def test_corrupt_trajectory_is_preserved_not_crashed(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{truncated")
+        write_bench_file({"cells": []}, path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1 and len(payload["runs"]) == 1
+        # The unreadable history moved aside instead of vanishing.
+        assert (tmp_path / "bench.json.bak").read_text().startswith("{truncated")
+
+    def test_schema_without_runs_list_is_treated_as_corrupt(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text('{"schema": 1}')
+        write_bench_file({"cells": []}, path)
+        payload = json.loads(path.read_text())
+        assert len(payload["runs"]) == 1
+        assert (tmp_path / "bench.json.bak").exists()
+
+    def test_cli_entrypoint(self, tmp_path):
+        from repro.perf.bench import main as bench_main
+
+        path = tmp_path / "bench.json"
+        rc = bench_main(
+            ["--sizes", "8", "--repeats", "1", "--no-reference",
+             "--label", "test", "-o", str(path)]
+        )
+        assert rc == 0
+        payload = json.loads(path.read_text())
+        assert payload["runs"][0]["label"] == "test"
+        assert payload["runs"][0]["cells"][0]["reference_seconds"] is None
