@@ -1,0 +1,116 @@
+"""Service mode: the async compilation server, end to end.
+
+Three acts:
+
+1. **In-process service** — submit a burst of mixed-target traffic from
+   two tenants through :class:`repro.service.CompilationService`, watch
+   per-job progress events, and read the shard/artifact counters.
+2. **Warm resubmission** — send the same traffic again; every job
+   resolves from the content-addressed artifact store without touching
+   a compiler, byte-identical to the first pass.
+3. **Socket front door** — host the same service on a Unix socket
+   (what ``weaver serve`` does) and drive it with the JSON-lines client
+   (what ``weaver submit`` does).
+
+Run:  python examples/service_demo.py
+"""
+
+import asyncio
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro
+from repro.service import CompilationService, ServiceClient, ServiceServer
+
+TARGETS = ("fpqa", "superconducting")
+
+
+def progress(job, event: str) -> None:
+    if event == "done" and job.from_cache:
+        event = "done (artifact cache)"
+    print(f"    [{job.client}] {job.job_id} {job.target}: {event}")
+
+
+async def in_process_demo() -> None:
+    workloads = [repro.satlib_instance(f"uf20-{i:02d}") for i in range(1, 4)]
+
+    async with CompilationService(shards=2, backend="thread") as service:
+        print("== act 1: cold traffic from two tenants ==")
+        start = time.perf_counter()
+        jobs = [
+            await service.submit(
+                workload,
+                target=target,
+                client=client,
+                on_progress=progress,
+            )
+            for client in ("alice", "bob")
+            for workload in workloads
+            for target in TARGETS
+        ]
+        results = await service.gather(jobs)
+        cold_s = time.perf_counter() - start
+        unique = len({job.key for job in jobs})
+        print(
+            f"  {len(results)} jobs ({unique} unique cells) in {cold_s:.2f}s; "
+            f"all succeeded: {all(r.succeeded for r in results)}"
+        )
+
+        print("\n== act 2: warm resubmission ==")
+        start = time.perf_counter()
+        again = [
+            await service.submit(workload, target=target, client="alice")
+            for workload in workloads
+            for target in TARGETS
+        ]
+        await service.gather(again)
+        warm_s = time.perf_counter() - start
+        print(
+            f"  {len(again)} jobs in {warm_s * 1e3:.1f} ms, "
+            f"all from cache: {all(job.from_cache for job in again)}"
+        )
+
+        stats = service.stats()
+        artifacts = stats["artifacts"]
+        print(
+            f"  artifact store: {artifacts['entries']} entries, "
+            f"hit rate {artifacts['hit_rate']:.0%}, "
+            f"jobs per shard {stats['jobs_per_shard']}"
+        )
+
+
+async def socket_demo() -> None:
+    print("\n== act 3: the socket front door ==")
+    workload = repro.satlib_instance("uf20-01")
+    socket_path = Path(tempfile.mkdtemp(prefix="weaver-demo-")) / "weaver.sock"
+    service = CompilationService(shards=2, backend="thread")
+    async with ServiceServer(service, socket_path):
+        async with await ServiceClient.connect(socket_path) as client:
+            pong = await client.ping()
+            print(f"  connected (protocol v{pong['version']})")
+            first = await client.submit(workload, target="fpqa", client="demo")
+            second = await client.submit(workload, target="fpqa", client="demo")
+            print(
+                f"  {first.job_id}: {first.result.num_pulses} pulses, "
+                f"events {first.events}"
+            )
+            print(
+                f"  {second.job_id}: cached={second.from_cache}, "
+                f"byte-identical={first.raw == second.raw}"
+            )
+            stats = await client.stats()
+            print(f"  server counters: {stats['jobs_submitted']} jobs submitted")
+    print(f"  server stopped, socket removed: {not socket_path.exists()}")
+
+
+def main() -> None:
+    asyncio.run(in_process_demo())
+    asyncio.run(socket_demo())
+
+
+if __name__ == "__main__":
+    main()

@@ -42,7 +42,12 @@ setup(
         "networkx>=3.0",
     ],
     extras_require={
-        "test": ["pytest>=7", "pytest-benchmark>=4"],
+        "test": [
+            "pytest>=7",
+            "pytest-benchmark>=4",
+            "pytest-cov>=4",
+            "hypothesis>=6",
+        ],
     },
     entry_points={
         "console_scripts": [

@@ -14,7 +14,12 @@ API centers on one retargetable entrypoint backed by a target registry:
 * :func:`list_devices` / :func:`get_device` / :func:`register_device` —
   the device-profile registry (:mod:`repro.devices`): declarative
   machine specs with validated hardware parameters and precomputed
-  noise-aware cost models.
+  noise-aware cost models;
+* :class:`CompilationService` (:mod:`repro.service`) — the async,
+  multi-tenant compilation server: sharded workers with
+  ``(target, device)`` cache affinity, a content-addressed
+  :class:`ArtifactStore`, and a JSON-lines socket front door
+  (``weaver serve`` / ``weaver submit``).
 
 The paper's three components remain available underneath:
 
@@ -124,10 +129,29 @@ from .targets import (
     target_info,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+
+def __getattr__(name: str):
+    # The service layer (asyncio server, socket client, artifact store)
+    # loads lazily: importing repro must stay cheap for one-shot compile
+    # scripts that never touch the server machinery.
+    if name in (
+        "ArtifactStore",
+        "CompilationService",
+        "CompileJob",
+        "ServiceClient",
+        "ServiceServer",
+    ):
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AnnotationError",
+    "ArtifactStore",
     "CheckReport",
     "CircuitError",
     "Clause",
@@ -135,7 +159,9 @@ __all__ = [
     "ColoringError",
     "CompilationError",
     "CompilationResult",
+    "CompilationService",
     "CompilationTimeout",
+    "CompileJob",
     "CompilerSession",
     "DeviceError",
     "DeviceProfile",
@@ -155,6 +181,8 @@ __all__ = [
     "QuantumCircuit",
     "RoutingError",
     "SatError",
+    "ServiceClient",
+    "ServiceServer",
     "SimulationError",
     "SuperconductingTranspiler",
     "Target",

@@ -8,6 +8,8 @@ Commands
 ``check``     verify a wQasm file with the wChecker
 ``export``    DIMACS CNF -> DPQA-format JSON (artifact step 6)
 ``bench``     run the laptop-scale artifact sweep (same as run.py --quick)
+``serve``     host the async compilation service on a local socket
+``submit``    send a workload to a running service (or query its stats)
 
 Examples::
 
@@ -18,6 +20,9 @@ Examples::
     weaver devices rubidium-baseline
     weaver check program.wqasm
     weaver export problem.cnf -o gates.json
+    weaver serve --socket /tmp/weaver.sock --shards 4 &
+    weaver submit problem.cnf --socket /tmp/weaver.sock --target fpqa
+    weaver submit --stats --socket /tmp/weaver.sock
 
 Exit codes: 0 success, 1 internal error (or failed verification),
 2 user error (bad input file, unknown target, malformed wQasm).
@@ -199,6 +204,120 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import serve
+
+    print(
+        f"serving on {args.socket} "
+        f"({args.shards} shard(s), {args.backend} backend); "
+        "stop with Ctrl-C or `weaver submit --shutdown`",
+        file=sys.stderr,
+    )
+    asyncio.run(
+        serve(
+            args.socket,
+            shards=args.shards,
+            backend=args.backend,
+            store_dir=args.store_dir,
+            max_artifacts=args.max_artifacts,
+        )
+    )
+    print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_module
+
+    from .service import ServiceClient
+    from .targets import Workload
+
+    async def run() -> int:
+        client = await ServiceClient.connect(args.socket)
+        try:
+            if args.shutdown:
+                await client.shutdown()
+                print("service stopping", file=sys.stderr)
+                return 0
+            if args.stats:
+                stats = await client.stats()
+                print(json_module.dumps(stats, indent=2))
+                return 0
+            if args.input is None:
+                print(
+                    "error: submit needs an input file (or --stats / --shutdown)",
+                    file=sys.stderr,
+                )
+                return 2
+            workload = Workload.from_file(args.input)
+            options: dict = {}
+            if args.no_measure:
+                options["measure"] = False
+            out = await client.submit(
+                workload,
+                target=args.target or "fpqa",
+                device=args.device,
+                client=args.client,
+                priority=args.priority,
+                timeout=args.budget,
+                **options,
+            )
+            result = out.result
+            summary = (
+                f"{out.job_id}: {result.target}"
+                + (f" on {result.device}" if result.device else "")
+                + f" <- {result.workload}"
+                + (" [cached]" if out.from_cache else "")
+                + (
+                    f" ({result.compile_seconds * 1e3:.0f} ms compile)"
+                    if not out.from_cache
+                    else ""
+                )
+            )
+            print(summary, file=sys.stderr)
+            if result.error is not None:
+                print(f"error: {result.error}", file=sys.stderr)
+                return 1
+            if result.timed_out:
+                print("error: compilation timed out", file=sys.stderr)
+                return 1
+            if args.json:
+                print(json_module.dumps(out.raw, indent=2))
+            elif result.program is not None:
+                text = result.program.to_wqasm()
+                if args.output:
+                    Path(args.output).write_text(text, encoding="utf-8")
+                else:
+                    sys.stdout.write(text)
+            else:
+                # Gate-level targets emit no program; report metrics,
+                # matching `weaver compile`.
+                lines = {
+                    "execution_seconds": result.execution_seconds,
+                    "eps": result.eps,
+                    **{
+                        k: v
+                        for k, v in result.stats.items()
+                        if isinstance(v, (int, float))
+                    },
+                }
+                for key, value in lines.items():
+                    if value is not None:
+                        print(
+                            f"{key}: {value:.6g}"
+                            if isinstance(value, float)
+                            else f"{key}: {value}"
+                        )
+            return 0
+        finally:
+            await client.close()
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -256,6 +375,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist/resume results at this JSON path",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="host the async compilation service on a local socket"
+    )
+    p_serve.add_argument(
+        "--socket", default="/tmp/weaver.sock",
+        help="Unix socket path to listen on (default /tmp/weaver.sock)",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=2,
+        help="worker shards; jobs route by (target, device) cell",
+    )
+    p_serve.add_argument(
+        "--backend", choices=("thread", "process", "inline"), default="thread",
+        help="shard executor: thread (default), process (multi-core), inline",
+    )
+    p_serve.add_argument(
+        "--store-dir", default=None,
+        help="persist compiled artifacts under this directory",
+    )
+    p_serve.add_argument(
+        "--max-artifacts", type=int, default=512,
+        help="in-memory artifact LRU bound (default 512)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="send a workload to a running service"
+    )
+    p_submit.add_argument(
+        "input", nargs="?", help="DIMACS .cnf or OpenQASM .qasm file"
+    )
+    p_submit.add_argument(
+        "--socket", default="/tmp/weaver.sock",
+        help="service socket path (default /tmp/weaver.sock)",
+    )
+    p_submit.add_argument(
+        "-t", "--target", default=None, help="registered target name (default fpqa)"
+    )
+    p_submit.add_argument(
+        "-d", "--device", default=None, help="registered device profile name"
+    )
+    p_submit.add_argument("-o", "--output", help="wQasm output path (default stdout)")
+    p_submit.add_argument(
+        "--client", default="cli", help="client name for fair scheduling"
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=0, help="job priority (0 first)"
+    )
+    p_submit.add_argument(
+        "--budget", type=float, default=None, help="compile budget in seconds"
+    )
+    p_submit.add_argument("--no-measure", action="store_true")
+    p_submit.add_argument(
+        "--json", action="store_true",
+        help="print the full result record as JSON instead of wQasm",
+    )
+    p_submit.add_argument(
+        "--stats", action="store_true", help="print service stats and exit"
+    )
+    p_submit.add_argument(
+        "--shutdown", action="store_true", help="ask the service to stop"
+    )
+    p_submit.set_defaults(func=_cmd_submit)
     return parser
 
 

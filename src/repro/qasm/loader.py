@@ -23,6 +23,12 @@ from .parser import parse_qasm
 
 _MAX_MACRO_DEPTH = 32
 
+#: Declared register sizes beyond this are user errors, not honest
+#: workloads: the framework targets machines of a few hundred qubits,
+#: and an absurd declaration would otherwise explode broadcast expansion
+#: into a MemoryError (an internal crash) instead of a clear message.
+_MAX_REGISTER_SIZE = 100_000
+
 
 def _expand_macro(
     definition: GateDefinition,
@@ -94,6 +100,12 @@ def load_circuit(program: Program, name: str = "qasm") -> LoadedProgram:
     num_qubits = 0
     num_clbits = 0
     for statement in program.statements:
+        if isinstance(statement, (QubitDecl, ClbitDecl)):
+            if statement.size > _MAX_REGISTER_SIZE:
+                raise QasmSemanticError(
+                    f"register {statement.name!r} declares {statement.size} "
+                    f"wires; the supported maximum is {_MAX_REGISTER_SIZE}"
+                )
         if isinstance(statement, QubitDecl):
             if statement.name in qubit_regs:
                 raise QasmSemanticError(f"duplicate qubit register {statement.name!r}")

@@ -1,0 +1,69 @@
+"""``repro.service``: the async compilation service.
+
+Quilc and OpenQL ship their compilers as long-lived services rather than
+one-shot library calls; this package is Weaver's equivalent.  It turns
+the batched :class:`~repro.CompilerSession` machinery into a
+multi-tenant server with four pieces:
+
+* :class:`CompileJob` + :class:`FairQueue` — a priority job queue with
+  round-robin per-client fairness and per-job timeouts;
+* a **sharded worker pool** — jobs route to a worker by their
+  ``(target, device)`` shard key, so per-worker cost-model and cluster
+  caches stay warm for the traffic that reuses them;
+* :class:`ArtifactStore` — a content-addressed result cache
+  (workload-hash -> serialized :class:`~repro.CompilationResult`) with
+  LRU eviction and hit-rate counters threaded into a
+  :class:`repro.perf.Profiler`;
+* front doors — the in-process async API
+  (``await service.submit(...)``) and a JSON-lines socket protocol
+  behind ``weaver serve`` / ``weaver submit``.
+
+Quickstart::
+
+    import asyncio, repro
+    from repro.service import CompilationService
+
+    async def main():
+        async with CompilationService(shards=2) as service:
+            jobs = [
+                await service.submit(w, target=t)
+                for w in workloads for t in ("fpqa", "superconducting")
+            ]
+            return await service.gather(jobs)
+
+    results = asyncio.run(main())
+"""
+
+from .artifacts import ArtifactStore, artifact_key
+from .jobs import CompileJob, FairQueue, JobStatus
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+    payload_to_workload,
+    workload_to_payload,
+)
+from .client import RemoteResult, ServiceClient, ServiceUnavailable, submit_once
+from .server import ServiceServer, serve
+from .service import CompilationService, shard_key
+
+__all__ = [
+    "ArtifactStore",
+    "CompilationService",
+    "CompileJob",
+    "FairQueue",
+    "JobStatus",
+    "PROTOCOL_VERSION",
+    "RemoteResult",
+    "ServiceClient",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "artifact_key",
+    "decode_line",
+    "encode_line",
+    "payload_to_workload",
+    "serve",
+    "shard_key",
+    "submit_once",
+    "workload_to_payload",
+]

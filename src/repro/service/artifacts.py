@@ -1,0 +1,265 @@
+"""Content-addressed artifact store for compilation results.
+
+An *artifact* is the serialized JSON form of a
+:class:`~repro.targets.result.CompilationResult`.  The store maps a
+content address — a SHA-256 over everything that determines the output:
+workload content, target, device configuration, QAOA parameters, compile
+options, and budget — to the artifact bytes.  Because the address covers
+the full input and the stored value is the serialized bytes themselves,
+a warm resubmission returns *byte-identical* output, the property the
+service's conformance tests pin.
+
+Eviction is LRU over a bounded number of in-memory entries; an optional
+directory adds a disk tier that survives process restarts (reads promote
+back into memory).  Hit/miss/eviction counters feed a
+:class:`repro.perf.Profiler` under the ``service.artifacts`` cache name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+from ..targets.result import CompilationResult, jsonify
+from ..targets.workload import Workload
+
+
+def _workload_payload(workload: Workload) -> str:
+    """The full content of a workload (not a truncated digest)."""
+    if workload.formula is not None:
+        from ..sat.dimacs import to_dimacs
+
+        return to_dimacs(workload.formula)
+    from ..qasm import circuit_to_qasm
+
+    return circuit_to_qasm(workload.raw_circuit)
+
+
+def _device_fingerprint(device) -> object:
+    """A JSON-stable identity for a device argument (name or profile)."""
+    if device is None:
+        return None
+    if isinstance(device, str):
+        from ..devices.registry import resolve_device
+
+        device = resolve_device(device)
+    to_dict = getattr(device, "to_dict", None)
+    if to_dict is not None:
+        return to_dict()
+    return repr(device)
+
+
+def artifact_key(
+    workload: Workload,
+    target: str,
+    device=None,
+    parameters=None,
+    options: dict | None = None,
+    budget: float | None = None,
+    target_options: dict | None = None,
+) -> str:
+    """Content address of one compilation: hex SHA-256 of its identity.
+
+    Two submissions share a key exactly when every compilation input
+    matches; the workload contributes its *content* (DIMACS/QASM text),
+    not its name, so renamed copies of the same problem still hit.
+    """
+    identity = {
+        "workload": _workload_payload(workload),
+        "target": target,
+        "device": _device_fingerprint(device),
+        "parameters": repr(parameters) if parameters is not None else None,
+        "options": jsonify(sorted((options or {}).items())),
+        "target_options": jsonify(sorted((target_options or {}).items())),
+        "budget": budget,
+    }
+    payload = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Bounded LRU map of content address -> serialized result bytes.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory entry bound; the least-recently-used artifact is
+        evicted past it (disk copies, when configured, are kept).
+    directory:
+        Optional disk tier: artifacts persist as ``<key>.json`` files and
+        are promoted back into memory on access, so a restarted service
+        keeps its warm cache.
+    profiler:
+        A :class:`repro.perf.Profiler` whose ``service.artifacts`` cache
+        counters mirror this store's hits and misses.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 512,
+        directory: str | Path | None = None,
+        profiler=None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.directory = Path(directory) if directory is not None else None
+        self.profiler = profiler
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        #: Lazily decoded result objects, so repeated hits skip the JSON +
+        #: wQasm re-parse (the artifact *bytes* stay authoritative).
+        #: Decoded results are shared: callers treat them as read-only,
+        #: the same contract as the session caches.
+        self._decoded: dict[str, CompilationResult] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries or self._disk_path(key) is not None
+
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Path | None:
+        if self.directory is None:
+            return None
+        path = self.directory / f"{key}.json"
+        return path if path.exists() else None
+
+    def _record(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self.profiler is not None:
+            (self.profiler.hit if hit else self.profiler.miss)("service.artifacts")
+
+    def _lookup(self, key: str) -> bytes | None:
+        """Find the artifact bytes (memory first, then disk); no counting."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                entry = path.read_bytes()
+                json.loads(entry.decode("utf-8"))  # reject corrupt files
+            except (OSError, ValueError):
+                self._drop(key)
+                return None
+            self._put_memory(key, entry)
+            return entry
+        return None
+
+    def _drop(self, key: str) -> None:
+        """Purge a stale/corrupt artifact from every tier, so it cannot
+        keep being promoted and probed on later lookups."""
+        self._entries.pop(key, None)
+        self._decoded.pop(key, None)
+        if self.directory is not None:
+            (self.directory / f"{key}.json").unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def get_bytes(self, key: str) -> bytes | None:
+        """The stored artifact bytes, or ``None`` (counts as hit/miss)."""
+        entry = self._lookup(key)
+        self._record(hit=entry is not None)
+        return entry
+
+    def get(self, key: str) -> CompilationResult | None:
+        """The stored result (shared object; ``cached`` is ``True``).
+
+        A hit is only recorded once the artifact actually decodes: an
+        entry written by an older schema is purged and counted as a
+        miss, never as a hit that served nothing.
+        """
+        entry = self._lookup(key)
+        if entry is None:
+            self._record(hit=False)
+            return None
+        result = self._decoded.get(key)
+        if result is None:
+            try:
+                result = CompilationResult.from_dict(
+                    json.loads(entry.decode("utf-8"))
+                )
+            except (ValueError, KeyError):
+                self._drop(key)  # schema drift: stale artifact
+                self._record(hit=False)
+                return None
+            self._decoded[key] = result
+        result.cached = True
+        self._record(hit=True)
+        return result
+
+    def _put_memory(self, key: str, entry: bytes) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            evicted, _ = self._entries.popitem(last=False)
+            self._decoded.pop(evicted, None)
+            self.evictions += 1
+
+    @staticmethod
+    def encode(result: CompilationResult) -> bytes:
+        """The canonical artifact bytes of a result.
+
+        Pure function, deliberately separate from :meth:`put`: the
+        service worker runs it off the event loop (serializing a large
+        program is the expensive part of storing), then hands the bytes
+        to :meth:`put` for the cheap bookkeeping.
+        """
+        return json.dumps(result.to_dict(), indent=1).encode("utf-8")
+
+    def put(
+        self, key: str, result: CompilationResult, entry: bytes | None = None
+    ) -> bytes:
+        """Store ``result`` (pre-``encode``-d as ``entry``, or serialized
+        here); returns the artifact bytes.
+
+        Error rows are not stored (transient failures must retry, the
+        same contract as the session caches); timed-out rows are, since
+        re-running them would time out again under the same budget —
+        the budget is part of the content address.
+        """
+        if entry is None:
+            entry = self.encode(result)
+        if result.error is not None:
+            return entry
+        self._put_memory(key, entry)
+        self._decoded[key] = result
+        if self.directory is not None:
+            path = self.directory / f"{key}.json"
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_bytes(entry)
+            os.replace(tmp, path)
+        return entry
+
+    # ------------------------------------------------------------------
+    def clear(self, disk: bool = False) -> None:
+        """Drop in-memory artifacts (and optionally the disk tier)."""
+        self._entries.clear()
+        self._decoded.clear()
+        if disk and self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+
+    def stats(self) -> dict:
+        """Counters for dashboards and the service ``stats`` op."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else None,
+        }

@@ -1,0 +1,222 @@
+"""Async client for the JSON-lines service socket (``weaver submit``).
+
+:class:`ServiceClient` multiplexes many in-flight requests over one
+connection: a background reader task dispatches every incoming line to
+the queue of the request that owns it (by ``req`` id), so concurrent
+``submit`` calls interleave safely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..exceptions import TargetError, WeaverError
+from ..targets.result import CompilationResult
+from ..targets.workload import Workload, coerce_workload
+from .protocol import ProtocolError, decode_line, encode_line, workload_to_payload
+from .server import MAX_LINE_BYTES
+
+
+class ServiceUnavailable(WeaverError):
+    """The service socket is absent, refused, or went away mid-request."""
+
+
+@dataclass
+class RemoteResult:
+    """One finished remote submission.
+
+    ``raw`` is the exact ``result`` JSON object the server sent — the
+    byte-level provenance the differential tests compare — and
+    ``result`` is its reconstructed :class:`~repro.CompilationResult`.
+    """
+
+    result: CompilationResult
+    raw: dict
+    job_id: str
+    from_cache: bool
+    events: list[str] = field(default_factory=list)
+
+
+class ServiceClient:
+    """One connection to a running ``weaver serve`` socket."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._req_ids = itertools.count(1)
+        self._inboxes: dict[str, asyncio.Queue] = {}
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, socket_path: str | Path) -> "ServiceClient":
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                path=str(socket_path), limit=MAX_LINE_BYTES
+            )
+        except (OSError, ValueError) as exc:
+            raise ServiceUnavailable(
+                f"cannot connect to service socket {socket_path}: {exc} "
+                "(is `weaver serve` running?)"
+            ) from exc
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = decode_line(line)
+                except ProtocolError:
+                    continue  # junk line: nothing to route it to
+                inbox = self._inboxes.get(payload.get("req"))
+                if inbox is not None:
+                    inbox.put_nowait(payload)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            for inbox in self._inboxes.values():
+                inbox.put_nowait(None)  # connection gone
+
+    async def _request(self, message: dict) -> tuple[str, asyncio.Queue]:
+        req = f"r{next(self._req_ids)}"
+        message = {**message, "req": req}
+        inbox: asyncio.Queue = asyncio.Queue()
+        self._inboxes[req] = inbox
+        self._writer.write(encode_line(message))
+        try:
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            self._inboxes.pop(req, None)
+            raise ServiceUnavailable(f"service connection lost: {exc}") from exc
+        return req, inbox
+
+    async def _next_event(self, inbox: asyncio.Queue, timeout: float | None):
+        payload = await asyncio.wait_for(inbox.get(), timeout)
+        if payload is None:
+            raise ServiceUnavailable("service connection closed mid-request")
+        if payload.get("event") == "error":
+            kind = payload.get("kind", "internal")
+            error = payload.get("error", "unknown error")
+            if kind == "user":
+                raise TargetError(error)
+            raise WeaverError(f"service internal error: {error}")
+        return payload
+
+    # ------------------------------------------------------------------
+    async def ping(self, timeout: float | None = 10.0) -> dict:
+        req, inbox = await self._request({"op": "ping"})
+        try:
+            return await self._next_event(inbox, timeout)
+        finally:
+            self._inboxes.pop(req, None)
+
+    async def stats(self, timeout: float | None = 10.0) -> dict:
+        req, inbox = await self._request({"op": "stats"})
+        try:
+            return (await self._next_event(inbox, timeout))["stats"]
+        finally:
+            self._inboxes.pop(req, None)
+
+    async def jobs(self, timeout: float | None = 10.0) -> list[dict]:
+        req, inbox = await self._request({"op": "jobs"})
+        try:
+            return (await self._next_event(inbox, timeout))["jobs"]
+        finally:
+            self._inboxes.pop(req, None)
+
+    async def shutdown(self, timeout: float | None = 10.0) -> None:
+        req, inbox = await self._request({"op": "shutdown"})
+        try:
+            await self._next_event(inbox, timeout)
+        finally:
+            self._inboxes.pop(req, None)
+
+    async def submit(
+        self,
+        workload,
+        target: str = "fpqa",
+        device: str | None = None,
+        client: str = "client",
+        priority: int = 0,
+        timeout: float | None = None,
+        wait_timeout: float | None = None,
+        on_event=None,
+        **options,
+    ) -> RemoteResult:
+        """Submit one workload and await its streamed lifecycle.
+
+        ``timeout`` is the *compile budget* the server applies;
+        ``wait_timeout`` bounds how long this client waits for each
+        protocol event.  ``on_event(event_name, payload)`` observes the
+        queued/started stream.
+        """
+        resolved: Workload = coerce_workload(workload)
+        message = {
+            "op": "submit",
+            "workload": workload_to_payload(resolved),
+            "target": target,
+            "device": device,
+            "options": options,
+            "client": client,
+            "priority": priority,
+            "timeout": timeout,
+        }
+        req, inbox = await self._request(message)
+        events: list[str] = []
+        try:
+            while True:
+                payload = await self._next_event(inbox, wait_timeout)
+                event = payload.get("event")
+                events.append(event)
+                if on_event is not None:
+                    on_event(event, payload)
+                if event == "done":
+                    raw = payload["result"]
+                    return RemoteResult(
+                        result=CompilationResult.from_dict(raw),
+                        raw=raw,
+                        job_id=payload.get("job", ""),
+                        from_cache=bool(payload.get("from_cache")),
+                        events=events,
+                    )
+        finally:
+            self._inboxes.pop(req, None)
+
+
+async def submit_once(
+    socket_path: str | Path, workload, **submit_kwargs
+) -> RemoteResult:
+    """Connect, submit one workload, disconnect (the ``weaver submit`` path)."""
+    client = await ServiceClient.connect(socket_path)
+    try:
+        return await client.submit(workload, **submit_kwargs)
+    finally:
+        await client.close()

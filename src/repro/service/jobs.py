@@ -1,0 +1,179 @@
+"""Jobs and the fair priority queue the service schedules from.
+
+A :class:`CompileJob` is one client request: a workload, a target/device
+cell, options, and bookkeeping (status, timestamps, the asyncio future
+the submitter awaits).  :class:`FairQueue` orders pending jobs by
+priority and, within a priority level, round-robins across clients — a
+tenant that dumps a thousand jobs cannot starve a tenant that submits
+one (the per-client fairness a multi-tenant compile farm needs).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..targets.result import CompilationResult
+from ..targets.workload import Workload
+
+
+class JobStatus(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+
+
+_job_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class CompileJob:
+    """One submitted compilation, awaitable for its result.
+
+    ``await job`` (or ``await service.result(job)``) yields the
+    :class:`~repro.CompilationResult`; service-side failures become
+    result rows with ``error`` set, never exceptions, so a client loop
+    survives any mix of good and bad submissions.
+    """
+
+    workload: Workload
+    target: str
+    device: object = None
+    options: dict = field(default_factory=dict)
+    client: str = "default"
+    priority: int = 0
+    timeout: float | None = None
+    #: Content address of the compilation (see :func:`artifact_key`).
+    key: str = ""
+    #: Worker shard this job routes to (see :func:`shard_key`).
+    shard: int = 0
+    job_id: str = field(default_factory=lambda: f"job-{next(_job_ids)}")
+    status: JobStatus = JobStatus.QUEUED
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: ``True`` when the result came from the artifact store or an
+    #: in-flight duplicate rather than a fresh compile.
+    from_cache: bool = False
+    on_progress: Callable[["CompileJob", str], None] | None = None
+    future: asyncio.Future = field(default_factory=asyncio.Future, repr=False)
+
+    def __await__(self):
+        return self.future.__await__()
+
+    @property
+    def result(self) -> CompilationResult | None:
+        """The result, when finished (``None`` while queued/running)."""
+        if self.future.done() and not self.future.cancelled():
+            return self.future.result()
+        return None
+
+    @property
+    def queue_seconds(self) -> float | None:
+        """Time spent waiting for a worker (``None`` until started)."""
+        if self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    def _emit(self, event: str) -> None:
+        """Run the progress callback; callback errors never kill the job."""
+        if self.on_progress is not None:
+            try:
+                self.on_progress(self, event)
+            except Exception:  # noqa: BLE001 — observer must not break the service
+                pass
+
+    def describe(self) -> dict:
+        """JSON view of the job's bookkeeping (the ``jobs`` protocol op)."""
+        return {
+            "job": self.job_id,
+            "client": self.client,
+            "workload": self.workload.name,
+            "target": self.target,
+            "device": self.device
+            if isinstance(self.device, str) or self.device is None
+            else getattr(self.device, "name", repr(self.device)),
+            "priority": self.priority,
+            "status": self.status.value,
+            "shard": self.shard,
+            "from_cache": self.from_cache,
+            "queue_seconds": self.queue_seconds,
+        }
+
+
+class FairQueue:
+    """Priority queue with round-robin fairness across clients.
+
+    ``get`` returns the oldest job of the *next* client (in round-robin
+    order) within the lowest-numbered priority level that has pending
+    jobs.  Pure asyncio — single-loop use only, like the service itself.
+    """
+
+    def __init__(self) -> None:
+        #: priority -> client -> FIFO of jobs.  ``OrderedDict`` keeps the
+        #: round-robin cursor stable: clients rotate to the end when served.
+        self._levels: dict[int, OrderedDict[str, deque[CompileJob]]] = {}
+        self._pending = 0
+        self._waiters: deque[asyncio.Future] = deque()
+
+    def __len__(self) -> int:
+        return self._pending
+
+    def put_nowait(self, job: CompileJob) -> None:
+        level = self._levels.setdefault(job.priority, OrderedDict())
+        queue = level.get(job.client)
+        if queue is None:
+            queue = level[job.client] = deque()
+        queue.append(job)
+        self._pending += 1
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                break
+
+    def _pop_nowait(self) -> CompileJob:
+        priority = min(self._levels)
+        level = self._levels[priority]
+        client, queue = next(iter(level.items()))
+        job = queue.popleft()
+        # Rotate: the served client goes to the back of its level (or
+        # out, when drained), so siblings get the next slot.
+        del level[client]
+        if queue:
+            level[client] = queue
+        if not level:
+            del self._levels[priority]
+        self._pending -= 1
+        return job
+
+    async def get(self) -> CompileJob:
+        while self._pending == 0:
+            waiter = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                if waiter.done() and self._pending:
+                    # We consumed a wake-up while being cancelled; pass
+                    # it on so another worker doesn't sleep forever.
+                    while self._waiters:
+                        other = self._waiters.popleft()
+                        if not other.done():
+                            other.set_result(None)
+                            break
+                raise
+        return self._pop_nowait()
+
+    def drain(self) -> list[CompileJob]:
+        """Remove and return every pending job (service shutdown)."""
+        jobs: list[CompileJob] = []
+        while self._pending:
+            jobs.append(self._pop_nowait())
+        return jobs

@@ -1,0 +1,107 @@
+"""JSON-lines wire protocol between ``weaver serve`` and its clients.
+
+One request or event per line, UTF-8 JSON, newline-terminated.  Every
+request carries a client-chosen ``req`` id; every response line echoes
+it, so one connection can multiplex many in-flight submissions.
+
+Requests::
+
+    {"op": "ping",   "req": "r0"}
+    {"op": "stats",  "req": "r1"}
+    {"op": "jobs",   "req": "r2"}
+    {"op": "submit", "req": "r3", "workload": {"kind": "cnf", "text": "p cnf ...",
+     "name": "uf20-01"}, "target": "fpqa", "device": null, "options": {},
+     "client": "alice", "priority": 0, "timeout": null}
+    {"op": "shutdown", "req": "r4"}
+
+Responses (``submit`` streams its job's lifecycle)::
+
+    {"req": "r3", "event": "queued",  "job": "job-1", "shard": 0}
+    {"req": "r3", "event": "started", "job": "job-1"}
+    {"req": "r3", "event": "done",    "job": "job-1", "from_cache": false,
+     "result": {...CompilationResult.to_dict()...}}
+    {"req": "r9", "event": "error", "kind": "user", "error": "unknown target 'pixie'"}
+
+Workload payloads travel as full content (DIMACS or OpenQASM text), not
+file paths — the server never reads client filesystems.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..exceptions import WeaverError, WorkloadError
+from ..targets.workload import Workload
+
+#: Bump when the line schema changes; ``ping`` reports it.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(WeaverError):
+    """A protocol line was malformed or used an unknown op/kind."""
+
+
+def encode_line(payload: dict) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict:
+    """Parse one protocol line (raises :class:`ProtocolError` on junk)."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"protocol line is not UTF-8: {exc}") from exc
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"protocol line is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"protocol line must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def workload_to_payload(workload: Workload) -> dict:
+    """Serialize a workload's full content for the wire."""
+    if workload.formula is not None:
+        from ..sat.dimacs import to_dimacs
+
+        return {
+            "kind": "cnf",
+            "name": workload.name,
+            "text": to_dimacs(workload.formula),
+        }
+    from ..qasm import circuit_to_qasm
+
+    return {
+        "kind": "qasm",
+        "name": workload.name,
+        "text": circuit_to_qasm(workload.raw_circuit),
+    }
+
+
+def payload_to_workload(payload: dict) -> Workload:
+    """Rebuild a workload from its wire form."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("workload payload must be a JSON object")
+    kind = payload.get("kind")
+    text = payload.get("text")
+    name = payload.get("name") or "workload"
+    if not isinstance(text, str):
+        raise ProtocolError("workload payload needs a 'text' string")
+    if kind == "cnf":
+        from ..sat.dimacs import parse_dimacs
+
+        try:
+            return Workload.from_formula(parse_dimacs(text, name=name), name=name)
+        except WeaverError as exc:
+            raise WorkloadError(f"bad CNF workload payload: {exc}") from exc
+    if kind == "qasm":
+        try:
+            return Workload.from_qasm(text, name=name)
+        except WeaverError as exc:
+            raise WorkloadError(f"bad QASM workload payload: {exc}") from exc
+    raise ProtocolError(f"unknown workload kind {kind!r}; expected 'cnf' or 'qasm'")

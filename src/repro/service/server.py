@@ -1,0 +1,248 @@
+"""The socket front door: ``weaver serve`` hosts a
+:class:`~repro.service.CompilationService` on a local Unix socket.
+
+Each connection speaks the JSON-lines protocol of
+:mod:`repro.service.protocol`.  Requests on one connection are handled
+concurrently (a slow ``submit`` never blocks a ``stats`` probe), and all
+writes go through a per-connection queue so event lines never interleave
+mid-line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+from ..exceptions import WeaverError
+from .jobs import CompileJob
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    payload_to_workload,
+)
+from .service import CompilationService
+
+#: Cap on one request line; a malformed client must not buffer-bomb the
+#: server.  Generous enough for uf250 DIMACS payloads (~25 KB).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ServiceServer:
+    """Host ``service`` on ``socket_path`` (a filesystem Unix socket)."""
+
+    def __init__(self, service: CompilationService, socket_path: str | Path):
+        self.service = service
+        self.socket_path = Path(socket_path)
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServiceServer":
+        await self.service.start()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(self.socket_path), limit=MAX_LINE_BYTES
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+        await self.service.stop()
+        self.socket_path.unlink(missing_ok=True)
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a client sends ``shutdown`` (or :meth:`stop`)."""
+        await self._shutdown.wait()
+
+    async def __aenter__(self) -> "ServiceServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # Track the task so stop() can cancel mid-request connections;
+        # absorb that cancellation here (one catch point) so shutdown
+        # never logs "exception was never retrieved" noise.
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._connections.discard(task)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        outbox: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._drain_outbox(outbox, writer))
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    outbox.put_nowait(
+                        {"event": "error", "kind": "user", "error": "line too long"}
+                    )
+                    break
+                if not line:
+                    break
+                task = asyncio.create_task(self._handle_line(line, outbox))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except ConnectionResetError:
+            pass
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            outbox.put_nowait(None)  # sentinel: flush and stop the writer
+            try:
+                await writer_task
+            except asyncio.CancelledError:
+                writer_task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _drain_outbox(
+        self, outbox: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            payload = await outbox.get()
+            if payload is None:
+                return
+            try:
+                writer.write(encode_line(payload))
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                return  # client went away; drop remaining events
+
+    # ------------------------------------------------------------------
+    async def _handle_line(self, line: bytes, outbox: asyncio.Queue) -> None:
+        req = None
+        try:
+            message = decode_line(line)
+            req = message.get("req")
+            op = message.get("op")
+            if op == "ping":
+                outbox.put_nowait(
+                    {"req": req, "event": "pong", "version": PROTOCOL_VERSION}
+                )
+            elif op == "stats":
+                outbox.put_nowait(
+                    {"req": req, "event": "stats", "stats": self.service.stats()}
+                )
+            elif op == "jobs":
+                jobs = [job.describe() for job in self.service._jobs.values()]
+                outbox.put_nowait({"req": req, "event": "jobs", "jobs": jobs})
+            elif op == "submit":
+                await self._handle_submit(message, req, outbox)
+            elif op == "shutdown":
+                outbox.put_nowait({"req": req, "event": "stopping"})
+                self._shutdown.set()
+            else:
+                raise ProtocolError(f"unknown op {op!r}")
+        except WeaverError as exc:
+            outbox.put_nowait(
+                {"req": req, "event": "error", "kind": "user", "error": str(exc)}
+            )
+        except Exception as exc:  # noqa: BLE001 — the server must not die
+            outbox.put_nowait(
+                {
+                    "req": req,
+                    "event": "error",
+                    "kind": "internal",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+
+    async def _handle_submit(
+        self, message: dict, req, outbox: asyncio.Queue
+    ) -> None:
+        workload = payload_to_workload(message.get("workload"))
+        options = message.get("options") or {}
+        if not isinstance(options, dict):
+            raise ProtocolError("'options' must be a JSON object")
+
+        def on_progress(job: CompileJob, event: str) -> None:
+            # 'done' is reported by the awaiting handler below, with the
+            # full result attached; forward only the intermediate states.
+            if event in ("queued", "started"):
+                outbox.put_nowait(
+                    {"req": req, "event": event, "job": job.job_id, "shard": job.shard}
+                )
+
+        job = await self.service.submit(
+            workload,
+            target=message.get("target") or "fpqa",
+            device=message.get("device"),
+            client=message.get("client") or "remote",
+            priority=int(message.get("priority") or 0),
+            timeout=message.get("timeout"),
+            on_progress=on_progress,
+            **options,
+        )
+        result = await job.future
+        outbox.put_nowait(
+            {
+                "req": req,
+                "event": "done",
+                "job": job.job_id,
+                "from_cache": job.from_cache,
+                "result": result.to_dict(),
+            }
+        )
+
+
+async def serve(
+    socket_path: str | Path,
+    shards: int = 2,
+    backend: str = "thread",
+    store_dir: str | Path | None = None,
+    max_artifacts: int = 512,
+    budgets: dict[str, float] | None = None,
+    ready: asyncio.Event | None = None,
+) -> None:
+    """Run a service on ``socket_path`` until a client sends ``shutdown``.
+
+    The coroutine behind ``weaver serve``; ``ready`` (when given) is set
+    once the socket is accepting connections, for embedding in tests.
+    """
+    from .artifacts import ArtifactStore
+
+    service = CompilationService(
+        shards=shards,
+        backend=backend,
+        store=ArtifactStore(max_entries=max_artifacts, directory=store_dir),
+        budgets=budgets,
+    )
+    server = ServiceServer(service, socket_path)
+    await server.start()
+    if ready is not None:
+        ready.set()
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.stop()

@@ -1,0 +1,421 @@
+"""The asyncio compilation service: sharded workers over fair queues.
+
+:class:`CompilationService` is the in-process engine behind ``weaver
+serve``.  Submissions flow::
+
+    submit -> artifact store probe -> in-flight dedup -> shard queue
+           -> shard worker -> executor (thread/process) -> artifact store
+           -> resolve futures / progress events
+
+Sharding routes every job by its ``(target, device)`` cell
+(:func:`shard_key`), so one worker repeatedly compiles for the same
+backend and its warm per-process caches — device cost models, Rydberg
+cluster geometry, clause-matrix memos — keep paying off.  The executor
+reuses the :func:`repro.targets.session.compile_spec` fan-out worker the
+batched session API already ships, so a service job and a
+``compile_many`` cell are the same unit of work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+from ..exceptions import TargetError
+from ..perf import Profiler
+from ..targets.registry import resolve_target_name
+from ..targets.result import CompilationResult
+from ..targets.session import _canonical_device, compile_spec
+from ..targets.workload import Workload, coerce_workload
+from .artifacts import ArtifactStore, artifact_key
+from .jobs import CompileJob, FairQueue, JobStatus
+
+#: Executor backends a shard worker may run compilations on.
+BACKENDS = ("thread", "process", "inline")
+
+
+def shard_key(target: str, device=None) -> str:
+    """The cache-affinity key of a compilation cell.
+
+    Jobs with equal shard keys are guaranteed to run on the same worker
+    (for a fixed shard count), so everything a backend memoizes —
+    cost models, zone plans, clause matrices — is reused across them.
+    """
+    if device is None:
+        device_name = ""
+    elif isinstance(device, str):
+        device_name = device
+    else:
+        device_name = getattr(device, "name", repr(device))
+    return f"{target}@{device_name}"
+
+
+def _shard_of(key: str, shards: int) -> int:
+    # sha256 rather than hash(): stable across processes and runs (no
+    # PYTHONHASHSEED dependence), so routing is reproducible; crc32 of
+    # the short registry names clusters badly at small shard counts.
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+class CompilationService:
+    """A long-lived, multi-tenant, cached compilation server.
+
+    Parameters
+    ----------
+    shards:
+        Number of worker queues/executors.  Each shard owns one
+        single-worker executor, so at most ``shards`` compilations run
+        concurrently and a given ``(target, device)`` cell always lands
+        on the same shard.
+    backend:
+        ``"thread"`` (default: cheap on small boxes), ``"process"``
+        (true parallelism on multi-core machines, one warm interpreter
+        per shard), or ``"inline"`` (run on the event loop; tests).
+    store:
+        The :class:`ArtifactStore` to serve repeats from; a fresh
+        in-memory store by default.
+    budgets:
+        Per-target compile budgets in seconds (the session contract);
+        a job's own ``timeout`` overrides its target's entry.
+    parameters / target_options:
+        Session-wide QAOA angles and per-target factory options, applied
+        to every job.
+    max_tracked_jobs:
+        Finished jobs stay queryable (``service.job(id)``, the ``jobs``
+        protocol op) up to this bound; the oldest finished jobs are then
+        forgotten so a long-lived server's registry cannot grow without
+        limit.  Queued/running jobs are always tracked.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        backend: str = "thread",
+        store: ArtifactStore | None = None,
+        budgets: dict[str, float] | None = None,
+        parameters=None,
+        target_options: dict[str, dict] | None = None,
+        profiler: Profiler | None = None,
+        max_tracked_jobs: int = 1024,
+    ):
+        if shards < 1:
+            raise TargetError("a service needs at least one shard")
+        if backend not in BACKENDS:
+            raise TargetError(
+                f"unknown service backend {backend!r}; expected one of "
+                f"{', '.join(BACKENDS)}"
+            )
+        self.shards = shards
+        self.backend = backend
+        self.profiler = profiler if profiler is not None else Profiler()
+        self.store = store if store is not None else ArtifactStore()
+        if self.store.profiler is None:
+            self.store.profiler = self.profiler
+        self.budgets = dict(budgets or {})
+        self.parameters = parameters
+        self.target_options = {k: dict(v) for k, v in (target_options or {}).items()}
+        self._queues: list[FairQueue] = [FairQueue() for _ in range(shards)]
+        self._executors: list = [None] * shards
+        self._workers: list[asyncio.Task] = []
+        self._inflight: dict[str, CompileJob] = {}
+        self._followers: dict[str, list[CompileJob]] = {}
+        self._jobs: dict[str, CompileJob] = {}
+        self.max_tracked_jobs = max_tracked_jobs
+        #: job ids in finish order, for bounded-registry eviction.
+        self._retired: deque[str] = deque()
+        self._running = False
+        self._jobs_submitted = 0
+        self._jobs_completed = 0
+        self._per_shard_jobs = [0] * shards
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "CompilationService":
+        """Spin up one worker task per shard (idempotent)."""
+        if self._running:
+            return self
+        self._running = True
+        for shard in range(self.shards):
+            self._workers.append(
+                asyncio.create_task(
+                    self._worker(shard), name=f"repro-service-shard-{shard}"
+                )
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Cancel workers, fail pending jobs, and release executors."""
+        if not self._running:
+            return
+        self._running = False
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers.clear()
+        for queue in self._queues:
+            for job in queue.drain():
+                self._cancel_job(job)
+        for key in list(self._inflight):
+            job = self._inflight.pop(key)
+            for follower in self._followers.pop(key, []):
+                self._cancel_job(follower)
+            if not job.future.done():
+                self._cancel_job(job)
+        for index, executor in enumerate(self._executors):
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+                self._executors[index] = None
+
+    async def __aenter__(self) -> "CompilationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def _cancel_job(self, job: CompileJob) -> None:
+        job.status = JobStatus.CANCELLED
+        job.finished_at = time.monotonic()
+        if not job.future.done():
+            job.future.set_result(
+                self._failure_result(job, "ServiceStopped: service shut down")
+            )
+        self._retire(job)
+        job._emit("cancelled")
+
+    def _retire(self, job: CompileJob) -> None:
+        """Bound the job registry: forget the oldest finished jobs."""
+        self._retired.append(job.job_id)
+        while len(self._retired) > self.max_tracked_jobs:
+            self._jobs.pop(self._retired.popleft(), None)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        workload,
+        target: str = "fpqa",
+        device=None,
+        client: str = "default",
+        priority: int = 0,
+        timeout: float | None = None,
+        on_progress: Callable[[CompileJob, str], None] | None = None,
+        **options,
+    ) -> CompileJob:
+        """Queue one compilation and return its (awaitable) job.
+
+        The call returns as soon as the job is routed: instantly with a
+        finished job on an artifact-store hit, otherwise after enqueuing
+        on the cell's shard.  ``priority`` sorts ascending (0 before 1);
+        ``timeout`` is this job's compile budget in seconds.
+        """
+        if not self._running:
+            raise TargetError("service is not running; use `async with` or start()")
+        resolved = coerce_workload(workload)
+        name = resolve_target_name(target)
+        device = _canonical_device(device)
+        key = artifact_key(
+            resolved,
+            name,
+            device=device,
+            parameters=self.parameters,
+            options=options,
+            budget=self._budget_for(name, timeout),
+            target_options=self.target_options.get(name),
+        )
+        job = CompileJob(
+            workload=resolved,
+            target=name,
+            device=device,
+            options=dict(options),
+            client=client,
+            priority=priority,
+            timeout=timeout,
+            key=key,
+            shard=_shard_of(shard_key(name, device), self.shards),
+            on_progress=on_progress,
+        )
+        self._jobs[job.job_id] = job
+        self._jobs_submitted += 1
+        job._emit("queued")
+
+        hit = self.store.get(key)
+        if hit is not None:
+            job.from_cache = True
+            self._finish_job(job, hit)
+            return job
+
+        primary = self._inflight.get(key)
+        if primary is not None:
+            # Single-flight: an identical compilation is already queued
+            # or running; this job follows it instead of recomputing.
+            self.profiler.hit("service.inflight")
+            job.from_cache = True
+            self._followers.setdefault(key, []).append(job)
+            return job
+        self.profiler.miss("service.inflight")
+
+        self._inflight[key] = job
+        self._queues[job.shard].put_nowait(job)
+        return job
+
+    async def submit_many(
+        self,
+        workloads: Iterable,
+        targets: str | Sequence[str] = "fpqa",
+        devices: Sequence | None = None,
+        client: str = "default",
+        **submit_kwargs,
+    ) -> list[CompileJob]:
+        """Submit the (workload x target[, device]) grid, workload-major.
+
+        The async analogue of
+        :meth:`repro.CompilerSession.compile_many`: same cell order,
+        jobs instead of blocking results.
+        """
+        target_names = [targets] if isinstance(targets, str) else list(targets)
+        device_list = list(devices) if devices is not None else [None]
+        jobs: list[CompileJob] = []
+        for workload in workloads:
+            for target in target_names:
+                for device in device_list:
+                    jobs.append(
+                        await self.submit(
+                            workload,
+                            target=target,
+                            device=device,
+                            client=client,
+                            **submit_kwargs,
+                        )
+                    )
+        return jobs
+
+    async def result(self, job: CompileJob) -> CompilationResult:
+        """Await one job's result."""
+        return await job.future
+
+    async def gather(self, jobs: Sequence[CompileJob]) -> list[CompilationResult]:
+        """Await every job, in input order."""
+        return [await job.future for job in jobs]
+
+    def job(self, job_id: str) -> CompileJob | None:
+        """Look a job up by id (protocol front door)."""
+        return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _budget_for(self, target: str, timeout: float | None) -> float | None:
+        return timeout if timeout is not None else self.budgets.get(target)
+
+    def _spec(self, job: CompileJob) -> tuple:
+        target_options = dict(self.target_options.get(job.target, {}))
+        if job.device is not None:
+            target_options["device"] = job.device
+        return (
+            job.workload,
+            job.target,
+            target_options,
+            self.parameters,
+            self._budget_for(job.target, job.timeout),
+            job.options,
+        )
+
+    def _executor_for(self, shard: int):
+        executor = self._executors[shard]
+        if executor is None:
+            if self.backend == "thread":
+                executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-shard-{shard}"
+                )
+            else:
+                executor = ProcessPoolExecutor(max_workers=1)
+            self._executors[shard] = executor
+        return executor
+
+    async def _worker(self, shard: int) -> None:
+        queue = self._queues[shard]
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await queue.get()
+            job.status = JobStatus.RUNNING
+            job.started_at = time.monotonic()
+            job._emit("started")
+            start = time.perf_counter()
+            try:
+                if self.backend == "inline":
+                    result = compile_spec(self._spec(job))
+                else:
+                    result = await loop.run_in_executor(
+                        self._executor_for(shard), compile_spec, self._spec(job)
+                    )
+            except asyncio.CancelledError:
+                self._inflight.pop(job.key, None)
+                self._cancel_job(job)
+                for follower in self._followers.pop(job.key, []):
+                    self._cancel_job(follower)
+                raise
+            except Exception as exc:  # noqa: BLE001 — executor/worker death
+                result = self._failure_result(job, f"{type(exc).__name__}: {exc}")
+            elapsed = time.perf_counter() - start
+            self.profiler.add(f"service.compile.{job.target}", elapsed)
+            self._per_shard_jobs[shard] += 1
+            if result.error is None:
+                # Serialize off the loop (a big program's JSON is the
+                # costly part); the store call itself is bookkeeping.
+                if self.backend == "inline":
+                    entry = ArtifactStore.encode(result)
+                else:
+                    entry = await loop.run_in_executor(
+                        None, ArtifactStore.encode, result
+                    )
+                self.store.put(job.key, result, entry=entry)
+            self._inflight.pop(job.key, None)
+            followers = self._followers.pop(job.key, [])
+            self._finish_job(job, result)
+            for follower in followers:
+                self._finish_job(follower, result)
+
+    def _finish_job(self, job: CompileJob, result: CompilationResult) -> None:
+        job.status = JobStatus.DONE
+        job.finished_at = time.monotonic()
+        if job.started_at is None:  # cache/in-flight hits never ran
+            job.started_at = job.finished_at
+        self._jobs_completed += 1
+        if not job.future.done():
+            job.future.set_result(result)
+        self._retire(job)
+        job._emit("done")
+
+    def _failure_result(self, job: CompileJob, error: str) -> CompilationResult:
+        return CompilationResult(
+            target=job.target,
+            workload=job.workload.name,
+            num_qubits=job.workload.num_qubits,
+            num_clauses=job.workload.num_clauses,
+            device=job.device
+            if isinstance(job.device, str)
+            else getattr(job.device, "name", None),
+            error=error,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters: jobs, shards, artifacts, and the profile."""
+        return {
+            "running": self._running,
+            "shards": self.shards,
+            "backend": self.backend,
+            "jobs_submitted": self._jobs_submitted,
+            "jobs_completed": self._jobs_completed,
+            "jobs_pending": sum(len(queue) for queue in self._queues),
+            "jobs_per_shard": list(self._per_shard_jobs),
+            "artifacts": self.store.stats(),
+            "profile": self.profiler.profile(),
+        }

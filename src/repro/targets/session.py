@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from ..exceptions import TargetError
+from ..perf import Profiler
 from ..qaoa.builder import QaoaParameters
 from .base import Target
 from .registry import get_target, resolve_target_name
@@ -59,8 +60,15 @@ def _canonical_device(device):
     )
 
 
-def _compile_job(spec: tuple) -> CompilationResult:
-    """Module-level worker so specs pickle cleanly into a process pool."""
+def compile_spec(spec: tuple) -> CompilationResult:
+    """Compile one ``(workload, target, target_options, parameters,
+    budget, options)`` spec tuple into a result row.
+
+    Module-level so specs pickle cleanly into a process pool; this is the
+    shared unit of work behind ``CompilerSession.compile_many`` and the
+    :mod:`repro.service` worker shards.  Errors never propagate — they
+    become result rows, the sweep/service contract.
+    """
     workload, target_name, target_options, parameters, budget, options = spec
     try:
         target = get_target(target_name, **(target_options or {}))
@@ -99,6 +107,13 @@ class CompilerSession:
         across processes and sessions.
     target_options:
         Per-target factory options, e.g. ``{"fpqa": {"hardware": hw}}``.
+    profiler:
+        A :class:`repro.perf.Profiler` accumulating the session's cache
+        accounting (one is created when omitted).  Every result-cache
+        lookup records a hit or miss under ``session.results``, and
+        batch-internal duplicate cells record under ``session.dedup`` —
+        identically on the serial and process-pool paths, which the
+        regression suite pins.
 
     Cached results are shared objects: repeat lookups return the same
     :class:`CompilationResult` instance (with ``cached`` flipped to
@@ -111,11 +126,13 @@ class CompilerSession:
         parameters: QaoaParameters | None = None,
         cache_dir: str | Path | None = None,
         target_options: dict[str, dict] | None = None,
+        profiler: Profiler | None = None,
     ):
         self.budgets = dict(budgets or {})
         self.parameters = parameters
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.target_options = {k: dict(v) for k, v in (target_options or {}).items()}
+        self.profiler = profiler if profiler is not None else Profiler()
         self._memory: dict[tuple, CompilationResult] = {}
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -171,6 +188,7 @@ class CompilerSession:
         if key in self._memory:
             result = self._memory[key]
             result.cached = True
+            self.profiler.hit("session.results")
             return result
         path = self._cache_path(key)
         if path is not None and path.exists():
@@ -179,9 +197,12 @@ class CompilerSession:
                     json.loads(path.read_text(encoding="utf-8"))
                 )
             except (ValueError, KeyError, OSError):
+                self.profiler.miss("session.results")
                 return None  # stale or corrupt entry: recompile
             self._memory[key] = result
+            self.profiler.hit("session.results")
             return result
+        self.profiler.miss("session.results")
         return None
 
     def _cache_put(self, key: tuple, result: CompilationResult) -> None:
@@ -252,7 +273,7 @@ class CompilerSession:
         hit = self._cache_get(key)
         if hit is not None:
             return hit
-        result = _compile_job(self._spec(resolved, name, options, device=device))
+        result = compile_spec(self._spec(resolved, name, options, device=device))
         self._cache_put(key, result)
         return result
 
@@ -305,21 +326,30 @@ class CompilerSession:
             return results  # type: ignore[return-value]
 
         # A batch may name the same (workload, target) cell twice; compile
-        # it once and fan the result out.
+        # it once and fan the result out.  The dedup accounting happens
+        # here — before the serial/pool split — so both execution paths
+        # record identical counters by construction.
         first_for_key: dict[tuple, int] = {}
         duplicate_of: dict[int, int] = {}
         submit: list[int] = []
         for index in misses:
             if keys[index] in first_for_key:
                 duplicate_of[index] = first_for_key[keys[index]]
+                self.profiler.hit("session.dedup")
             else:
                 first_for_key[keys[index]] = index
                 submit.append(index)
+                self.profiler.miss("session.dedup")
 
         if parallel <= 1 or len(submit) == 1:
+            if parallel > 1:
+                # A one-job batch skips the process pool (spinning one up
+                # to run a single spec only adds overhead); count the
+                # bypass so the fallback is observable, not silent.
+                self.profiler.add("session.pool_bypass", 0.0)
             for index in submit:
                 workload, name, device = jobs[index]
-                result = _compile_job(
+                result = compile_spec(
                     self._spec(workload, name, options, device=device)
                 )
                 self._cache_put(keys[index], result)
@@ -331,7 +361,7 @@ class CompilerSession:
         with ProcessPoolExecutor(max_workers=parallel) as pool:
             futures = {
                 pool.submit(
-                    _compile_job,
+                    compile_spec,
                     self._spec(
                         jobs[index][0], jobs[index][1], options,
                         device=jobs[index][2],
@@ -365,6 +395,10 @@ class CompilerSession:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The session's cache accounting (see the ``profiler`` param)."""
+        return self.profiler.profile()
+
     def clear_cache(self, disk: bool = False) -> None:
         """Drop in-memory results (and optionally the on-disk entries)."""
         self._memory.clear()

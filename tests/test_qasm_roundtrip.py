@@ -1,0 +1,164 @@
+"""Property-based QASM round-trip tests and parser error-path contracts.
+
+Two properties anchor the OpenQASM front end:
+
+* **round trip** — ``circuit -> printer -> parser -> circuit`` preserves
+  the unitary (exactly, up to global phase) for random circuits over the
+  full gate menu, and the printed text is a fixed point of the round
+  trip; and
+* **user-facing failure** — malformed source (truncated files, bad gate
+  arity, absurd declarations) raises a :class:`~repro.WeaverError`
+  subclass with a location/message, never an internal ``IndexError`` /
+  ``MemoryError`` / ``ValueError``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import QuantumCircuit
+from repro.circuits.random_circuits import random_circuit, random_diagonal_circuit
+from repro.checker.unitary_check import EquivalenceMethod, equivalence_check
+from repro.exceptions import (
+    CircuitError,
+    QasmSemanticError,
+    QasmSyntaxError,
+    WeaverError,
+)
+from repro.qasm import circuit_to_qasm, qasm_to_circuit
+
+#: Shared hypothesis profile: deterministic (CI-stable), no deadline —
+#: unitary checks on 4 qubits can outlast the default 200ms on slow boxes.
+ROUNDTRIP_SETTINGS = settings(max_examples=30, deadline=None, derandomize=True)
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties
+# ----------------------------------------------------------------------
+class TestRoundTripProperties:
+    @ROUNDTRIP_SETTINGS
+    @given(
+        seed=st.integers(0, 10**6),
+        num_qubits=st.integers(1, 4),
+        num_gates=st.integers(0, 16),
+        measure=st.booleans(),
+    )
+    def test_unitary_preserved(self, seed, num_qubits, num_gates, measure):
+        circuit = random_circuit(num_qubits, num_gates, seed=seed, measure=measure)
+        back = qasm_to_circuit(circuit_to_qasm(circuit))
+        assert back.num_qubits == circuit.num_qubits
+        same, method = equivalence_check(circuit, back)
+        assert method is EquivalenceMethod.UNITARY
+        assert same
+
+    @ROUNDTRIP_SETTINGS
+    @given(seed=st.integers(0, 10**6), num_qubits=st.integers(2, 4))
+    def test_diagonal_circuits_round_trip(self, seed, num_qubits):
+        circuit = random_diagonal_circuit(num_qubits, 12, seed=seed)
+        same, _ = equivalence_check(circuit, qasm_to_circuit(circuit_to_qasm(circuit)))
+        assert same
+
+    @ROUNDTRIP_SETTINGS
+    @given(seed=st.integers(0, 10**6))
+    def test_printed_text_is_fixed_point(self, seed):
+        """print(parse(print(c))) == print(c): one trip canonicalizes."""
+        circuit = random_circuit(3, 10, seed=seed, measure=True)
+        text = circuit_to_qasm(circuit)
+        assert circuit_to_qasm(qasm_to_circuit(text)) == text
+
+    @ROUNDTRIP_SETTINGS
+    @given(seed=st.integers(0, 10**6), num_qubits=st.integers(1, 4))
+    def test_measurements_preserved(self, seed, num_qubits):
+        circuit = random_circuit(num_qubits, 6, seed=seed, measure=True)
+        back = qasm_to_circuit(circuit_to_qasm(circuit))
+        wanted = [
+            (inst.qubits, inst.clbits)
+            for inst in circuit.instructions
+            if inst.name == "measure"
+        ]
+        got = [
+            (inst.qubits, inst.clbits)
+            for inst in back.instructions
+            if inst.name == "measure"
+        ]
+        assert got == wanted
+
+    def test_extreme_parameters_round_trip(self):
+        circuit = QuantumCircuit(1)
+        for value in (1e-17, -2.5e300, 3.141592653589793, -0.0):
+            circuit.rz(value, 0)
+        back = qasm_to_circuit(circuit_to_qasm(circuit))
+        assert [inst.params for inst in back.instructions] == [
+            inst.params for inst in circuit.instructions
+        ]
+
+
+# ----------------------------------------------------------------------
+# Error paths: always a WeaverError, never an internal crash
+# ----------------------------------------------------------------------
+TRUNCATED_SOURCES = {
+    "mid-operand": "OPENQASM 3.0;\nqubit[4] q;\nh q[",
+    "mid-declaration": "OPENQASM 3.0;\nqubit[",
+    "mid-params": "OPENQASM 3.0;\nqubit[2] q;\nrx(0.5",
+    "mid-measure": "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\nmeasure q[0] ->",
+    "mid-string": 'OPENQASM 2.0;\ninclude "qelib1.inc',
+    "mid-gate-body": "OPENQASM 2.0;\ngate foo a { h a;",
+}
+
+BAD_ARITY_SOURCES = {
+    "cx-one-operand": "OPENQASM 3.0;\nqubit[2] q;\ncx q[0];",
+    "h-two-operands": "OPENQASM 3.0;\nqubit[2] q;\nh q[0], q[1];",
+    "ccx-two-operands": "OPENQASM 3.0;\nqubit[3] q;\nccx q[0], q[1];",
+    "h-with-param": "OPENQASM 3.0;\nqubit[2] q;\nh(0.5) q[0];",
+    "rx-missing-param": "OPENQASM 3.0;\nqubit[2] q;\nrx q[0];",
+    "cx-duplicate-qubit": "OPENQASM 3.0;\nqubit[2] q;\ncx q[0], q[0];",
+}
+
+
+class TestErrorPaths:
+    @pytest.mark.parametrize("name", sorted(TRUNCATED_SOURCES))
+    def test_truncated_files_raise_syntax_errors(self, name):
+        with pytest.raises(QasmSyntaxError) as excinfo:
+            qasm_to_circuit(TRUNCATED_SOURCES[name])
+        assert "line" in str(excinfo.value)
+
+    @pytest.mark.parametrize("name", sorted(BAD_ARITY_SOURCES))
+    def test_bad_gate_arity_raises_user_errors(self, name):
+        with pytest.raises((CircuitError, QasmSemanticError)):
+            qasm_to_circuit(BAD_ARITY_SOURCES[name])
+
+    def test_every_prefix_of_a_valid_program_fails_cleanly(self):
+        """Truncation property: any prefix parses or raises a WeaverError.
+
+        This sweeps *all* byte-truncation points of a representative
+        program — the property that no lexer/parser state can escape
+        with an IndexError on EOF.
+        """
+        text = circuit_to_qasm(random_circuit(3, 8, seed=7, measure=True))
+        survived = 0
+        for cut in range(len(text)):
+            prefix = text[:cut]
+            try:
+                qasm_to_circuit(prefix)
+                survived += 1
+            except WeaverError:
+                pass  # user-facing by contract
+        # Sanity: some prefixes are themselves valid programs.
+        assert survived > 0
+
+    def test_unknown_gate_is_user_error(self):
+        with pytest.raises(CircuitError, match="frobnicate"):
+            qasm_to_circuit("OPENQASM 3.0;\nqubit[2] q;\nfrobnicate q[0];")
+
+    def test_out_of_range_index_is_user_error(self):
+        with pytest.raises(QasmSemanticError, match="out of range"):
+            qasm_to_circuit("OPENQASM 3.0;\nqubit[2] q;\nh q[5];")
+
+    def test_absurd_register_size_is_user_error_not_memoryerror(self):
+        with pytest.raises(QasmSemanticError, match="maximum"):
+            qasm_to_circuit("OPENQASM 3.0;\nqubit[99999999999] q;\nh q;")
+
+    def test_division_by_zero_in_params_is_user_error(self):
+        with pytest.raises(QasmSyntaxError, match="division by zero"):
+            qasm_to_circuit("OPENQASM 3.0;\nqubit[1] q;\nrx(pi/0) q[0];")

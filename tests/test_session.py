@@ -63,6 +63,84 @@ class TestCompileMany:
         assert not result.succeeded
 
 
+class TestProfilerAccounting:
+    """Cache/dedup accounting must not depend on the execution path.
+
+    ``compile_many(parallel > 1)`` quietly drops to the serial path when
+    only one cell actually needs compiling (``len(submit) == 1``); the
+    regression here is that both that fallback and the real pool branch
+    record identical cache-hit and dedup counters in the session's
+    profiler.
+    """
+
+    def _caches(self, session: CompilerSession) -> dict:
+        return session.stats()["caches"]
+
+    def test_serial_fallback_records_cache_hit(self):
+        # One workload + parallel=2 -> len(submit) == 1 -> serial fallback.
+        workload = _formulas(1)[0]
+        session = CompilerSession()
+        session.compile_many([workload], targets="fpqa", parallel=2)
+        caches = self._caches(session)
+        assert caches["session.results"] == {"hits": 0, "misses": 1}
+        # The bypass is observable, not silent.
+        assert "session.pool_bypass" in session.stats()["primitives"]
+
+        session.compile_many([workload], targets="fpqa", parallel=2)
+        caches = self._caches(session)
+        assert caches["session.results"] == {"hits": 1, "misses": 1}
+
+    def test_pool_branch_records_cache_hit(self):
+        # Three distinct workloads -> len(submit) == 3 -> process pool.
+        workloads = _formulas(3)
+        session = CompilerSession()
+        session.compile_many(workloads, targets="fpqa", parallel=2)
+        caches = self._caches(session)
+        assert caches["session.results"] == {"hits": 0, "misses": 3}
+        assert "session.pool_bypass" not in session.stats()["primitives"]
+
+        session.compile_many(workloads, targets="fpqa", parallel=2)
+        caches = self._caches(session)
+        assert caches["session.results"] == {"hits": 3, "misses": 3}
+
+    def test_dedup_recorded_in_serial_fallback(self):
+        # Two copies of one cell dedup to a single submit -> serial
+        # fallback; the duplicate must still count as a dedup hit.
+        workload = _formulas(1)[0]
+        session = CompilerSession()
+        results = session.compile_many([workload, workload], targets="fpqa", parallel=2)
+        assert results[0] is results[1]
+        caches = self._caches(session)
+        assert caches["session.dedup"] == {"hits": 1, "misses": 1}
+        assert caches["session.results"] == {"hits": 0, "misses": 2}
+
+    def test_dedup_recorded_in_pool_branch(self):
+        a, b = _formulas(2)
+        a2 = CnfFormula.from_lists(
+            [[1, -2, 3], [-1, 2, 4], [2, 3, -4]], num_vars=4, name=a.name
+        )
+        session = CompilerSession()
+        results = session.compile_many([a, a2, b, b], targets="fpqa", parallel=2)
+        assert results[0] is results[1]
+        assert results[2] is results[3]
+        caches = self._caches(session)
+        assert caches["session.dedup"] == {"hits": 2, "misses": 2}
+
+    def test_single_compile_path_matches_batch_accounting(self, tiny_formula):
+        session = CompilerSession()
+        session.compile(tiny_formula, target="fpqa")
+        session.compile(tiny_formula, target="fpqa")
+        assert self._caches(session)["session.results"] == {"hits": 1, "misses": 1}
+
+    def test_caller_supplied_profiler_is_used(self, tiny_formula):
+        from repro.perf import Profiler
+
+        profiler = Profiler()
+        session = CompilerSession(profiler=profiler)
+        session.compile(tiny_formula, target="fpqa")
+        assert profiler.caches["session.results"] == [0, 1]
+
+
 class TestCaching:
     def test_memory_cache_hits(self, tiny_formula):
         session = CompilerSession()
