@@ -1,0 +1,66 @@
+"""Close the loop: compile one instance on two devices, then *run* it.
+
+Everything before repro.sim estimated quality analytically; this demo
+executes the compiled artifacts.  The same uf20 MAX-3SAT instance is
+compiled for the baseline rubidium machine and the next-generation
+profile, each compiled program is replayed shot by shot under its own
+device's Monte-Carlo noise model, and the sampled results — EPS with a
+confidence interval, and the QAOA approximation ratio — show what the
+better hardware actually buys at execution time.
+
+Run:  python examples/simulate_demo.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro
+
+INSTANCE = "uf20-01"
+DEVICES = ("rubidium-baseline", "rubidium-nextgen")
+SHOTS = 1000
+SEED = 7
+
+
+def main() -> None:
+    formula = repro.satlib_instance(INSTANCE)
+    print(
+        f"{INSTANCE}: {formula.num_vars} variables, "
+        f"{formula.num_clauses} clauses; {SHOTS} shots per device\n"
+    )
+    rows = []
+    for device in DEVICES:
+        result = repro.compile(formula, target="fpqa", device=device)
+        execution = result.simulate(shots=SHOTS, seed=SEED, formula=formula)
+        rows.append((device, execution))
+        low, high = execution.eps_ci
+        print(f"{device}:")
+        print(f"  pulses:              {result.num_pulses}")
+        print(f"  analytic EPS:        {execution.eps_analytic:.4f}")
+        print(
+            f"  sampled EPS:         {execution.eps_sampled:.4f} "
+            f"(95% CI {low:.4f}-{high:.4f})"
+        )
+        print(
+            f"  mean satisfied:      {execution.mean_satisfied:.2f}"
+            f"/{execution.optimum_satisfied:g}"
+        )
+        print(f"  approximation ratio: {execution.approximation_ratio:.4f}")
+        top = next(iter(execution.counts.items()))
+        print(f"  most frequent:       {top[0]} ({top[1]} shots)\n")
+
+    (baseline_name, baseline), (nextgen_name, nextgen) = rows
+    gain = nextgen.eps_sampled - baseline.eps_sampled
+    ratio_delta = nextgen.approximation_ratio - baseline.approximation_ratio
+    print(
+        f"{nextgen_name} executes the same program with "
+        f"{gain:+.3f} sampled EPS over {baseline_name} "
+        f"(approximation ratio {ratio_delta:+.4f}) — the device cost-model "
+        "gap, observed in sampled outcomes instead of estimated."
+    )
+
+
+if __name__ == "__main__":
+    main()

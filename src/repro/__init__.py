@@ -19,7 +19,13 @@ API centers on one retargetable entrypoint backed by a target registry:
   multi-tenant compilation server: sharded workers with
   ``(target, device)`` cache affinity, a content-addressed
   :class:`ArtifactStore`, and a JSON-lines socket front door
-  (``weaver serve`` / ``weaver submit``).
+  (``weaver serve`` / ``weaver submit``);
+* :mod:`repro.sim` — the noise-aware execution simulator closing the
+  compile->run->score loop: ``repro.compile(..., simulate=...)``,
+  ``result.simulate(...)``, ``weaver simulate``, and ``sim`` service
+  jobs replay the *compiled artifact* shot by shot under a Monte-Carlo
+  noise model derived from the device profile, returning counts,
+  sampled EPS with confidence interval, and QAOA solution quality.
 
 The paper's three components remain available underneath:
 
@@ -134,8 +140,8 @@ __version__ = "1.3.0"
 
 def __getattr__(name: str):
     # The service layer (asyncio server, socket client, artifact store)
-    # loads lazily: importing repro must stay cheap for one-shot compile
-    # scripts that never touch the server machinery.
+    # and the execution simulator load lazily: importing repro must stay
+    # cheap for one-shot compile scripts that never touch them.
     if name in (
         "ArtifactStore",
         "CompilationService",
@@ -146,6 +152,17 @@ def __getattr__(name: str):
         from . import service
 
         return getattr(service, name)
+    if name in (
+        "ExecutionResult",
+        "NoiseModel",
+        "StatevectorEngine",
+        "simulate_circuit",
+        "simulate_program",
+        "simulate_result",
+    ):
+        from . import sim
+
+        return getattr(sim, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -167,6 +184,7 @@ __all__ = [
     "DeviceProfile",
     "DeviceSpecError",
     "EquivalenceError",
+    "ExecutionResult",
     "FPQACostModel",
     "FPQACompiler",
     "FPQAConstraintError",
@@ -174,6 +192,7 @@ __all__ = [
     "FPQAHardwareParams",
     "Gate",
     "Instruction",
+    "NoiseModel",
     "OptimizationFlags",
     "QaoaParameters",
     "QasmSemanticError",
@@ -184,6 +203,7 @@ __all__ = [
     "ServiceClient",
     "ServiceServer",
     "SimulationError",
+    "StatevectorEngine",
     "SuperconductingTranspiler",
     "Target",
     "TargetError",
@@ -225,6 +245,9 @@ __all__ = [
     "register_device",
     "register_target",
     "satlib_instance",
+    "simulate_circuit",
+    "simulate_program",
+    "simulate_result",
     "target_info",
     "to_dimacs",
     "washington_backend",

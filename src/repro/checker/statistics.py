@@ -16,6 +16,7 @@ import numpy as np
 
 from ..circuits import QuantumCircuit, measurement_distribution
 from ..exceptions import VerificationError
+from ..rng import as_generator
 
 
 def hellinger_fidelity(
@@ -41,14 +42,15 @@ def hellinger_fidelity(
 
 
 def sampled_distribution(
-    circuit: QuantumCircuit, shots: int = 4096, seed: int = 0
+    circuit: QuantumCircuit, shots: int = 4096,
+    seed: int | np.random.Generator = 0,
 ) -> dict[str, float]:
     """Finite-shot estimate of a circuit's output distribution."""
     exact = measurement_distribution(circuit)
     keys = list(exact)
     probs = np.array([exact[k] for k in keys])
     probs = probs / probs.sum()
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     counts = rng.multinomial(shots, probs)
     return {k: c / shots for k, c in zip(keys, counts) if c}
 

@@ -14,6 +14,7 @@ import enum
 import numpy as np
 
 from ..circuits import QuantumCircuit, circuit_statevector, circuit_unitary
+from ..rng import as_generator
 from ..linalg import (
     MAX_STATEVECTOR_QUBITS,
     MAX_UNITARY_QUBITS,
@@ -55,7 +56,7 @@ def equivalence_check(
         )
         return (bool(same), EquivalenceMethod.UNITARY)
     if n <= min(max_probe_qubits, MAX_STATEVECTOR_QUBITS):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         for _ in range(probes):
             probe = random_statevector(n, rng)
             out_a = circuit_statevector(a, probe)

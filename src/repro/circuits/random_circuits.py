@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import CircuitError
+from ..rng import as_generator
 from .circuit import QuantumCircuit
 
 #: Gate menu with (name, arity, param count).
@@ -31,7 +32,7 @@ _MENU = [
 def random_circuit(
     num_qubits: int,
     num_gates: int,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
     max_arity: int = 3,
     measure: bool = False,
 ) -> QuantumCircuit:
@@ -42,9 +43,10 @@ def random_circuit(
     """
     if num_qubits < 1:
         raise CircuitError("random circuit needs at least one qubit")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
+    label = "gen" if isinstance(seed, np.random.Generator) else seed
+    circuit = QuantumCircuit(num_qubits, name=f"random-{label}")
     menu = [m for m in _MENU if m[1] <= min(max_arity, num_qubits)]
-    circuit = QuantumCircuit(num_qubits, name=f"random-{seed}")
     for _ in range(num_gates):
         name, arity, n_params = menu[rng.integers(0, len(menu))]
         qubits = rng.choice(num_qubits, size=arity, replace=False)
@@ -56,11 +58,12 @@ def random_circuit(
 
 
 def random_diagonal_circuit(
-    num_qubits: int, num_gates: int, seed: int = 0
+    num_qubits: int, num_gates: int, seed: int | np.random.Generator = 0
 ) -> QuantumCircuit:
     """Random circuit of commuting diagonal gates (QAOA-cost-like)."""
-    rng = np.random.default_rng(seed)
-    circuit = QuantumCircuit(num_qubits, name=f"random-diagonal-{seed}")
+    rng = as_generator(seed)
+    label = "gen" if isinstance(seed, np.random.Generator) else seed
+    circuit = QuantumCircuit(num_qubits, name=f"random-diagonal-{label}")
     for _ in range(num_gates):
         kind = rng.integers(0, 3)
         if kind == 0:

@@ -3,6 +3,7 @@
 Commands
 --------
 ``compile``   workload (.cnf DIMACS / .qasm) -> any registered target
+``simulate``  compile a workload, then execute it on the noise simulator
 ``targets``   list the registered compilation targets
 ``devices``   list the registered device profiles
 ``check``     verify a wQasm file with the wChecker
@@ -16,13 +17,21 @@ Examples::
     weaver compile problem.cnf -o program.wqasm
     weaver compile problem.cnf --target superconducting
     weaver compile problem.cnf --device aquila-256
+    weaver simulate --target fpqa --device rubidium-baseline uf20-01 \
+        --shots 2000 --seed 7
     weaver targets
     weaver devices rubidium-baseline
     weaver check program.wqasm
     weaver export problem.cnf -o gates.json
     weaver serve --socket /tmp/weaver.sock --shards 4 &
     weaver submit problem.cnf --socket /tmp/weaver.sock --target fpqa
+    weaver submit problem.cnf --socket /tmp/weaver.sock --simulate
     weaver submit --stats --socket /tmp/weaver.sock
+
+``simulate`` accepts either a workload file or a SATLIB-style instance
+name (``uf20-07``); its stdout (counts, sampled EPS with confidence
+interval, approximation ratio) is bit-identical across reruns with the
+same seed.
 
 Exit codes: 0 success, 1 internal error (or failed verification),
 2 user error (bad input file, unknown target, malformed wQasm).
@@ -129,6 +138,103 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                 f"ignoring -o {args.output}",
                 file=sys.stderr,
             )
+    return 0
+
+
+def _simulate_workload(source: str) -> "Workload":
+    """A workload from a file path or a SATLIB-style instance name."""
+    import re
+
+    if not Path(source).exists() and re.fullmatch(r"uf\d+-\d+", source):
+        from .sat import satlib_instance
+
+        return Workload.from_formula(satlib_instance(source))
+    return Workload.from_file(source)
+
+
+def _format_execution(execution, top: int) -> list[str]:
+    """The deterministic stdout block of ``weaver simulate``."""
+    lines = [f"shots: {execution.shots}"]
+    if execution.seed is not None:
+        lines.append(f"seed: {execution.seed}")
+    lines.append(
+        "noise: off"
+        if execution.noise_scale is None
+        else f"noise: x{execution.noise_scale:g}"
+    )
+    lines.append(f"unique outcomes: {len(execution.counts)}")
+    shown = list(execution.counts.items())[:top]
+    if shown:
+        lines.append(f"top counts ({len(shown)} of {len(execution.counts)}):")
+        for bits, count in shown:
+            lines.append(f"  {bits}  {count}")
+    low, high = execution.eps_ci
+    lines.append(
+        f"sampled EPS: {execution.eps_sampled:.6g} "
+        f"(95% CI {low:.6g}-{high:.6g}, "
+        f"{execution.error_free_shots}/{execution.shots} error-free)"
+    )
+    if execution.eps_analytic is not None:
+        lines.append(f"analytic EPS: {execution.eps_analytic:.6g}")
+    if execution.energy is not None:
+        lines.append(f"energy: {execution.energy:.6g} unsatisfied (mean)")
+        lines.append(
+            f"mean satisfied: {execution.mean_satisfied:.6g}"
+            f"/{execution.optimum_satisfied:g}"
+        )
+        lines.append(
+            f"best sampled: {execution.best_satisfied:g}"
+            f"/{execution.optimum_satisfied:g}"
+        )
+        lines.append(
+            f"approximation ratio: {execution.approximation_ratio:.6g}"
+        )
+    return lines
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .sim import simulate_result
+
+    workload = _simulate_workload(args.input)
+    parameters = QaoaParameters((args.gamma,), (args.beta,))
+    result = compile_workload(
+        workload,
+        target=args.target,
+        parameters=parameters,
+        budget_seconds=args.budget,
+        device=args.device,
+    )
+    summary = (
+        f"compiled {workload.name} for {result.target}"
+        + (f" on {result.device}" if result.device else "")
+        + f": {result.num_qubits} qubits"
+        + (f", {result.num_clauses} clauses" if result.num_clauses else "")
+        + f" ({result.compile_seconds * 1e3:.0f} ms compile)"
+    )
+    print(summary, file=sys.stderr)
+    import time as time_module
+
+    started = time_module.perf_counter()
+    execution = simulate_result(
+        result,
+        shots=args.shots,
+        noise=None if args.no_noise else args.noise,
+        seed=args.seed,
+        formula=workload.formula,
+        max_trajectories=args.max_trajectories,
+    )
+    print(
+        f"simulated {args.shots} shots in "
+        f"{time_module.perf_counter() - started:.1f} s",
+        file=sys.stderr,
+    )
+    if args.json:
+        print(json_module.dumps(execution.to_dict(), indent=1))
+    else:
+        for line in _format_execution(execution, args.top):
+            print(line)
     return 0
 
 
@@ -256,6 +362,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             options: dict = {}
             if args.no_measure:
                 options["measure"] = False
+            simulate = None
+            if args.simulate:
+                simulate = {
+                    "shots": args.shots,
+                    "seed": args.seed,
+                    "noise": None if args.no_noise else args.noise,
+                    "max_trajectories": args.max_trajectories,
+                }
             out = await client.submit(
                 workload,
                 target=args.target or "fpqa",
@@ -263,6 +377,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 client=args.client,
                 priority=args.priority,
                 timeout=args.budget,
+                simulate=simulate,
                 **options,
             )
             result = out.result
@@ -284,6 +399,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             if result.timed_out:
                 print("error: compilation timed out", file=sys.stderr)
                 return 1
+            if result.execution is not None and not args.json:
+                execution = result.execution
+                eps = execution.get("eps_sampled")
+                line = f"sampled EPS: {eps:.6g}" if eps is not None else "simulated"
+                ci = execution.get("eps_ci")
+                if ci:
+                    line += f" (95% CI {ci[0]:.6g}-{ci[1]:.6g})"
+                print(
+                    f"{line} over {execution.get('shots')} shots",
+                    file=sys.stderr,
+                )
             if args.json:
                 print(json_module.dumps(out.raw, indent=2))
             elif result.program is not None:
@@ -349,6 +475,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-pass / per-primitive time+count table",
     )
     p_compile.set_defaults(func=_cmd_compile)
+
+    p_simulate = sub.add_parser(
+        "simulate",
+        help="compile a workload and execute it on the noise-aware simulator",
+    )
+    p_simulate.add_argument(
+        "input",
+        help="DIMACS .cnf / OpenQASM .qasm file, or a SATLIB-style "
+             "instance name like uf20-01",
+    )
+    p_simulate.add_argument(
+        "-t", "--target", default=None,
+        help="registered target name (default fpqa, or the target "
+             "matching --device's kind)",
+    )
+    p_simulate.add_argument(
+        "-d", "--device", default=None,
+        help="registered device profile to compile and simulate for",
+    )
+    p_simulate.add_argument(
+        "--shots", type=int, default=1024, help="number of sampled executions"
+    )
+    p_simulate.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed; identical seeds give bit-identical output",
+    )
+    p_simulate.add_argument(
+        "--noise", type=float, default=1.0,
+        help="noise scale factor over the device model (default 1.0)",
+    )
+    p_simulate.add_argument(
+        "--no-noise", action="store_true", help="simulate without noise"
+    )
+    p_simulate.add_argument(
+        "--max-trajectories", type=int, default=8,
+        help="error signatures replayed exactly; the tail uses the "
+             "measurement-frame approximation (default 8)",
+    )
+    p_simulate.add_argument(
+        "--top", type=int, default=10, help="outcome rows to print (default 10)"
+    )
+    p_simulate.add_argument("--gamma", type=float, default=0.7, help="QAOA gamma")
+    p_simulate.add_argument("--beta", type=float, default=0.35, help="QAOA beta")
+    p_simulate.add_argument(
+        "--budget", type=float, default=None, help="compile budget in seconds"
+    )
+    p_simulate.add_argument(
+        "--json", action="store_true",
+        help="print the full ExecutionResult record as JSON",
+    )
+    p_simulate.set_defaults(func=_cmd_simulate)
 
     p_targets = sub.add_parser("targets", help="list registered targets")
     p_targets.add_argument("name", nargs="?", help="show only this target")
@@ -428,6 +605,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=float, default=None, help="compile budget in seconds"
     )
     p_submit.add_argument("--no-measure", action="store_true")
+    p_submit.add_argument(
+        "--simulate", action="store_true",
+        help="request a sim job: the service also executes the compiled "
+             "artifact on the noise-aware simulator",
+    )
+    p_submit.add_argument(
+        "--shots", type=int, default=1024,
+        help="shots for --simulate (default 1024)",
+    )
+    p_submit.add_argument(
+        "--seed", type=int, default=0, help="seed for --simulate (default 0)"
+    )
+    p_submit.add_argument(
+        "--noise", type=float, default=1.0,
+        help="noise scale for --simulate (default 1.0)",
+    )
+    p_submit.add_argument(
+        "--no-noise", action="store_true",
+        help="simulate without noise (with --simulate)",
+    )
+    p_submit.add_argument(
+        "--max-trajectories", type=int, default=8,
+        help="exactly-replayed error signatures for --simulate (default 8)",
+    )
     p_submit.add_argument(
         "--json", action="store_true",
         help="print the full result record as JSON instead of wQasm",

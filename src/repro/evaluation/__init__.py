@@ -20,6 +20,7 @@ from .figures import (
 )
 from .tables import table2_complexity
 from .reporting import format_table, format_value
+from .sim_validation import VALIDATION_Z, eps_cross_validation
 
 __all__ = [
     "DEFAULT_BUDGETS",
@@ -27,6 +28,8 @@ __all__ = [
     "FIXED_SIZE_INSTANCES",
     "ResultStore",
     "SCALING_SIZES",
+    "VALIDATION_Z",
+    "eps_cross_validation",
     "fig10a_complexity",
     "fig10b_pulses",
     "fig10c_ccz_threshold",
@@ -42,3 +45,4 @@ __all__ = [
     "scaling_instances",
     "table2_complexity",
 ]
+

@@ -14,7 +14,7 @@ from .cost import (
 )
 from .mixer import initialization_circuit, mixer_circuit
 from .builder import QaoaParameters, qaoa_circuit
-from .energy import expected_unsatisfied, sample_best_assignment
+from .energy import expected_unsatisfied, formula_energies, sample_best_assignment
 from .optimizer import (
     OptimizationResult,
     coordinate_descent,
@@ -31,6 +31,7 @@ __all__ = [
     "cost_circuit",
     "cost_unitary_diagonal",
     "expected_unsatisfied",
+    "formula_energies",
     "grid_search",
     "initialization_circuit",
     "mixer_circuit",

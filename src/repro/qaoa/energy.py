@@ -5,9 +5,39 @@ from __future__ import annotations
 import numpy as np
 
 from ..circuits import QuantumCircuit, circuit_statevector
-from ..linalg import projector_phase_polynomial
+from ..exceptions import SimulationError
+from ..linalg import MAX_STATEVECTOR_QUBITS
+from ..rng import as_generator
 from ..sat.cnf import CnfFormula
-from ..sat.polynomial import formula_polynomial
+
+
+def formula_energies(formula: CnfFormula) -> np.ndarray:
+    """Weighted unsatisfied-clause count of every basis state.
+
+    Entry ``b`` is the cost-Hamiltonian eigenvalue of basis state ``b``
+    (little-endian: bit ``i`` of ``b`` is variable ``i+1``).  Computed
+    clause-by-clause with vectorized bit masks — a clause is violated
+    exactly when every literal is false — which is both exact and much
+    faster than expanding the phase polynomial monomial by monomial.
+    Shared by the analytic expectation below and the execution
+    simulator's scoring layer (:mod:`repro.sim.score`).
+    """
+    n = formula.num_vars
+    if n > MAX_STATEVECTOR_QUBITS:
+        raise SimulationError(
+            f"cannot tabulate energies for {n} variables "
+            f"(limit {MAX_STATEVECTOR_QUBITS})"
+        )
+    basis = np.arange(1 << n, dtype=np.int64)
+    bits = [(basis >> q) & 1 == 1 for q in range(n)]
+    energies = np.zeros(1 << n)
+    for clause in formula.clauses:
+        violated = np.ones(1 << n, dtype=bool)
+        for literal in clause.literals:
+            value = bits[abs(literal) - 1]
+            violated &= ~value if literal > 0 else value
+        energies[violated] += clause.weight
+    return energies
 
 
 def expected_unsatisfied(formula: CnfFormula, circuit: QuantumCircuit) -> float:
@@ -18,33 +48,25 @@ def expected_unsatisfied(formula: CnfFormula, circuit: QuantumCircuit) -> float:
     """
     state = circuit_statevector(circuit.without_measurements())
     probs = np.abs(state) ** 2
-    polynomial = formula_polynomial(formula)
-    n = formula.num_vars
-    z = projector_phase_polynomial(n)
-    energies = np.zeros(2**n)
-    for monomial, coefficient in polynomial.coefficients.items():
-        if monomial:
-            energies += coefficient * np.prod(z[:, list(monomial)], axis=1)
-        else:
-            energies += coefficient
-    return float(probs @ energies)
+    return float(probs @ formula_energies(formula))
 
 
 def sample_best_assignment(
     formula: CnfFormula,
     circuit: QuantumCircuit,
     shots: int = 1024,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
 ) -> tuple[list[bool], int]:
     """Sample the circuit and return the best assignment seen.
 
     Mirrors Figure 1(c)/(d): execute repeatedly, interpret each bitstring
     as an assignment, and keep the one satisfying the most clauses.
+    ``seed`` accepts an integer or a ``numpy.random.Generator``.
     """
     state = circuit_statevector(circuit.without_measurements())
     probs = np.abs(state) ** 2
     probs = probs / probs.sum()
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     samples = rng.choice(len(probs), size=shots, p=probs)
     best_assignment: list[bool] = [False] * formula.num_vars
     best_score = -1

@@ -1,0 +1,29 @@
+"""Seeding helpers: one contract for every stochastic path.
+
+Every function in the framework that draws random numbers accepts a
+``seed`` that is either an integer (or ``None``), or an already-built
+:class:`numpy.random.Generator`.  :func:`as_generator` is the single
+normalization point, so callers can thread one generator through a
+multi-stage pipeline (compile -> simulate -> sample) and get a fully
+reproducible end-to-end run, while casual callers keep passing plain
+integers.  No module in the library touches the global
+``numpy.random`` state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_generator(
+    seed: int | np.random.Generator | None = None,
+) -> np.random.Generator:
+    """Normalize ``seed`` into a :class:`numpy.random.Generator`.
+
+    A generator passes through untouched (shared state, deliberate);
+    anything else seeds a fresh ``default_rng``.  Identical integer
+    seeds therefore give identical streams across runs and machines.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

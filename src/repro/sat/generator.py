@@ -14,6 +14,7 @@ import hashlib
 import numpy as np
 
 from ..exceptions import SatError
+from ..rng import as_generator
 from .cnf import Clause, CnfFormula
 
 #: (num_vars -> num_clauses) for the SATLIB uniform-random-3-SAT suites the
@@ -44,11 +45,12 @@ def random_ksat(
     """Uniform random k-SAT: distinct variables per clause, random signs.
 
     Exact duplicate clauses are rejected and resampled, matching the
-    standard SATLIB generation procedure.
+    standard SATLIB generation procedure.  ``seed`` accepts an integer
+    or a ``numpy.random.Generator``.
     """
     if k > num_vars:
         raise SatError(f"cannot draw {k} distinct variables out of {num_vars}")
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    rng = as_generator(seed)
     seen: set[tuple[int, ...]] = set()
     clauses: list[Clause] = []
     max_attempts = 1000 * num_clauses + 1000

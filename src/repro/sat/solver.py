@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import SatError
+from ..rng import as_generator
 from .cnf import CnfFormula
 
 
@@ -82,7 +83,7 @@ def walksat(
     formula: CnfFormula,
     max_flips: int = 10_000,
     noise: float = 0.5,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
 ) -> tuple[list[bool], int]:
     """WalkSAT local search; returns (best assignment, clauses satisfied).
 
@@ -91,7 +92,7 @@ def walksat(
     """
     if not 0.0 <= noise <= 1.0:
         raise SatError("noise must be in [0, 1]")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     assignment = list(rng.integers(0, 2, size=formula.num_vars) == 1)
     best = list(assignment)
     best_score = formula.num_satisfied(assignment)

@@ -60,12 +60,16 @@ def artifact_key(
     options: dict | None = None,
     budget: float | None = None,
     target_options: dict | None = None,
+    simulate: dict | None = None,
 ) -> str:
     """Content address of one compilation: hex SHA-256 of its identity.
 
     Two submissions share a key exactly when every compilation input
     matches; the workload contributes its *content* (DIMACS/QASM text),
     not its name, so renamed copies of the same problem still hit.
+    ``sim`` jobs additionally mix in the canonical simulate options —
+    program + noise + seed + shots address the execution — and are keyed
+    only when present, so plain compile keys are unchanged.
     """
     identity = {
         "workload": _workload_payload(workload),
@@ -76,6 +80,8 @@ def artifact_key(
         "target_options": jsonify(sorted((target_options or {}).items())),
         "budget": budget,
     }
+    if simulate:
+        identity["simulate"] = jsonify(sorted(simulate.items()))
     payload = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

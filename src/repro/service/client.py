@@ -167,6 +167,7 @@ class ServiceClient:
         client: str = "client",
         priority: int = 0,
         timeout: float | None = None,
+        simulate=None,
         wait_timeout: float | None = None,
         on_event=None,
         **options,
@@ -175,8 +176,11 @@ class ServiceClient:
 
         ``timeout`` is the *compile budget* the server applies;
         ``wait_timeout`` bounds how long this client waits for each
-        protocol event.  ``on_event(event_name, payload)`` observes the
-        queued/started stream.
+        protocol event.  ``simulate`` (``True`` or an options dict)
+        requests a ``sim`` job: the server also executes the compiled
+        artifact and the returned result carries ``execution``.
+        ``on_event(event_name, payload)`` observes the queued/started
+        stream.
         """
         resolved: Workload = coerce_workload(workload)
         message = {
@@ -189,6 +193,8 @@ class ServiceClient:
             "priority": priority,
             "timeout": timeout,
         }
+        if simulate:
+            message["simulate"] = simulate
         req, inbox = await self._request(message)
         events: list[str] = []
         try:

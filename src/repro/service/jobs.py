@@ -46,6 +46,9 @@ class CompileJob:
     target: str
     device: object = None
     options: dict = field(default_factory=dict)
+    #: Canonical simulate options for ``sim`` jobs (``None`` = compile
+    #: only); part of the job's content address.
+    simulate: dict | None = None
     client: str = "default"
     priority: int = 0
     timeout: float | None = None
@@ -66,6 +69,11 @@ class CompileJob:
 
     def __await__(self):
         return self.future.__await__()
+
+    @property
+    def kind(self) -> str:
+        """``"sim"`` for compile+execute jobs, ``"compile"`` otherwise."""
+        return "sim" if self.simulate else "compile"
 
     @property
     def result(self) -> CompilationResult | None:
@@ -93,6 +101,7 @@ class CompileJob:
         """JSON view of the job's bookkeeping (the ``jobs`` protocol op)."""
         return {
             "job": self.job_id,
+            "kind": self.kind,
             "client": self.client,
             "workload": self.workload.name,
             "target": self.target,

@@ -12,7 +12,12 @@ Requests::
     {"op": "submit", "req": "r3", "workload": {"kind": "cnf", "text": "p cnf ...",
      "name": "uf20-01"}, "target": "fpqa", "device": null, "options": {},
      "client": "alice", "priority": 0, "timeout": null}
+    {"op": "submit", "req": "r8", ..., "simulate": {"shots": 2000, "seed": 7}}
     {"op": "shutdown", "req": "r4"}
+
+``simulate`` (``true`` or an options object) makes the submission a
+``sim`` job: the worker also executes the compiled artifact on the
+noise-aware simulator and the ``done`` result carries ``execution``.
 
 Responses (``submit`` streams its job's lifecycle)::
 

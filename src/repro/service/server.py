@@ -194,6 +194,9 @@ class ServiceServer:
                     {"req": req, "event": event, "job": job.job_id, "shard": job.shard}
                 )
 
+        simulate = message.get("simulate")
+        if simulate is not None and not isinstance(simulate, (bool, dict)):
+            raise ProtocolError("'simulate' must be true or an options object")
         job = await self.service.submit(
             workload,
             target=message.get("target") or "fpqa",
@@ -201,6 +204,7 @@ class ServiceServer:
             client=message.get("client") or "remote",
             priority=int(message.get("priority") or 0),
             timeout=message.get("timeout"),
+            simulate=simulate,
             on_progress=on_progress,
             **options,
         )

@@ -205,6 +205,7 @@ class CompilationService:
         client: str = "default",
         priority: int = 0,
         timeout: float | None = None,
+        simulate=None,
         on_progress: Callable[[CompileJob, str], None] | None = None,
         **options,
     ) -> CompileJob:
@@ -214,12 +215,25 @@ class CompilationService:
         finished job on an artifact-store hit, otherwise after enqueuing
         on the cell's shard.  ``priority`` sorts ascending (0 before 1);
         ``timeout`` is this job's compile budget in seconds.
+
+        ``simulate`` (``True`` or an options dict with ``shots``,
+        ``noise``, ``seed``, ``max_trajectories``) makes this a ``sim``
+        job: the worker compiles *and* executes the artifact on the
+        noise-aware simulator, and the stored artifact — content-
+        addressed by program + noise + seed + shots — carries the
+        execution payload on ``result.execution``.
         """
         if not self._running:
             raise TargetError("service is not running; use `async with` or start()")
         resolved = coerce_workload(workload)
         name = resolve_target_name(target)
         device = _canonical_device(device)
+        if simulate:
+            from ..sim import canonical_sim_options
+
+            simulate = canonical_sim_options(simulate)
+        else:
+            simulate = None
         key = artifact_key(
             resolved,
             name,
@@ -228,12 +242,14 @@ class CompilationService:
             options=options,
             budget=self._budget_for(name, timeout),
             target_options=self.target_options.get(name),
+            simulate=simulate,
         )
         job = CompileJob(
             workload=resolved,
             target=name,
             device=device,
             options=dict(options),
+            simulate=simulate,
             client=client,
             priority=priority,
             timeout=timeout,
@@ -318,7 +334,7 @@ class CompilationService:
         target_options = dict(self.target_options.get(job.target, {}))
         if job.device is not None:
             target_options["device"] = job.device
-        return (
+        spec = (
             job.workload,
             job.target,
             target_options,
@@ -326,6 +342,9 @@ class CompilationService:
             self._budget_for(job.target, job.timeout),
             job.options,
         )
+        # ``sim`` jobs ride the same worker seam: compile_spec runs the
+        # simulator after a successful compile (seventh spec element).
+        return spec + (job.simulate,) if job.simulate else spec
 
     def _executor_for(self, shard: int):
         executor = self._executors[shard]
@@ -364,7 +383,7 @@ class CompilationService:
             except Exception as exc:  # noqa: BLE001 — executor/worker death
                 result = self._failure_result(job, f"{type(exc).__name__}: {exc}")
             elapsed = time.perf_counter() - start
-            self.profiler.add(f"service.compile.{job.target}", elapsed)
+            self.profiler.add(f"service.{job.kind}.{job.target}", elapsed)
             self._per_shard_jobs[shard] += 1
             if result.error is None:
                 # Serialize off the loop (a big program's JSON is the

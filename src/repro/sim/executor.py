@@ -1,0 +1,416 @@
+"""The execution orchestrator: compile artifact -> sampled outcomes.
+
+:func:`simulate_result` closes the compile->run->score loop: it lowers a
+:class:`~repro.targets.result.CompilationResult` into a
+:class:`~repro.sim.schedule.Schedule`, samples error trajectories from
+the device-derived noise model, executes them on the statevector
+engine, and scores the sampled bitstrings against the workload.
+
+Trajectory strategy
+-------------------
+Every shot independently samples its error events (so the EPS estimate
+is an exact Monte-Carlo estimator of the analytic model, regardless of
+anything below).  For *outcomes*:
+
+* shots with no quantum error sample from the ideal distribution
+  (one statevector run for all of them);
+* the most frequent error signatures — up to ``max_trajectories`` of
+  them — are replayed *exactly*: the sampled Paulis are inserted into
+  the gate stream and the corrupted state is simulated, sharing the
+  common prefix across trajectories so the base circuit is walked only
+  once;
+* the long tail of rare multi-error signatures falls back to a
+  measurement-frame depolarizing approximation: the shot samples an
+  ideal outcome and the error-touched qubits' bits are replaced by fair
+  coin flips.  On small programs (every test below ~10 qubits) the cap
+  is never reached and all trajectories are exact.
+
+Readout errors are classical bit flips applied to every shot exactly.
+All randomness flows from one ``numpy.random.Generator``, in a fixed
+draw order, so a given seed is bit-identical across runs and machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..perf import Profiler
+from ..rng import as_generator
+from .engine import StatevectorEngine, bitstring
+from .noise import KIND_PAULI, KIND_READOUT, resolve_noise
+from .result import ExecutionResult, wilson_interval
+from .schedule import Schedule, schedule_from_circuit, schedule_from_program
+from .score import score_samples
+
+#: Default shot count for every simulation entry point.
+DEFAULT_SHOTS = 1024
+
+#: Default cap on exactly-replayed error trajectories per run.
+DEFAULT_MAX_TRAJECTORIES = 8
+
+#: Keys accepted in a ``simulate=`` options dict.
+_OPTION_KEYS = ("shots", "noise", "seed", "max_trajectories")
+
+
+def canonical_sim_options(simulate) -> dict | None:
+    """Normalize a ``simulate=`` argument into a canonical options dict.
+
+    ``None``/``False`` disable simulation; ``True`` selects the
+    defaults; a dict may set ``shots``, ``noise``, ``seed`` and
+    ``max_trajectories``.  The canonical form is JSON-stable (it keys
+    session caches and service artifacts), so ``seed`` must be an
+    integer here, not a Generator.
+    """
+    if simulate is None or simulate is False:
+        return None
+    options = {
+        "shots": DEFAULT_SHOTS,
+        "noise": 1.0,
+        "seed": 0,
+        "max_trajectories": DEFAULT_MAX_TRAJECTORIES,
+    }
+    if simulate is True:
+        return options
+    if not isinstance(simulate, dict):
+        raise SimulationError(
+            f"simulate must be a bool or an options dict, got "
+            f"{type(simulate).__name__}"
+        )
+    unknown = set(simulate) - set(_OPTION_KEYS)
+    if unknown:
+        raise SimulationError(
+            f"unknown simulate option(s): {', '.join(sorted(unknown))} "
+            f"(expected {', '.join(_OPTION_KEYS)})"
+        )
+    options.update(simulate)
+    if not isinstance(options["shots"], int) or options["shots"] < 1:
+        raise SimulationError(
+            f"simulate shots must be a positive integer, got {options['shots']!r}"
+        )
+    seed = options["seed"]
+    if seed is not None and not isinstance(seed, int):
+        raise SimulationError(
+            "simulate seed must be an integer (a Generator cannot key a "
+            "cache); pass it to simulate_result directly instead"
+        )
+    noise = options["noise"]
+    if noise is not None and not isinstance(noise, (int, float)):
+        raise SimulationError(
+            f"simulate noise must be a number or None, got {noise!r}"
+        )
+    return options
+
+
+# ----------------------------------------------------------------------
+# Schedule resolution
+# ----------------------------------------------------------------------
+def schedule_for_result(result) -> Schedule:
+    """Lower a compilation result into its executable schedule.
+
+    wQasm-producing targets replay the compiled pulse program on the
+    device profile recorded in the result's provenance; gate-level
+    targets execute their native circuit (with the superconducting
+    backend's calibration when the result carries a superconducting
+    profile).
+    """
+    profile = _device_profile(result)
+    if result.program is not None:
+        hardware = profile.hardware if profile is not None else None
+        return schedule_from_program(result.program, hardware)
+    if result.native_circuit is not None:
+        backend = None
+        if profile is not None and profile.kind == "superconducting":
+            backend = profile.backend
+        elif result.target == "superconducting":
+            from ..superconducting.backend import washington_backend
+
+            backend = washington_backend()
+        return schedule_from_circuit(
+            result.native_circuit, backend, name=result.workload
+        )
+    raise SimulationError(
+        f"target {result.target!r} produced no executable artifact "
+        "(neither a wQasm program nor a circuit); only program- or "
+        "circuit-emitting targets can be simulated"
+    )
+
+
+def _device_profile(result):
+    if getattr(result, "device_profile", None) is None:
+        return None
+    from ..devices.profile import DeviceProfile
+
+    return DeviceProfile.from_dict(result.device_profile)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def simulate_result(
+    result,
+    shots: int = DEFAULT_SHOTS,
+    noise=1.0,
+    seed: int | np.random.Generator | None = 0,
+    formula=None,
+    max_trajectories: int = DEFAULT_MAX_TRAJECTORIES,
+    profiler: Profiler | None = None,
+) -> ExecutionResult:
+    """Execute a compiled result and score the outcomes.
+
+    ``noise`` is a scale factor over the device model (``0``/``None``
+    for noiseless, ``1.0`` for the profile's physics) or a prebuilt
+    :class:`~repro.sim.noise.NoiseModel`.  ``formula`` enables the
+    MAX-SAT quality metrics (energy, approximation ratio); pass the
+    workload's CNF formula when you have it.
+    """
+    schedule = schedule_for_result(result)
+    return run_schedule(
+        schedule,
+        shots=shots,
+        noise=noise,
+        seed=seed,
+        formula=formula,
+        max_trajectories=max_trajectories,
+        profiler=profiler,
+        target=result.target,
+        device=result.device,
+    )
+
+
+def simulate_program(
+    program,
+    hardware=None,
+    **options,
+) -> ExecutionResult:
+    """Execute a wQasm program directly (no compilation result needed)."""
+    return run_schedule(schedule_from_program(program, hardware), **options)
+
+
+def simulate_circuit(circuit, backend=None, **options) -> ExecutionResult:
+    """Execute a gate-level circuit directly."""
+    return run_schedule(schedule_from_circuit(circuit, backend), **options)
+
+
+def attach_simulation(result, workload=None, options=None) -> ExecutionResult:
+    """Simulate ``result`` and record the execution on the result itself.
+
+    The execution payload lands in ``result.execution`` (JSON-safe, so
+    it rides through every result serializer, cache and artifact
+    store).  Returns the live :class:`ExecutionResult`.
+    """
+    canonical = canonical_sim_options(True if options is None else options)
+    if canonical is None:
+        raise SimulationError("attach_simulation called with simulation disabled")
+    formula = getattr(workload, "formula", None) if workload is not None else None
+    execution = simulate_result(
+        result,
+        shots=canonical["shots"],
+        noise=canonical["noise"],
+        seed=canonical["seed"],
+        formula=formula,
+        max_trajectories=canonical["max_trajectories"],
+    )
+    result.execution = execution.to_dict()
+    return execution
+
+
+# ----------------------------------------------------------------------
+# The run loop
+# ----------------------------------------------------------------------
+def run_schedule(
+    schedule: Schedule,
+    shots: int = DEFAULT_SHOTS,
+    noise=1.0,
+    seed: int | np.random.Generator | None = 0,
+    formula=None,
+    max_trajectories: int = DEFAULT_MAX_TRAJECTORIES,
+    profiler: Profiler | None = None,
+    target: str | None = None,
+    device: str | None = None,
+) -> ExecutionResult:
+    """Sample ``shots`` executions of ``schedule`` under ``noise``."""
+    if shots < 1:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    if max_trajectories < 0:
+        raise SimulationError("max_trajectories must be non-negative")
+    rng = as_generator(seed)
+    profiler = profiler if profiler is not None else Profiler()
+    model = resolve_noise(noise, schedule.events)
+    engine = StatevectorEngine(schedule.num_qubits, profiler)
+    instructions = schedule.instructions
+    n = schedule.num_qubits
+    started = time.perf_counter()
+
+    # --- 1. sample error events per shot (exact Monte Carlo) ----------
+    events = model.events if model is not None else ()
+    if events:
+        probabilities = model.probabilities()
+        fired = rng.random((shots, len(events))) < probabilities[None, :]
+        error_free = int((~fired.any(axis=1)).sum())
+        profiler.add("sim.events_fired", 0.0, count=int(fired.sum()))
+    else:
+        fired = None
+        error_free = shots
+
+    # --- 2. realize Pauli trajectories deterministically --------------
+    pauli_columns = [j for j, e in enumerate(events) if e.kind == KIND_PAULI]
+    readout_columns = [
+        (j, e) for j, e in enumerate(events) if e.kind == KIND_READOUT
+    ]
+    trajectories: dict[int, list] = {}
+    if fired is not None and pauli_columns:
+        sub = fired[:, pauli_columns]
+        for shot, column in np.argwhere(sub):  # row-major: fixed draw order
+            event = events[pauli_columns[column]]
+            qubit = int(event.qubits[int(rng.integers(len(event.qubits)))])
+            pauli = event.paulis[int(rng.integers(len(event.paulis)))]
+            position = (
+                event.position
+                if event.position is not None
+                else int(rng.integers(len(instructions) + 1))
+            )
+            trajectories.setdefault(int(shot), []).append((position, qubit, pauli))
+
+    buckets: dict[tuple, list[int]] = {}
+    clean_shots: list[int] = []
+    for shot in range(shots):
+        errors = trajectories.get(shot)
+        if errors:
+            buckets.setdefault(tuple(sorted(errors)), []).append(shot)
+        else:
+            clean_shots.append(shot)
+
+    # --- 3. ideal run --------------------------------------------------
+    t_ideal = time.perf_counter()
+    ideal_state = engine.run(instructions)
+    profiler.add_pass("sim.ideal", time.perf_counter() - t_ideal)
+    ideal_probs = engine.probabilities(ideal_state)
+
+    basis = np.empty(shots, dtype=np.int64)
+    if clean_shots:
+        basis[clean_shots] = rng.choice(
+            engine.dim, size=len(clean_shots), p=ideal_probs
+        )
+
+    # --- 4. exact trajectories (largest buckets, shared prefix) -------
+    ranked = sorted(buckets.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+    exact = sorted(
+        ranked[:max_trajectories], key=lambda kv: (kv[0][0][0], kv[0])
+    )
+    approximate = ranked[max_trajectories:]
+    t_exact = time.perf_counter()
+    prefix_state = engine.initial_state()
+    prefix_position = 0
+    for signature, bucket in exact:
+        first_position = signature[0][0]
+        if first_position > prefix_position:
+            prefix_state = engine.apply_segment(
+                prefix_state, instructions, prefix_position, first_position
+            )
+            prefix_position = first_position
+        branch = engine.apply_segment(
+            prefix_state.copy(),
+            instructions,
+            prefix_position,
+            len(instructions),
+            inserts=signature,
+        )
+        basis[bucket] = rng.choice(
+            engine.dim, size=len(bucket), p=engine.probabilities(branch)
+        )
+    if exact:
+        profiler.add(
+            "sim.trajectory", time.perf_counter() - t_exact, count=len(exact)
+        )
+
+    # --- 5. approximate tail: depolarize touched qubits ----------------
+    approx_shots = [shot for _, bucket in approximate for shot in bucket]
+    if approx_shots:
+        approx_shots.sort()
+        basis[approx_shots] = rng.choice(
+            engine.dim, size=len(approx_shots), p=ideal_probs
+        )
+        for shot in approx_shots:
+            value = int(basis[shot])
+            for _, qubit, _ in trajectories[shot]:
+                current = (value >> qubit) & 1
+                value ^= (current ^ int(rng.integers(2))) << qubit
+            basis[shot] = value
+        profiler.add("sim.approx_shots", 0.0, count=len(approx_shots))
+
+    # --- 6. readout flips (exact, classical) ---------------------------
+    for column, event in readout_columns:
+        flips = fired[:, column]
+        if flips.any():
+            basis[flips] ^= 1 << event.qubits[0]
+
+    # --- 7. aggregate ---------------------------------------------------
+    values, value_counts = np.unique(basis, return_counts=True)
+    ordered = sorted(
+        zip(values.tolist(), value_counts.tolist()),
+        key=lambda pair: (-pair[1], pair[0]),
+    )
+    counts = {bitstring(v, n): int(c) for v, c in ordered}
+
+    eps_sampled = error_free / shots
+    eps_ci = wilson_interval(error_free, shots)
+    eps_analytic = model.analytic_eps() if model is not None else 1.0
+
+    quality: dict = {}
+    if formula is not None:
+        if formula.num_vars != n:
+            raise SimulationError(
+                f"formula has {formula.num_vars} variables but the program "
+                f"has {n} qubits; cannot score"
+            )
+        quality = score_samples(formula, basis)
+
+    profiler.add_pass("sim.total", time.perf_counter() - started)
+    stats = {
+        "events": len(events),
+        "events_fired": int(fired.sum()) if fired is not None else 0,
+        "unique_trajectories": len(buckets),
+        "exact_trajectories": len(exact),
+        "approx_shots": len(approx_shots) if approx_shots else 0,
+        "noise": model.describe() if model is not None else None,
+    }
+    return ExecutionResult(
+        workload=schedule.name,
+        shots=shots,
+        counts=counts,
+        target=target,
+        device=device,
+        seed=seed if isinstance(seed, int) else None,
+        noise_scale=model.scale if model is not None else None,
+        engine=engine.name,
+        num_qubits=n,
+        error_free_shots=error_free,
+        eps_sampled=eps_sampled,
+        eps_ci=eps_ci,
+        eps_analytic=eps_analytic,
+        duration_us=schedule.duration_us,
+        stats=stats,
+        profile=_deterministic_profile(profiler.profile()),
+        **quality,
+    )
+
+
+def _deterministic_profile(profile: dict) -> dict:
+    """The seed-reproducible view of a run's ``sim.*`` profile.
+
+    Execution payloads promise bit-identical JSON for identical seeds
+    (they are content-addressed by the service's artifact store), so
+    wall-clock timings must not ride along: keep every counter, drop
+    every ``seconds`` field and the pure-timing pass entries.
+    """
+    return {
+        "schema": profile.get("schema"),
+        "primitives": {
+            name: {"count": entry["count"]}
+            for name, entry in (profile.get("primitives") or {}).items()
+        },
+        "caches": profile.get("caches") or {},
+    }

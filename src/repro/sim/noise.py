@@ -1,0 +1,145 @@
+"""Monte-Carlo noise: stochastic error events derived from device physics.
+
+The analytic EPS model (:mod:`repro.metrics.fidelity`, paper §8.4)
+accumulates one multiplicative fidelity term per pulse-level operation.
+The simulator turns each of those terms into a *samplable event*: a
+Bernoulli trial with ``p = 1 - fidelity`` that, when it fires, applies a
+Pauli error to the state (or flips a readout bit).  By construction the
+probability that *no* event fires in a shot equals the analytic EPS —
+the cross-validation the evaluation harness pins on the uf20 corpus —
+so the device cost tables of :mod:`repro.devices` become executable
+physics rather than scores.
+
+A :class:`NoiseModel` also carries a global ``scale`` knob applied in
+log-fidelity space (``p(s) = 1 - (1 - p)**s``), so ``scale=0`` is
+noiseless, ``scale=1`` is the device model, and EPS is strictly
+monotone decreasing in the scale — the property the statistical
+regression test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SimulationError
+
+#: Error channel kinds the sampler understands.
+KIND_PAULI = "pauli"  #: insert a sampled Pauli into the gate stream
+KIND_READOUT = "readout"  #: flip the sampled classical bit
+
+
+@dataclass(frozen=True)
+class NoiseEvent:
+    """One independently-sampled error channel.
+
+    ``qubits`` lists the candidate qubits the error may land on (one is
+    drawn uniformly when the event fires); ``position`` is the gate-list
+    insertion point, or ``None`` to draw a uniformly random position
+    (idle decoherence has no natural location).  ``paulis`` restricts the
+    sampled error operator (pure dephasing draws only ``z``).
+    """
+
+    probability: float
+    kind: str = KIND_PAULI
+    qubits: tuple[int, ...] = ()
+    position: int | None = None
+    paulis: tuple[str, ...] = ("x", "y", "z")
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability < 1.0:
+            raise SimulationError(
+                f"event probability must be in [0, 1), got {self.probability}"
+            )
+        if self.kind not in (KIND_PAULI, KIND_READOUT):
+            raise SimulationError(f"unknown noise event kind {self.kind!r}")
+        if not self.qubits:
+            raise SimulationError("a noise event needs at least one qubit")
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """A set of independent error events plus a global scale factor."""
+
+    events: tuple[NoiseEvent, ...] = ()
+    scale: float = 1.0
+    _probabilities: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.scale < 0:
+            raise SimulationError(
+                f"noise scale must be non-negative, got {self.scale}"
+            )
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def scaled(self, scale: float) -> "NoiseModel":
+        """The same events at a different global scale."""
+        return NoiseModel(self.events, scale=scale)
+
+    def probabilities(self) -> np.ndarray:
+        """Per-event firing probability at the current scale.
+
+        Scaling happens in log-fidelity space, ``p(s) = 1-(1-p)**s``,
+        so the no-event probability is ``EPS**s`` exactly.
+        """
+        cached = self._probabilities
+        if cached is not None:
+            return cached
+        base = np.array([e.probability for e in self.events], dtype=float)
+        if self.scale != 1.0 and base.size:
+            base = -np.expm1(self.scale * np.log1p(-base))
+        object.__setattr__(self, "_probabilities", base)
+        return base
+
+    def analytic_eps(self) -> float:
+        """Probability that no event fires: the model's exact EPS."""
+        probs = self.probabilities()
+        if not probs.size:
+            return 1.0
+        return float(np.exp(np.log1p(-probs).sum()))
+
+    def describe(self) -> dict:
+        """JSON summary: event counts and total error budget per label."""
+        by_label: dict[str, dict] = {}
+        probs = self.probabilities()
+        for event, p in zip(self.events, probs):
+            entry = by_label.setdefault(
+                event.label or event.kind, {"events": 0, "log_fidelity": 0.0}
+            )
+            entry["events"] += 1
+            entry["log_fidelity"] += float(np.log1p(-p))
+        return {
+            "scale": self.scale,
+            "events": len(self.events),
+            "analytic_eps": self.analytic_eps(),
+            "channels": by_label,
+        }
+
+
+def resolve_noise(noise, events: tuple[NoiseEvent, ...]) -> NoiseModel | None:
+    """Normalize a user-facing ``noise`` argument.
+
+    ``None``/``False``/``0`` mean noiseless; a positive number is a
+    scale factor over ``events`` (the schedule's device-derived model);
+    a :class:`NoiseModel` passes through as-is.
+    """
+    if noise is None or noise is False:
+        return None
+    if isinstance(noise, NoiseModel):
+        return None if noise.scale == 0 else noise
+    if isinstance(noise, (int, float)) and not isinstance(noise, bool):
+        if noise < 0:
+            raise SimulationError(f"noise scale must be >= 0, got {noise}")
+        if noise == 0:
+            return None
+        return NoiseModel(events, scale=float(noise))
+    if noise is True:
+        return NoiseModel(events, scale=1.0)
+    raise SimulationError(
+        f"noise must be None, a scale factor, or a NoiseModel; "
+        f"got {type(noise).__name__}"
+    )

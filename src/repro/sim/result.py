@@ -1,0 +1,155 @@
+"""The :class:`ExecutionResult` record: what one simulated run produced.
+
+JSON-serializable (the service's artifact store persists it inside the
+compilation artifact) and self-contained: counts, the sampled EPS with
+its confidence interval, the QAOA quality metrics, and the ``sim.*``
+profile.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Bump when the execution dict layout changes.
+EXECUTION_SCHEMA_VERSION = 1
+
+#: z-score of the default (95%) confidence interval.
+DEFAULT_Z = 1.959963984540054
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = DEFAULT_Z
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because sampled EPS sits
+    near 0 or 1 for very noisy / nearly-noiseless programs, where the
+    normal interval collapses to zero width.
+    """
+    if trials <= 0:
+        raise ValueError("wilson_interval needs at least one trial")
+    low, high = _wilson_bound(successes, trials, z)
+    # Clamp the boundary cases exactly (float noise otherwise leaves the
+    # lower bound of 0/n at ~1e-18 instead of 0).
+    if successes == 0:
+        low = 0.0
+    if successes == trials:
+        high = 1.0
+    return (low, high)
+
+
+def _wilson_bound(successes: int, trials: int, z: float) -> tuple[float, float]:
+    phat = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    center = (phat + z2 / (2.0 * trials)) / denominator
+    half = (
+        z
+        * math.sqrt(phat * (1.0 - phat) / trials + z2 / (4.0 * trials * trials))
+        / denominator
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+@dataclass
+class ExecutionResult:
+    """One shot-based execution of a compiled artifact."""
+
+    workload: str
+    shots: int
+    #: Sampled outcome histogram; keys are little-endian bitstrings
+    #: (qubit 0 leftmost), ordered by descending count then key.
+    counts: dict[str, int] = field(default_factory=dict)
+    target: str | None = None
+    device: str | None = None
+    seed: int | None = None
+    #: ``None`` = noiseless run; otherwise the noise scale factor.
+    noise_scale: float | None = None
+    engine: str = "statevector"
+    num_qubits: int = 0
+    #: Shots in which no error event fired (readout errors included).
+    error_free_shots: int = 0
+    #: ``error_free_shots / shots``: the Monte-Carlo EPS estimate.
+    eps_sampled: float | None = None
+    #: 95% Wilson interval around :attr:`eps_sampled`.
+    eps_ci: tuple[float, float] | None = None
+    #: The noise model's exact no-event probability (cross-validates
+    #: against :func:`repro.metrics.fidelity.program_eps`).
+    eps_analytic: float | None = None
+    energy: float | None = None
+    mean_satisfied: float | None = None
+    best_satisfied: float | None = None
+    optimum_satisfied: float | None = None
+    approximation_ratio: float | None = None
+    duration_us: float | None = None
+    #: Sampler bookkeeping: events fired, trajectory bucket counts, ...
+    stats: dict = field(default_factory=dict)
+    #: ``sim.*`` profiler counters of this run.
+    profile: dict | None = None
+
+    def eps_interval(self, z: float = DEFAULT_Z) -> tuple[float, float] | None:
+        """The EPS confidence interval at a caller-chosen z-score."""
+        if self.eps_sampled is None:
+            return None
+        return wilson_interval(self.error_free_shots, self.shots, z)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": EXECUTION_SCHEMA_VERSION,
+            "workload": self.workload,
+            "shots": self.shots,
+            "counts": dict(self.counts),
+            "target": self.target,
+            "device": self.device,
+            "seed": self.seed,
+            "noise_scale": self.noise_scale,
+            "engine": self.engine,
+            "num_qubits": self.num_qubits,
+            "error_free_shots": self.error_free_shots,
+            "eps_sampled": self.eps_sampled,
+            "eps_ci": list(self.eps_ci) if self.eps_ci is not None else None,
+            "eps_analytic": self.eps_analytic,
+            "energy": self.energy,
+            "mean_satisfied": self.mean_satisfied,
+            "best_satisfied": self.best_satisfied,
+            "optimum_satisfied": self.optimum_satisfied,
+            "approximation_ratio": self.approximation_ratio,
+            "duration_us": self.duration_us,
+            "stats": dict(self.stats),
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExecutionResult":
+        if payload.get("schema") != EXECUTION_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported execution schema {payload.get('schema')!r}"
+            )
+        ci = payload.get("eps_ci")
+        return cls(
+            workload=payload["workload"],
+            shots=payload["shots"],
+            counts={str(k): int(v) for k, v in payload.get("counts", {}).items()},
+            target=payload.get("target"),
+            device=payload.get("device"),
+            seed=payload.get("seed"),
+            noise_scale=payload.get("noise_scale"),
+            engine=payload.get("engine", "statevector"),
+            num_qubits=payload.get("num_qubits", 0),
+            error_free_shots=payload.get("error_free_shots", 0),
+            eps_sampled=payload.get("eps_sampled"),
+            eps_ci=tuple(ci) if ci is not None else None,
+            eps_analytic=payload.get("eps_analytic"),
+            energy=payload.get("energy"),
+            mean_satisfied=payload.get("mean_satisfied"),
+            best_satisfied=payload.get("best_satisfied"),
+            optimum_satisfied=payload.get("optimum_satisfied"),
+            approximation_ratio=payload.get("approximation_ratio"),
+            duration_us=payload.get("duration_us"),
+            stats=payload.get("stats", {}),
+            profile=payload.get("profile"),
+        )

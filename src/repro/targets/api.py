@@ -27,6 +27,7 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
     budget_seconds: float | None = None,
     target_options: dict | None = None,
     device=None,
+    simulate=None,
     **options,
 ) -> CompilationResult:
     """Compile ``workload`` for ``target`` and return the unified result.
@@ -56,6 +57,11 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
         A registered device-profile name (see :func:`repro.list_devices`)
         or a :class:`~repro.devices.DeviceProfile`; shorthand for
         ``target_options={"device": ...}``.
+    simulate:
+        ``True`` or an options dict (``shots``, ``noise``, ``seed``,
+        ``max_trajectories``) to execute the compiled artifact on the
+        noise-aware simulator (:mod:`repro.sim`); the execution payload
+        lands on ``result.execution``.
     options:
         Target-specific compile options (e.g. ``measure=False``,
         ``compression=True`` for the FPQA path).
@@ -82,9 +88,15 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
                 else "fpqa"
             )
     resolved = get_target(target if target is not None else "fpqa", **resolved_options)
-    return resolved.compile(
-        coerce_workload(workload),
+    coerced = coerce_workload(workload)
+    result = resolved.compile(
+        coerced,
         parameters=parameters,
         budget_seconds=budget_seconds,
         **options,
     )
+    if simulate:
+        from ..sim import attach_simulation
+
+        attach_simulation(result, workload=coerced, options=simulate)
+    return result

@@ -65,6 +65,10 @@ class CompilationResult:
     #: Per-pass / per-primitive performance profile (see
     #: :mod:`repro.perf`); ``None`` for targets without instrumentation.
     profile: dict | None = None
+    #: JSON payload of a simulated execution (see :mod:`repro.sim`);
+    #: populated by ``repro.compile(..., simulate=...)`` and the
+    #: service's ``sim`` jobs.  Decode with ``ExecutionResult.from_dict``.
+    execution: dict | None = None
     cached: bool = False
 
     @property
@@ -94,6 +98,9 @@ class CompilationResult:
             "error": self.error,
             "stats": jsonify(self.stats),
             "profile": jsonify(self.profile) if self.profile is not None else None,
+            "execution": jsonify(self.execution)
+            if self.execution is not None
+            else None,
         }
         if include_program and self.program is not None:
             payload["program_wqasm"] = self.program.to_wqasm()
@@ -143,7 +150,83 @@ class CompilationResult:
             native_circuit=native_circuit,
             stats=payload.get("stats", {}),
             profile=payload.get("profile"),
+            execution=payload.get("execution"),
             cached=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution views
+    # ------------------------------------------------------------------
+    def as_circuit(self):
+        """The canonical executable circuit of this result.
+
+        For wQasm-producing targets the circuit is reconstructed from
+        the compiled *annotation stream* (pulse-to-gate replay on the
+        result's device profile) — the artifact, not the logical
+        circuit it claims — so simulating or inspecting it exercises
+        what the compiler actually emitted.  Gate-level targets return
+        their native circuit.  The returned circuit carries no
+        measurements; append them if needed.
+
+        This is the one supported way to get a circuit view of a
+        result; reaching into ``repro.checker`` internals for ad-hoc
+        reconstruction is deprecated.
+        """
+        if self.program is not None:
+            from ..checker.pulse_to_gate import reconstruct_circuit
+
+            return reconstruct_circuit(self.program, self.fpqa_hardware())
+        if self.native_circuit is not None:
+            return self.native_circuit
+        from ..exceptions import TargetError
+
+        raise TargetError(
+            f"target {self.target!r} produced neither a wQasm program nor "
+            "a circuit; there is nothing to reconstruct"
+        )
+
+    def fpqa_hardware(self):
+        """The FPQA hardware parameters this result was compiled for.
+
+        Reconstructed from the ``device_profile`` provenance; ``None``
+        when the result carries no profile (target defaults apply) or
+        the profile is not an FPQA machine.  Public seam for metric and
+        simulator code that re-evaluates a result on its own hardware.
+        """
+        if self.device_profile is None:
+            return None
+        from ..devices.profile import KIND_FPQA, DeviceProfile
+
+        profile = DeviceProfile.from_dict(self.device_profile)
+        return profile.hardware if profile.kind == KIND_FPQA else None
+
+    def simulate(
+        self,
+        shots: int = 1024,
+        noise=1.0,
+        seed=0,
+        formula=None,
+        max_trajectories: int = 8,
+        profiler=None,
+    ):
+        """Execute this result on the noise-aware simulator.
+
+        Returns an :class:`~repro.sim.ExecutionResult`; see
+        :func:`repro.sim.simulate_result` for the parameters.  Pass the
+        workload's CNF ``formula`` to get solution-quality metrics.
+        This method is pure — use ``repro.compile(..., simulate=...)``
+        to record the execution on the result itself.
+        """
+        from ..sim import simulate_result
+
+        return simulate_result(
+            self,
+            shots=shots,
+            noise=noise,
+            seed=seed,
+            formula=formula,
+            max_trajectories=max_trajectories,
+            profiler=profiler,
         )
 
     # ------------------------------------------------------------------

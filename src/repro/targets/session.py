@@ -62,14 +62,19 @@ def _canonical_device(device):
 
 def compile_spec(spec: tuple) -> CompilationResult:
     """Compile one ``(workload, target, target_options, parameters,
-    budget, options)`` spec tuple into a result row.
+    budget, options[, simulate])`` spec tuple into a result row.
 
     Module-level so specs pickle cleanly into a process pool; this is the
     shared unit of work behind ``CompilerSession.compile_many`` and the
-    :mod:`repro.service` worker shards.  Errors never propagate — they
-    become result rows, the sweep/service contract.
+    :mod:`repro.service` worker shards.  The optional seventh element is
+    a canonical simulate-options dict (see
+    :func:`repro.sim.canonical_sim_options`): the compiled artifact is
+    then executed on the noise-aware simulator and the execution payload
+    attached to the result.  Errors never propagate — they become result
+    rows, the sweep/service contract.
     """
-    workload, target_name, target_options, parameters, budget, options = spec
+    workload, target_name, target_options, parameters, budget, options, *rest = spec
+    simulate = rest[0] if rest else None
     try:
         target = get_target(target_name, **(target_options or {}))
     except Exception as exc:  # noqa: BLE001 — sessions report, never crash
@@ -82,13 +87,26 @@ def compile_spec(spec: tuple) -> CompilationResult:
             device=device if isinstance(device, str) else getattr(device, "name", None),
             error=f"{type(exc).__name__}: {exc}",
         )
-    return target.compile(
+    result = target.compile(
         workload,
         parameters=parameters,
         budget_seconds=budget,
         on_error="result",
         **options,
     )
+    if simulate and result.succeeded:
+        _simulate_row(result, workload, simulate)
+    return result
+
+
+def _simulate_row(result: CompilationResult, workload: Workload, simulate) -> None:
+    """Attach a simulated execution to a sweep row (errors become rows)."""
+    from ..sim import attach_simulation
+
+    try:
+        attach_simulation(result, workload=workload, options=simulate)
+    except Exception as exc:  # noqa: BLE001 — sweeps report, never crash
+        result.error = f"{type(exc).__name__}: {exc}"
 
 
 class CompilerSession:
@@ -224,9 +242,14 @@ class CompilerSession:
     # Compilation
     # ------------------------------------------------------------------
     def _spec(
-        self, workload: Workload, target_name: str, options: dict, device=None
+        self,
+        workload: Workload,
+        target_name: str,
+        options: dict,
+        device=None,
+        simulate=None,
     ) -> tuple:
-        return (
+        spec = (
             workload,
             target_name,
             self._target_options_for(target_name, device),
@@ -234,13 +257,46 @@ class CompilerSession:
             self.budgets.get(target_name),
             options,
         )
+        return spec + (simulate,) if simulate else spec
+
+    @staticmethod
+    def _canonical_simulate(simulate):
+        """Normalize ``simulate=`` once per call (it keys the cache)."""
+        if not simulate:
+            return None
+        from ..sim import canonical_sim_options
+
+        return canonical_sim_options(simulate)
+
+    @staticmethod
+    def _key_options(options: dict, simulate) -> dict:
+        """Cache-key view of the compile options.
+
+        The simulate options ride inside the fingerprint under a
+        reserved key, so a simulated cell never shares a cache slot with
+        its compile-only twin (or with different shots/noise/seed).
+        """
+        if not simulate:
+            return options
+        return {**options, "simulate": tuple(sorted(simulate.items()))}
 
     def compile(
-        self, workload, target: str | Target = "fpqa", device=None, **options
+        self,
+        workload,
+        target: str | Target = "fpqa",
+        device=None,
+        simulate=None,
+        **options,
     ) -> CompilationResult:
-        """Compile one cell (cached; failures become result rows)."""
+        """Compile one cell (cached; failures become result rows).
+
+        ``simulate`` executes the compiled artifact on the noise-aware
+        simulator (see :func:`repro.compile`); the execution payload is
+        part of the cached row.
+        """
         resolved = coerce_workload(workload)
         device = _canonical_device(device)
+        simulate = self._canonical_simulate(simulate)
         if isinstance(target, Target):
             if device is not None:
                 raise TargetError(
@@ -254,7 +310,10 @@ class CompilerSession:
             # across processes — a cache miss, never a wrong hit.
             name = target.name
             key = self._key(
-                resolved, name, options, target_config=sorted(vars(target).items())
+                resolved,
+                name,
+                self._key_options(options, simulate),
+                target_config=sorted(vars(target).items()),
             )
             hit = self._cache_get(key)
             if hit is not None:
@@ -266,14 +325,20 @@ class CompilerSession:
                 on_error="result",
                 **options,
             )
+            if simulate and result.succeeded:
+                _simulate_row(result, resolved, simulate)
             self._cache_put(key, result)
             return result
         name = resolve_target_name(target)
-        key = self._key(resolved, name, options, device=device)
+        key = self._key(
+            resolved, name, self._key_options(options, simulate), device=device
+        )
         hit = self._cache_get(key)
         if hit is not None:
             return hit
-        result = compile_spec(self._spec(resolved, name, options, device=device))
+        result = compile_spec(
+            self._spec(resolved, name, options, device=device, simulate=simulate)
+        )
         self._cache_put(key, result)
         return result
 
@@ -283,6 +348,7 @@ class CompilerSession:
         targets: str | Sequence[str] = "fpqa",
         parallel: int = 1,
         devices: Sequence | None = None,
+        simulate=None,
         **options,
     ) -> list[CompilationResult]:
         """Compile every (workload, target[, device]) cell, in input order.
@@ -295,8 +361,11 @@ class CompilerSession:
         at all.  ``devices`` entries are registered profile names (or
         profiles); only device-aware targets (fpqa, superconducting)
         accept them — other combinations become error rows, the sweep
-        contract.
+        contract.  ``simulate`` additionally executes every successful
+        cell on the noise-aware simulator (same seed per cell, so the
+        grid is reproducible).
         """
+        simulate = self._canonical_simulate(simulate)
         target_names = (
             [targets] if isinstance(targets, str) else list(targets)
         )
@@ -314,7 +383,9 @@ class CompilerSession:
         misses: list[int] = []
         keys: list[tuple] = []
         for index, (workload, name, device) in enumerate(jobs):
-            key = self._key(workload, name, options, device=device)
+            key = self._key(
+                workload, name, self._key_options(options, simulate), device=device
+            )
             keys.append(key)
             hit = self._cache_get(key)
             if hit is not None:
@@ -350,7 +421,9 @@ class CompilerSession:
             for index in submit:
                 workload, name, device = jobs[index]
                 result = compile_spec(
-                    self._spec(workload, name, options, device=device)
+                    self._spec(
+                        workload, name, options, device=device, simulate=simulate
+                    )
                 )
                 self._cache_put(keys[index], result)
                 results[index] = result
@@ -364,7 +437,7 @@ class CompilerSession:
                     compile_spec,
                     self._spec(
                         jobs[index][0], jobs[index][1], options,
-                        device=jobs[index][2],
+                        device=jobs[index][2], simulate=simulate,
                     ),
                 ): index
                 for index in submit

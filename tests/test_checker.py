@@ -4,7 +4,8 @@ import copy
 
 import pytest
 
-from repro.checker import EquivalenceMethod, WChecker, check_program, reconstruct_circuit
+import repro
+from repro.checker import EquivalenceMethod, WChecker, check_program
 from repro.checker.unitary_check import equivalence_check
 from repro.circuits import QuantumCircuit, circuits_equivalent
 from repro.fpqa.instructions import RamanLocal, RydbergPulse, ShuttleMove, Shuttle
@@ -49,10 +50,13 @@ class TestHappyPath:
         assert report.operations_checked > 500
         assert report.reconstructed_method == EquivalenceMethod.TOO_LARGE
 
-    def test_reconstruction_matches_logical(self, compiled_paper_example):
-        program = compiled_paper_example.program
-        rebuilt = reconstruct_circuit(program)
-        assert circuits_equivalent(rebuilt, program.logical_circuit())
+    def test_reconstruction_matches_logical(self, paper_formula):
+        # The supported reconstruction seam is CompilationResult.as_circuit
+        # (pulse-to-gate replay of the compiled artifact), not reaching
+        # into repro.checker internals.
+        result = repro.compile(paper_formula, target="fpqa", measure=False)
+        rebuilt = result.as_circuit()
+        assert circuits_equivalent(rebuilt, result.program.logical_circuit())
 
 
 def _tamper_first(program, predicate, replace):

@@ -1,0 +1,131 @@
+"""CLI tests for ``weaver simulate`` (and ``submit --simulate`` parsing)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+TINY_CNF = """c tiny
+p cnf 4 3
+1 -2 3 0
+-1 2 4 0
+2 3 -4 0
+"""
+
+
+@pytest.fixture()
+def tiny_cnf(tmp_path):
+    path = tmp_path / "tiny.cnf"
+    path.write_text(TINY_CNF, encoding="utf-8")
+    return str(path)
+
+
+def _run(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestSimulateCommand:
+    def test_happy_path_prints_all_sections(self, capsys, tiny_cnf):
+        code, out, err = _run(
+            capsys, ["simulate", tiny_cnf, "--shots", "300", "--seed", "3"]
+        )
+        assert code == 0
+        assert "sampled EPS:" in out
+        assert "95% CI" in out
+        assert "analytic EPS:" in out
+        assert "approximation ratio:" in out
+        assert "top counts" in out
+        assert "compiled tiny for fpqa" in err
+        assert "simulated 300 shots" in err
+
+    def test_same_seed_is_bit_identical(self, capsys, tiny_cnf):
+        argv = ["simulate", tiny_cnf, "--shots", "250", "--seed", "9"]
+        _, first, _ = _run(capsys, argv)
+        _, second, _ = _run(capsys, argv)
+        assert first == second
+        _, other, _ = _run(
+            capsys, ["simulate", tiny_cnf, "--shots", "250", "--seed", "10"]
+        )
+        assert other != first
+
+    def test_no_noise_flag(self, capsys, tiny_cnf):
+        code, out, _ = _run(
+            capsys, ["simulate", tiny_cnf, "--shots", "100", "--no-noise"]
+        )
+        assert code == 0
+        assert "noise: off" in out
+        assert "sampled EPS: 1 " in out
+
+    def test_json_output_parses(self, capsys, tiny_cnf):
+        code, out, _ = _run(
+            capsys, ["simulate", tiny_cnf, "--shots", "120", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["shots"] == 120
+        assert payload["eps_sampled"] is not None
+        assert sum(payload["counts"].values()) == 120
+
+    def test_device_selection(self, capsys, tiny_cnf):
+        code, out, err = _run(
+            capsys,
+            ["simulate", tiny_cnf, "--device", "rubidium-nextgen", "--shots", "50"],
+        )
+        assert code == 0
+        assert "on rubidium-nextgen" in err
+
+    def test_missing_input_is_user_error(self, capsys):
+        code, _, err = _run(capsys, ["simulate", "/does/not/exist.cnf"])
+        assert code == 2
+        assert "error:" in err
+
+    def test_bad_satlib_name_is_user_error(self, capsys):
+        code, _, err = _run(capsys, ["simulate", "uf19-01", "--shots", "10"])
+        assert code == 2
+        assert "error:" in err
+
+    def test_unknown_device_is_user_error(self, capsys, tiny_cnf):
+        code, _, err = _run(
+            capsys, ["simulate", tiny_cnf, "--device", "pixie-dust"]
+        )
+        assert code == 2
+
+
+@pytest.mark.slow
+class TestAcceptanceCommand:
+    """The ISSUE acceptance bar, exact flags, run twice."""
+
+    ARGV = [
+        "simulate",
+        "--target", "fpqa",
+        "--device", "rubidium-baseline",
+        "uf20-01",
+        "--shots", "2000",
+        "--seed", "7",
+    ]
+
+    def test_prints_counts_eps_ci_and_ratio_bit_identically(self, capsys):
+        code, first, err = _run(capsys, self.ARGV)
+        assert code == 0
+        assert "top counts" in first
+        assert "sampled EPS:" in first and "95% CI" in first
+        assert "approximation ratio:" in first
+        assert "on rubidium-baseline" in err
+        code, second, _ = _run(capsys, self.ARGV)
+        assert code == 0
+        assert first == second
+
+        # The sampled estimate brackets the analytic model: parse the
+        # CI and the analytic line back out of the human output.
+        lines = {
+            line.split(":")[0]: line for line in first.splitlines() if ":" in line
+        }
+        ci_text = lines["sampled EPS"].split("95% CI ")[1].split(",")[0]
+        low, high = (float(part) for part in ci_text.split("-"))
+        analytic = float(lines["analytic EPS"].split(": ")[1])
+        assert low <= analytic <= high

@@ -1,0 +1,164 @@
+"""``sim`` jobs through the compilation service and its socket protocol."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+import repro
+from repro import CnfFormula
+from repro.exceptions import SimulationError
+from repro.service import CompilationService
+from repro.service.artifacts import ArtifactStore, artifact_key
+from repro.targets.workload import Workload
+
+
+@pytest.fixture()
+def formula():
+    return CnfFormula.from_lists(
+        [[1, -2, 3], [-1, 2, 4], [2, 3, -4]], num_vars=4, name="svc-sim"
+    )
+
+
+SIM = {"shots": 120, "seed": 5}
+
+
+class TestSimJobs:
+    def test_sim_job_kind_and_execution_payload(self, formula):
+        async def run():
+            async with CompilationService(shards=1, backend="inline") as service:
+                job = await service.submit(formula, target="fpqa", simulate=SIM)
+                result = await job
+                assert job.kind == "sim"
+                assert job.describe()["kind"] == "sim"
+                assert result.execution is not None
+                assert result.execution["shots"] == 120
+                stats = service.stats()
+                assert "service.sim.fpqa" in stats["profile"]["primitives"]
+
+        asyncio.run(run())
+
+    def test_sim_and_compile_jobs_have_distinct_artifacts(self, formula):
+        async def run():
+            async with CompilationService(shards=1, backend="inline") as service:
+                sim_job = await service.submit(formula, target="fpqa", simulate=SIM)
+                compile_job = await service.submit(formula, target="fpqa")
+                assert sim_job.key != compile_job.key
+                sim_result = await sim_job
+                compile_result = await compile_job
+                assert sim_result.execution is not None
+                assert compile_result.execution is None
+                assert compile_job.kind == "compile"
+
+        asyncio.run(run())
+
+    def test_warm_resubmission_is_byte_identical(self, formula):
+        async def run():
+            store = ArtifactStore()
+            async with CompilationService(
+                shards=1, backend="inline", store=store
+            ) as service:
+                first = await service.submit(formula, target="fpqa", simulate=SIM)
+                await first
+                second = await service.submit(formula, target="fpqa", simulate=SIM)
+                result = await second
+                assert second.from_cache
+                assert result.execution == (await first.future).execution
+                assert store.get_bytes(first.key) == store.get_bytes(second.key)
+
+        asyncio.run(run())
+
+    def test_artifact_key_covers_sim_options(self, formula):
+        workload = Workload.from_formula(formula)
+        base = artifact_key(workload, "fpqa")
+        assert base == artifact_key(workload, "fpqa", simulate=None)
+        with_sim = artifact_key(
+            workload, "fpqa", simulate={"shots": 100, "seed": 1}
+        )
+        other_seed = artifact_key(
+            workload, "fpqa", simulate={"shots": 100, "seed": 2}
+        )
+        assert len({base, with_sim, other_seed}) == 3
+
+    def test_invalid_sim_options_rejected_up_front(self, formula):
+        async def run():
+            async with CompilationService(shards=1, backend="inline") as service:
+                with pytest.raises(SimulationError):
+                    await service.submit(
+                        formula, target="fpqa", simulate={"shots": -1}
+                    )
+
+        asyncio.run(run())
+
+    def test_unsimulatable_target_becomes_error_row(self, formula):
+        async def run():
+            async with CompilationService(shards=1, backend="inline") as service:
+                job = await service.submit(formula, target="atomique", simulate=SIM)
+                result = await job
+                assert result.error is not None
+                assert "SimulationError" in result.error
+
+        asyncio.run(run())
+
+    def test_submit_many_threads_simulate(self, formula):
+        async def run():
+            async with CompilationService(shards=1, backend="inline") as service:
+                jobs = await service.submit_many(
+                    [formula], targets=("fpqa", "superconducting"), simulate=SIM
+                )
+                results = await service.gather(jobs)
+                assert all(r.execution is not None for r in results)
+
+        asyncio.run(run())
+
+
+class TestSocketProtocol:
+    def test_submit_with_simulate_over_socket(self, formula, tmp_path):
+        from repro.service import ServiceClient, ServiceServer
+
+        socket_path = tmp_path / "weaver-sim.sock"
+
+        async def run():
+            service = CompilationService(shards=1, backend="inline")
+            server = ServiceServer(service, socket_path)
+            await server.start()
+            try:
+                client = await ServiceClient.connect(socket_path)
+                try:
+                    out = await client.submit(formula, target="fpqa", simulate=SIM)
+                    assert out.result.execution is not None
+                    assert out.result.execution["shots"] == 120
+                    assert out.raw["execution"]["seed"] == 5
+                    jobs = await client.jobs()
+                    assert any(job["kind"] == "sim" for job in jobs)
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_malformed_simulate_is_user_error(self, formula, tmp_path):
+        from repro.service import ServiceClient, ServiceServer
+        from repro.exceptions import TargetError
+
+        socket_path = tmp_path / "weaver-sim2.sock"
+
+        async def run():
+            service = CompilationService(shards=1, backend="inline")
+            server = ServiceServer(service, socket_path)
+            await server.start()
+            try:
+                client = await ServiceClient.connect(socket_path)
+                try:
+                    with pytest.raises(TargetError):
+                        await client.submit(
+                            formula, target="fpqa", simulate={"bogus": 1}
+                        )
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(run())

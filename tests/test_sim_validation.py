@@ -1,0 +1,38 @@
+"""Acceptance: sampled EPS agrees with the analytic model on uf20.
+
+The full-corpus sweep is the evaluation hook of the ISSUE acceptance
+criteria: for every fixed-size uf20 instance, the Monte-Carlo EPS
+estimate of a 2000-shot simulated execution must bracket
+``metrics.fidelity.program_eps`` within the confidence bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import FIXED_SIZE_INSTANCES, eps_cross_validation
+
+pytestmark = pytest.mark.slow
+
+
+def test_uf20_corpus_sampled_eps_within_ci():
+    rows = eps_cross_validation(shots=2000, seed=7)
+    assert len(rows) == len(FIXED_SIZE_INSTANCES)
+    for row in rows:
+        # The event product and the metric are the same model computed
+        # two ways; they must agree to float precision.
+        assert row["model_eps"] == pytest.approx(row["analytic_eps"], rel=1e-9)
+        assert row["within_ci"], row
+        # And the estimate itself is close in absolute terms.
+        assert abs(row["sampled_eps"] - row["analytic_eps"]) < 0.05
+
+
+def test_noise_scale_shifts_the_analytic_target():
+    rows = eps_cross_validation(
+        instances=FIXED_SIZE_INSTANCES[:2], shots=1200, seed=3, noise=2.0
+    )
+    for row in rows:
+        assert row["analytic_eps"] == pytest.approx(
+            row["model_eps"], rel=1e-9
+        )
+        assert row["within_ci"], row
