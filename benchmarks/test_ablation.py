@@ -10,7 +10,7 @@ from conftest import run_once
 from repro.evaluation import format_table, load_workload
 from repro.fpqa import FPQAHardwareParams, zone_layout
 from repro.metrics import program_duration_us, program_eps
-from repro.passes import WeaverFPQACompiler, plan_waves
+from repro.passes import WeaverFPQACompiler
 from repro.passes.clause_coloring import ClauseColoringPass
 from repro.passes.color_shuttling import plan_zone_moves
 

@@ -8,7 +8,7 @@ against regressions.
 from repro.circuits import QuantumCircuit, circuit_unitary
 from repro.coloring import clause_conflict_graph, dsatur_coloring
 from repro.evaluation import load_workload
-from repro.fpqa import FPQAHardwareParams, zone_layout
+from repro.fpqa import FPQAHardwareParams
 from repro.passes import WeaverFPQACompiler, plan_waves
 from repro.qaoa import qaoa_circuit
 from repro.qasm import circuit_to_qasm, qasm_to_circuit

@@ -48,6 +48,10 @@ setup(
             "pytest-cov>=4",
             "hypothesis>=6",
         ],
+        "lint": [
+            "ruff>=0.4",
+            "mypy>=1.8",
+        ],
     },
     entry_points={
         "console_scripts": [

@@ -25,7 +25,14 @@ API centers on one retargetable entrypoint backed by a target registry:
   ``result.simulate(...)``, ``weaver simulate``, and ``sim`` service
   jobs replay the *compiled artifact* shot by shot under a Monte-Carlo
   noise model derived from the device profile, returning counts,
-  sampled EPS with confidence interval, and QAOA solution quality.
+  sampled EPS with confidence interval, and QAOA solution quality;
+* :mod:`repro.analysis` — the wLint static verification layer: one
+  linear abstract-interpretation pass over the compiled artifact that
+  proves constraint safety (shuttle order, trap occupancy, pulse-gate
+  agreement, cost bounds) without simulation —
+  ``repro.compile(..., analyze=...)``, ``result.analyze()``, ``weaver
+  lint``, and ``lint`` service jobs; the cheapest tier of the evidence
+  ladder (lint -> wChecker -> simulate).
 
 The paper's three components remain available underneath:
 
@@ -135,13 +142,14 @@ from .targets import (
     target_info,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def __getattr__(name: str):
-    # The service layer (asyncio server, socket client, artifact store)
-    # and the execution simulator load lazily: importing repro must stay
-    # cheap for one-shot compile scripts that never touch them.
+    # The service layer (asyncio server, socket client, artifact store),
+    # the execution simulator, and the static analyzer load lazily:
+    # importing repro must stay cheap for one-shot compile scripts that
+    # never touch them.
     if name in (
         "ArtifactStore",
         "CompilationService",
@@ -163,10 +171,25 @@ def __getattr__(name: str):
         from . import sim
 
         return getattr(sim, name)
+    if name in (
+        "AnalysisReport",
+        "Diagnostic",
+        "LintRule",
+        "Severity",
+        "SourceLocation",
+        "analyze_circuit",
+        "analyze_program",
+        "analyze_result",
+        "format_report",
+    ):
+        from . import analysis
+
+        return getattr(analysis, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "AnalysisReport",
     "AnnotationError",
     "ArtifactStore",
     "CheckReport",
@@ -183,6 +206,7 @@ __all__ = [
     "DeviceError",
     "DeviceProfile",
     "DeviceSpecError",
+    "Diagnostic",
     "EquivalenceError",
     "ExecutionResult",
     "FPQACostModel",
@@ -192,6 +216,7 @@ __all__ = [
     "FPQAHardwareParams",
     "Gate",
     "Instruction",
+    "LintRule",
     "NoiseModel",
     "OptimizationFlags",
     "QaoaParameters",
@@ -202,7 +227,9 @@ __all__ = [
     "SatError",
     "ServiceClient",
     "ServiceServer",
+    "Severity",
     "SimulationError",
+    "SourceLocation",
     "StatevectorEngine",
     "SuperconductingTranspiler",
     "Target",
@@ -216,6 +243,9 @@ __all__ = [
     "WeaverFPQACompiler",
     "Workload",
     "WorkloadError",
+    "analyze_circuit",
+    "analyze_program",
+    "analyze_result",
     "available_targets",
     "check_program",
     "circuit_statevector",
@@ -228,6 +258,7 @@ __all__ = [
     "cost_model_for",
     "device_info",
     "format_profile_table",
+    "format_report",
     "formula_polynomial",
     "get_device",
     "get_target",

@@ -1,0 +1,139 @@
+"""wLint entry points: analyze programs, circuits, and compiled results.
+
+Three tiers of evidence back a compiled artifact, cheapest first:
+
+1. ``weaver lint`` — this module: one linear static pass, no simulation;
+2. the wChecker — dynamic pulse replay plus unitary equivalence;
+3. ``repro.sim`` — full noise-aware execution.
+
+The functions here are the first tier, shared by
+:meth:`CompilationResult.analyze`, ``repro.compile(..., analyze=)``,
+the ``weaver lint`` CLI command, and the service's ``lint`` job kind.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..exceptions import AnalysisError
+from ..fpqa.hardware import FPQAHardwareParams
+from ..wqasm.program import WQasmProgram
+from .bounds import BOUNDS_RULES, check_bounds
+from .circuit import CIRCUIT_RULES, check_circuit
+from .diagnostics import AnalysisReport
+from .program import PROGRAM_RULES, ProgramAnalyzer
+
+_OPTION_KEYS = ()  # reserved: analyze currently takes no tuning knobs
+
+
+def canonical_analyze_options(analyze) -> dict | None:
+    """Normalize an ``analyze=`` argument into a canonical options dict.
+
+    ``None``/``False`` disable analysis; ``True`` or ``{}`` select the
+    defaults.  The canonical form is JSON-stable — it keys session
+    caches and service artifacts, exactly like
+    :func:`~repro.sim.canonical_sim_options`.
+    """
+    if analyze is None or analyze is False:
+        return None
+    if analyze is True:
+        return {}
+    if not isinstance(analyze, dict):
+        raise AnalysisError(
+            f"analyze must be a bool or an options dict, got "
+            f"{type(analyze).__name__}"
+        )
+    unknown = set(analyze) - set(_OPTION_KEYS)
+    if unknown:
+        raise AnalysisError(
+            f"unknown analyze option(s): {', '.join(sorted(unknown))}"
+        )
+    return dict(analyze)
+
+
+def analyze_program(
+    program: WQasmProgram,
+    hardware: FPQAHardwareParams | None = None,
+    expected: dict | None = None,
+    name: str | None = None,
+) -> AnalysisReport:
+    """Statically verify one wQasm program (the FPQA path of wLint).
+
+    ``expected`` optionally carries recorded result metrics
+    (``num_pulses``, ``execution_seconds``, ``eps``) for the cost-model
+    bounds pass; without it the bounds rules only check the coherence
+    budget.
+    """
+    start = perf_counter()
+    hardware = hardware or FPQAHardwareParams()
+    report = AnalysisReport(
+        artifact=name or program.name, num_qubits=program.num_qubits
+    )
+    sink = report.diagnostics.append
+    analyzer = ProgramAnalyzer(program, hardware, sink)
+    report.stats.update(analyzer.run())
+    report.stats.update(
+        check_bounds(program, hardware, expected or {}, sink)
+    )
+    report.instructions_scanned = analyzer.instructions_scanned
+    report.rules_run = tuple(
+        rule.code for rule in PROGRAM_RULES + BOUNDS_RULES
+    )
+    report.analysis_seconds = perf_counter() - start
+    return report
+
+
+def analyze_circuit(circuit, name: str | None = None) -> AnalysisReport:
+    """Statically verify a gate-level circuit (non-pulse targets)."""
+    start = perf_counter()
+    report = AnalysisReport(
+        artifact=name or getattr(circuit, "name", "circuit"),
+        num_qubits=getattr(circuit, "num_qubits", 0),
+    )
+    report.stats.update(check_circuit(circuit, report.diagnostics.append))
+    report.instructions_scanned = report.stats.get("circuit_instructions", 0)
+    report.rules_run = tuple(rule.code for rule in CIRCUIT_RULES)
+    report.analysis_seconds = perf_counter() - start
+    return report
+
+
+def analyze_result(result) -> AnalysisReport:
+    """Statically verify a :class:`~repro.targets.result.CompilationResult`.
+
+    FPQA results get the full pulse-IR dataflow analysis against the
+    device profile they were compiled for, with their recorded metrics
+    cross-checked; gate-level results get the circuit-IR checks.
+    """
+    name = f"{result.workload}@{result.target}"
+    if result.program is not None:
+        return analyze_program(
+            result.program,
+            hardware=result.fpqa_hardware(),
+            expected={
+                "num_pulses": result.num_pulses,
+                "execution_seconds": result.execution_seconds,
+                "eps": result.eps,
+            },
+            name=name,
+        )
+    if result.native_circuit is not None:
+        return analyze_circuit(result.native_circuit, name=name)
+    raise AnalysisError(
+        f"result for {name} carries neither a wQasm program nor a "
+        "circuit; there is nothing to analyze"
+    )
+
+
+def attach_analysis(result, options=None) -> AnalysisReport:
+    """Analyze ``result`` and record the report on the result itself.
+
+    The report payload lands in ``result.analysis`` (JSON-safe, so it
+    rides through every result serializer, cache, and artifact store).
+    Returns the live :class:`AnalysisReport`.
+    """
+    canonical = canonical_analyze_options(True if options is None else options)
+    if canonical is None:
+        raise AnalysisError("attach_analysis called with analysis disabled")
+    report = analyze_result(result)
+    result.analysis = report.to_dict()
+    return report

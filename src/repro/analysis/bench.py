@@ -1,0 +1,115 @@
+"""Measure wLint vs wChecker speed and append to ``BENCH_lint.json``.
+
+The static-analysis counterpart of :mod:`repro.perf.bench`: compiles a
+workload grid, times the analyzer and the checker warm (best of N on the
+same artifact in the same process), and appends one run record to the
+repo-committed trajectory file::
+
+    python -m repro.analysis.bench --output BENCH_lint.json --label "PR 6"
+
+File format is :data:`repro.perf.bench.BENCH_SCHEMA_VERSION` with cells::
+
+    {"workload": ..., "num_pulses": ..., "lint_seconds": ...,
+     "checker_seconds": ..., "speedup": ...}
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+DEFAULT_WORKLOADS = ("uf20-01", "uf50-01", "uf100-01")
+DEFAULT_OUTPUT = "BENCH_lint.json"
+
+
+def _best_of(func, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_lint_bench(
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    repeats: int = 3,
+    verbose: bool = False,
+) -> dict:
+    """Measure the grid and return one run record (no file I/O)."""
+    import repro
+    from ..checker import check_program
+    from .api import analyze_result
+
+    cells = []
+    for name in workloads:
+        formula = repro.satlib_instance(name)
+        result = repro.compile(formula, target="fpqa")
+        # Warm both tiers before timing (memoized rotations, cluster
+        # geometry, reconstruction caches).
+        analyze_result(result)
+        check_program(result.program)
+        lint = _best_of(lambda: analyze_result(result), repeats)
+        checker = _best_of(lambda: check_program(result.program), repeats)
+        cell = {
+            "workload": name,
+            "num_vars": formula.num_vars,
+            "num_pulses": result.num_pulses,
+            "repeats": repeats,
+            "lint_seconds": lint,
+            "checker_seconds": checker,
+            "speedup": checker / lint,
+        }
+        cells.append(cell)
+        if verbose:
+            print(
+                f"[lint-bench] {name}: lint {lint * 1e3:.1f} ms, "
+                f"checker {checker * 1e3:.1f} ms "
+                f"({cell['speedup']:.1f}x)",
+                file=sys.stderr,
+            )
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or platform.machine(),
+        },
+        "cells": cells,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    from ..perf.bench import write_bench_file
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.bench", description=__doc__
+    )
+    parser.add_argument(
+        "--workloads", default=",".join(DEFAULT_WORKLOADS),
+        help="comma-separated SATLIB names (default %(default)s)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--label", default=None, help="run label in the record")
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help="trajectory file to append to (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    run = run_lint_bench(
+        tuple(w.strip() for w in args.workloads.split(",") if w.strip()),
+        repeats=args.repeats,
+        verbose=True,
+    )
+    if args.label:
+        run["label"] = args.label
+    path = write_bench_file(run, args.output)
+    print(f"[lint-bench] appended run to {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Program mutators: the wLint fault-injection corpus.
+
+Each function takes a compiled :class:`~repro.wqasm.program.WQasmProgram`
+and returns a *mutated copy* exhibiting one realistic miscompilation
+class.  They are the static-analysis counterpart of
+:meth:`FPQADevice.lose_atom <repro.fpqa.device.FPQADevice.lose_atom>`:
+tests mutate a known-good artifact and assert the analyzer flags it,
+which is the only way to measure the analyzer's catch rate rather than
+its opinion of healthy programs.
+
+The four classes mirror the ways a codegen bug would actually corrupt a
+program: reordered/mis-sized shuttle batches, wrong rotation angles,
+dropped trap handoffs, and duplicated bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..exceptions import AnalysisError
+from ..fpqa.instructions import (
+    BindAtom,
+    ParallelShuttle,
+    RamanLocal,
+    Transfer,
+)
+from ..wqasm.program import AnnotatedOperation, WQasmProgram
+
+
+def _copy_with_operations(
+    program: WQasmProgram, operations: list[AnnotatedOperation]
+) -> WQasmProgram:
+    return WQasmProgram(
+        num_qubits=program.num_qubits,
+        setup=program.setup,
+        operations=operations,
+        measured=program.measured,
+        name=f"{program.name}-mutant",
+    )
+
+
+def _replace_instruction(
+    program: WQasmProgram, op_index: int, instr_index: int, instruction
+) -> WQasmProgram:
+    operations = list(program.operations)
+    operation = operations[op_index]
+    instructions = list(operation.instructions)
+    instructions[instr_index] = instruction
+    operations[op_index] = AnnotatedOperation(
+        tuple(instructions), operation.gates
+    )
+    return _copy_with_operations(program, operations)
+
+
+def corrupt_shuttle_order(program: WQasmProgram) -> WQasmProgram:
+    """Corrupt the first parallel shuttle group.
+
+    With two or more moves, the offsets of the first and last move are
+    swapped (rows/columns end up at each other's destinations — the
+    classic order-preservation break); a single-move group gets its
+    offset displaced so the row/column lands off its planned trap.
+    """
+    for op_index, operation in enumerate(program.operations):
+        for instr_index, instruction in enumerate(operation.instructions):
+            if not isinstance(instruction, ParallelShuttle):
+                continue
+            moves = list(instruction.moves)
+            if len(moves) >= 2:
+                first, last = moves[0], moves[-1]
+                moves[0] = replace(first, offset=last.offset)
+                moves[-1] = replace(last, offset=first.offset)
+            else:
+                moves[0] = replace(moves[0], offset=moves[0].offset + 3.0)
+            return _replace_instruction(
+                program, op_index, instr_index, ParallelShuttle(tuple(moves))
+            )
+    raise AnalysisError(f"{program.name} contains no parallel shuttle to corrupt")
+
+
+def wrong_raman_angle(program: WQasmProgram, delta: float = 0.3) -> WQasmProgram:
+    """Perturb the x Euler angle of the first local Raman pulse."""
+    for op_index, operation in enumerate(program.operations):
+        for instr_index, instruction in enumerate(operation.instructions):
+            if isinstance(instruction, RamanLocal):
+                return _replace_instruction(
+                    program,
+                    op_index,
+                    instr_index,
+                    replace(instruction, x=instruction.x + delta),
+                )
+    raise AnalysisError(f"{program.name} contains no local Raman pulse to corrupt")
+
+
+def drop_transfer(program: WQasmProgram) -> WQasmProgram:
+    """Delete the first SLM<->AOD transfer (a dropped trap handoff)."""
+    for op_index, operation in enumerate(program.operations):
+        for instr_index, instruction in enumerate(operation.instructions):
+            if isinstance(instruction, Transfer):
+                instructions = list(operation.instructions)
+                del instructions[instr_index]
+                operations = list(program.operations)
+                operations[op_index] = AnnotatedOperation(
+                    tuple(instructions), operation.gates
+                )
+                return _copy_with_operations(program, operations)
+    raise AnalysisError(f"{program.name} contains no transfer to drop")
+
+
+def duplicate_bind(program: WQasmProgram) -> WQasmProgram:
+    """Make the second setup bind re-bind the first bind's qubit.
+
+    One qubit ends up bound twice and another never bound — the double
+    miscount a broken setup emitter would produce.
+    """
+    binds = [
+        (index, instruction)
+        for index, instruction in enumerate(program.setup)
+        if isinstance(instruction, BindAtom)
+    ]
+    if len(binds) < 2:
+        raise AnalysisError(f"{program.name} has fewer than two setup binds")
+    (_, first), (second_index, second) = binds[0], binds[1]
+    setup = list(program.setup)
+    setup[second_index] = replace(second, qubit=first.qubit)
+    return WQasmProgram(
+        num_qubits=program.num_qubits,
+        setup=tuple(setup),
+        operations=list(program.operations),
+        measured=program.measured,
+        name=f"{program.name}-mutant",
+    )
+
+
+#: The named fault-injection corpus: mutation class -> mutator.
+ALL_MUTATIONS = {
+    "corrupted-shuttle-order": corrupt_shuttle_order,
+    "wrong-raman-angle": wrong_raman_angle,
+    "dropped-transfer": drop_transfer,
+    "bad-bind": duplicate_bind,
+}

@@ -1,0 +1,312 @@
+"""The pulse-IR dataflow pass: one linear walk over a wQasm program.
+
+This is the static counterpart of the wChecker's dynamic replay.  Where
+the checker reconstructs unitaries per operation (the paper's O(N^2 M)
+layer), this pass drives the :class:`AbstractDeviceState` through the
+instruction stream once and checks, per operation, that the *recorded*
+logical gates are consistent with what the pulse would physically do:
+
+* Raman pulses must rotate exactly the qubits their recorded gates name,
+  by the same unitary (compared up to global phase, memoized per unique
+  angle/gate pair — compiled programs reuse a handful of rotations);
+* Rydberg pulses must entangle exactly the clusters the static geometry
+  implies, with gate names matching cluster arity;
+* occupancy, shuttle-order, and liveness invariants hold throughout.
+
+The pass never simulates state vectors, which is what makes ``weaver
+lint`` an order of magnitude cheaper than the checker on real programs.
+"""
+
+from __future__ import annotations
+
+from ..circuits.gates import gate_matrix
+from ..fpqa.hardware import FPQAHardwareParams
+from ..fpqa.instructions import RamanGlobal, RamanLocal, RydbergPulse
+from ..wqasm.program import AnnotatedOperation, WQasmProgram
+from . import registry as R
+from .diagnostics import SourceLocation
+from .model import AbstractDeviceState, Sink
+
+#: Rule families exercised by this pass (stamped into ``rules_run``).
+PROGRAM_RULES = (
+    R.LAYER_UNINITIALIZED, R.LAYER_REINITIALIZED, R.TRAP_SPACING,
+    R.SHUTTLE_RANGE, R.SHUTTLE_ORDER, R.SHUTTLE_CONFLICT,
+    R.DOUBLE_BIND, R.BIND_OCCUPIED, R.BIND_RANGE,
+    R.TRANSFER_INVALID, R.TRANSFER_RANGE, R.TRANSFER_DISTANCE,
+    R.READOUT_ORPHAN, R.RAMAN_UNBOUND,
+    R.QUBIT_NEVER_BOUND, R.QUBIT_UNCOVERED, R.GATE_QUBIT_RANGE,
+    R.CLUSTER_MISMATCH, R.CLUSTER_ARITY, R.CLUSTER_EQUIDISTANCE,
+    R.RAMAN_GATE_MISMATCH, R.PULSE_GATE_ORPHAN,
+)
+
+_EXPECTED_CLUSTER_GATE = {2: "cz", 3: "ccz"}
+
+_PULSE_TYPES = frozenset((RamanLocal, RamanGlobal, RydbergPulse))
+
+#: (x, y, z, gate) -> whether Rz(z)Ry(y)Rx(x) equals the gate's unitary
+#: up to global phase.  Compiled programs draw their rotations from a
+#: small set (the wOptimizer's own Raman caches), so this stays tiny.
+_raman_match_cache: dict[tuple, bool] = {}
+
+
+def _raman_matches_gate(x: float, y: float, z: float, gate) -> bool:
+    key = (x, y, z, gate.name, gate.params, gate.num_qubits)
+    hit = _raman_match_cache.get(key)
+    if hit is not None:
+        return hit
+    if gate.num_qubits != 1:
+        _raman_match_cache[key] = False
+        return False
+    pulse = gate_matrix("raman", (x, y, z))
+    try:
+        recorded = gate.matrix()
+    except Exception:  # noqa: BLE001 — malformed gate = mismatch, not crash
+        _raman_match_cache[key] = False
+        return False
+    # Global-phase-insensitive comparison: align on the largest pulse entry.
+    anchor = max(range(4), key=lambda i: abs(pulse.flat[i]))
+    ref = recorded.flat[anchor]
+    ok = False
+    if abs(ref) > 1e-12:
+        phase = pulse.flat[anchor] / ref
+        ok = bool(abs(abs(phase) - 1.0) < 1e-9) and all(
+            abs(pulse.flat[i] - phase * recorded.flat[i]) < 1e-7 for i in range(4)
+        )
+    _raman_match_cache[key] = ok
+    return ok
+
+
+class ProgramAnalyzer:
+    """Single-pass abstract interpretation of one wQasm program."""
+
+    def __init__(
+        self,
+        program: WQasmProgram,
+        hardware: FPQAHardwareParams | None,
+        sink: Sink,
+    ):
+        self.program = program
+        self.hardware = hardware or FPQAHardwareParams()
+        self.sink = sink
+        self.state = AbstractDeviceState(self.hardware, sink)
+        self.covered: set[int] = set()
+        self.instructions_scanned = 0
+
+    def report(
+        self,
+        rule: R.LintRule,
+        message: str,
+        location: SourceLocation,
+        qubits: tuple[int, ...] = (),
+    ) -> None:
+        self.sink(rule.diagnostic(message, location=location, qubits=qubits))
+
+    # ------------------------------------------------------------------
+    def run(self) -> dict:
+        state = self.state
+        state.op_index = -1
+        for index, instruction in enumerate(self.program.setup):
+            state.instr_index = index
+            state.apply(instruction)
+            self.instructions_scanned += 1
+        for op_index, operation in enumerate(self.program.operations):
+            self._walk_operation(op_index, operation)
+        self._finalize()
+        return {
+            "cluster_resolutions": self.state.cluster_resolutions,
+            "qubits_covered": len(self.covered),
+        }
+
+    # ------------------------------------------------------------------
+    def _walk_operation(self, op_index: int, operation: AnnotatedOperation) -> None:
+        state = self.state
+        state.op_index = op_index
+        apply = state.apply
+        is_pulse = _PULSE_TYPES.__contains__
+        pulses: list[tuple[int, object]] = []
+        index = -1
+        for instruction in operation.instructions:
+            index += 1
+            state.instr_index = index
+            # RydbergPulse is a no-op on state (clusters are resolved
+            # lazily in the agreement check); skipping apply() keeps the
+            # clean path to one dispatch per instruction.
+            if is_pulse(type(instruction)):
+                if type(instruction) is not RydbergPulse:
+                    apply(instruction)
+                pulses.append((index, instruction))
+            else:
+                apply(instruction)
+        self.instructions_scanned += index + 1
+
+        covered = self.covered
+        for gate in operation.gates:
+            covered.update(gate.qubits)
+
+        if not pulses:
+            if operation.gates:
+                names = ", ".join(g.name for g in operation.gates[:4])
+                self.report(
+                    R.PULSE_GATE_ORPHAN,
+                    f"operation records gate(s) {names} but contains no pulse",
+                    SourceLocation(operation=op_index),
+                )
+            return
+        if len(pulses) > 1:
+            # Hand-written programs may batch several pulses under one
+            # statement; the gate association is ambiguous, so the
+            # agreement check conservatively stands down.
+            return
+        index, pulse = pulses[0]
+        location = SourceLocation(operation=op_index, instruction=index)
+        if isinstance(pulse, RamanLocal):
+            self._check_raman_local(pulse, operation, location)
+        elif isinstance(pulse, RamanGlobal):
+            self._check_raman_global(pulse, operation, location)
+        else:
+            self._check_rydberg(operation, location)
+
+    # ------------------------------------------------------------------
+    def _check_raman_local(self, pulse, operation, location) -> None:
+        gates = operation.gates
+        if len(gates) != 1 or gates[0].qubits != (pulse.qubit,):
+            recorded = [f"{g.name}{list(g.qubits)}" for g in gates] or ["nothing"]
+            self.report(
+                R.PULSE_GATE_ORPHAN,
+                f"@raman local on qubit {pulse.qubit} records "
+                f"{', '.join(recorded)}; expected exactly one gate on that qubit",
+                location,
+                qubits=(pulse.qubit,),
+            )
+            return
+        if not _raman_matches_gate(pulse.x, pulse.y, pulse.z, gates[0].gate):
+            self.report(
+                R.RAMAN_GATE_MISMATCH,
+                f"@raman local ({pulse.x:.4f}, {pulse.y:.4f}, {pulse.z:.4f}) "
+                f"does not implement the recorded {gates[0].name} gate on "
+                f"qubit {pulse.qubit}",
+                location,
+                qubits=(pulse.qubit,),
+            )
+
+    def _check_raman_global(self, pulse, operation, location) -> None:
+        bound = set(self.state.qubit_location)
+        recorded: set[int] = set()
+        for gate in operation.gates:
+            recorded.update(gate.qubits)
+            if gate.gate.num_qubits != 1:
+                self.report(
+                    R.PULSE_GATE_ORPHAN,
+                    f"@raman global records multi-qubit gate {gate.name}",
+                    location,
+                )
+                return
+        if recorded != bound:
+            missing = sorted(bound - recorded)
+            extra = sorted(recorded - bound)
+            self.report(
+                R.PULSE_GATE_ORPHAN,
+                "@raman global drives every bound atom, but the recorded "
+                f"gates disagree (unrecorded qubits {missing}, "
+                f"recorded-but-unbound {extra})",
+                location,
+                qubits=tuple(missing + extra),
+            )
+        checked: set = set()
+        for gate in operation.gates:
+            key = (gate.name, gate.params)
+            if key in checked:
+                continue
+            checked.add(key)
+            if not _raman_matches_gate(pulse.x, pulse.y, pulse.z, gate.gate):
+                self.report(
+                    R.RAMAN_GATE_MISMATCH,
+                    f"@raman global ({pulse.x:.4f}, {pulse.y:.4f}, {pulse.z:.4f}) "
+                    f"does not implement the recorded {gate.name} gate",
+                    location,
+                )
+                return
+
+    def _check_rydberg(self, operation, location) -> None:
+        clusters = self.state.resolve_clusters()
+        implied: dict[frozenset[int], int] = {}
+        for qubits, equidistant in clusters:
+            implied[frozenset(qubits)] = len(qubits)
+            if not equidistant:
+                self.report(
+                    R.CLUSTER_EQUIDISTANCE,
+                    f"Rydberg cluster {list(qubits)} is not equidistant within "
+                    f"{self.hardware.equidistance_tolerance_um} um; the digital "
+                    "C^nZ semantics does not apply (§7)",
+                    location,
+                    qubits=qubits,
+                )
+        recorded: dict[frozenset[int], str] = {}
+        for gate in operation.gates:
+            recorded[frozenset(gate.qubits)] = gate.name
+        for group in recorded.keys() - implied.keys():
+            self.report(
+                R.CLUSTER_MISMATCH,
+                f"recorded entangling gate on qubits {sorted(group)} but the "
+                "atom positions imply no such interaction cluster",
+                location,
+                qubits=tuple(sorted(group)),
+            )
+        for group in implied.keys() - recorded.keys():
+            self.report(
+                R.CLUSTER_MISMATCH,
+                f"atom positions imply an interaction cluster on qubits "
+                f"{sorted(group)} with no recorded gate",
+                location,
+                qubits=tuple(sorted(group)),
+            )
+        for group, name in recorded.items():
+            size = implied.get(group)
+            if size is None:
+                continue
+            expected = _EXPECTED_CLUSTER_GATE.get(size, "mcz")
+            if name != expected:
+                self.report(
+                    R.CLUSTER_ARITY,
+                    f"cluster of {size} atoms on qubits {sorted(group)} must "
+                    f"record {expected}, found {name}",
+                    location,
+                    qubits=tuple(sorted(group)),
+                )
+
+    # ------------------------------------------------------------------
+    def _finalize(self) -> None:
+        program_location = SourceLocation()
+        for qubit in sorted(self.covered):
+            if not 0 <= qubit < self.program.num_qubits:
+                self.report(
+                    R.GATE_QUBIT_RANGE,
+                    f"recorded gates reference qubit {qubit} outside the "
+                    f"{self.program.num_qubits}-qubit register",
+                    program_location,
+                    qubits=(qubit,),
+                )
+        for qubit in range(self.program.num_qubits):
+            if qubit not in self.state.ever_bound:
+                self.report(
+                    R.QUBIT_NEVER_BOUND,
+                    f"logical qubit {qubit} is never bound to an atom",
+                    program_location,
+                    qubits=(qubit,),
+                )
+            elif qubit not in self.covered:
+                self.report(
+                    R.QUBIT_UNCOVERED,
+                    f"qubit {qubit} is bound but never driven by a recorded gate",
+                    program_location,
+                    qubits=(qubit,),
+                )
+        if self.program.measured and self.state.aod_atoms:
+            orphans = tuple(sorted(self.state.aod_atoms.values()))
+            self.report(
+                R.READOUT_ORPHAN,
+                f"measured program ends with qubit(s) {list(orphans)} still "
+                "held in the AOD layer; readout happens in the SLM plane",
+                program_location,
+                qubits=orphans,
+            )

@@ -1,0 +1,239 @@
+"""The wLint rule registry: stable codes, default severities, provenance.
+
+Rule codes are **append-only**: once a ``WL###`` code has shipped it is
+never renumbered and never reused for a different check, so stored
+reports stay interpretable forever.  Retiring a rule moves its code to
+:data:`RETIRED_CODES`, which the registry refuses to re-register.  The
+code blocks:
+
+====== ==================================================
+WL00x  layer/structure invariants (init, static geometry)
+WL01x  AOD shuttle order preservation (Table 1)
+WL02x  trap-occupancy dataflow (bind/transfer/readout)
+WL03x  qubit liveness
+WL04x  Rydberg interference sets & pulse/gate agreement
+WL05x  cost-model bounds (duration / pulses / EPS)
+WL06x  circuit-IR checks for gate-level targets
+====== ==================================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .diagnostics import Diagnostic, Severity, SourceLocation
+
+_CODE_PATTERN = re.compile(r"^WL\d{3}$")
+
+#: Codes that once existed and may never be assigned to a new rule.
+RETIRED_CODES: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered static check."""
+
+    code: str
+    name: str
+    severity: Severity
+    description: str
+
+    def diagnostic(
+        self,
+        message: str,
+        location: SourceLocation | None = None,
+        qubits: tuple[int, ...] = (),
+        severity: Severity | None = None,
+    ) -> Diagnostic:
+        """Build a finding of this rule (default severity unless overridden)."""
+        return Diagnostic(
+            code=self.code,
+            severity=severity or self.severity,
+            message=message,
+            location=location or SourceLocation(),
+            qubits=qubits,
+        )
+
+
+_RULES: dict[str, LintRule] = {}
+_NAMES: dict[str, str] = {}
+
+
+def register_rule(
+    code: str, name: str, severity: Severity, description: str
+) -> LintRule:
+    """Register a rule under a fresh, well-formed, never-reused code."""
+    if not _CODE_PATTERN.match(code):
+        raise ValueError(f"rule code {code!r} does not match WL###")
+    if code in RETIRED_CODES:
+        raise ValueError(f"rule code {code} is retired and may not be reused")
+    if code in _RULES:
+        raise ValueError(f"rule code {code} is already registered ({_RULES[code].name})")
+    if name in _NAMES:
+        raise ValueError(f"rule name {name!r} is already registered ({_NAMES[name]})")
+    rule = LintRule(code=code, name=name, severity=severity, description=description)
+    _RULES[code] = rule
+    _NAMES[name] = code
+    return rule
+
+
+def get_rule(code: str) -> LintRule:
+    return _RULES[code]
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    """Every registered rule, ordered by code."""
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+# ----------------------------------------------------------------------
+# Built-in rules
+# ----------------------------------------------------------------------
+E, W, I = Severity.ERROR, Severity.WARNING, Severity.INFO
+
+# WL00x — layer / structure
+LAYER_UNINITIALIZED = register_rule(
+    "WL001", "layer-uninitialized", E,
+    "An instruction addresses the SLM or AOD layer before it is initialized.",
+)
+LAYER_REINITIALIZED = register_rule(
+    "WL002", "layer-reinitialized", E,
+    "@slm/@aod re-initializes an already-initialized trap layer.",
+)
+TRAP_SPACING = register_rule(
+    "WL003", "trap-spacing", E,
+    "Static trap geometry violates the minimum spacing envelope "
+    "(SLM pairwise distance, or AOD coordinates not strictly increasing).",
+)
+
+# WL01x — shuttle order preservation
+SHUTTLE_RANGE = register_rule(
+    "WL010", "shuttle-index-range", E,
+    "@shuttle addresses a row/column outside the AOD grid.",
+)
+SHUTTLE_ORDER = register_rule(
+    "WL011", "shuttle-order-violation", E,
+    "A shuttle would make adjacent AOD rows/columns cross or crowd below "
+    "the minimum spacing (Table 1 order-preservation invariant).",
+)
+SHUTTLE_CONFLICT = register_rule(
+    "WL012", "shuttle-parallel-conflict", E,
+    "A parallel shuttle group moves the same row/column more than once.",
+)
+
+# WL02x — trap occupancy dataflow
+DOUBLE_BIND = register_rule(
+    "WL020", "double-bind", E,
+    "@bind binds a qubit that is already bound to an atom.",
+)
+BIND_OCCUPIED = register_rule(
+    "WL021", "bind-occupied-trap", E,
+    "@bind targets a trap or AOD crossing that already holds an atom.",
+)
+BIND_RANGE = register_rule(
+    "WL022", "bind-index-range", E,
+    "@bind addresses an SLM trap or AOD crossing outside the layer.",
+)
+TRANSFER_INVALID = register_rule(
+    "WL023", "transfer-occupancy", E,
+    "@transfer does not see exactly one occupied and one empty trap "
+    "(transfer from an empty trap, or two atoms would share a trap).",
+)
+TRANSFER_RANGE = register_rule(
+    "WL024", "transfer-index-range", E,
+    "@transfer addresses an SLM trap or AOD crossing outside the layer.",
+)
+TRANSFER_DISTANCE = register_rule(
+    "WL025", "transfer-distance", E,
+    "@transfer spans more than the maximum SLM-AOD handoff distance.",
+)
+READOUT_ORPHAN = register_rule(
+    "WL026", "readout-orphan-atom", E,
+    "A measured program ends with atoms still parked in the AOD layer "
+    "(readout happens in the SLM plane; orphans are lost).",
+)
+RAMAN_UNBOUND = register_rule(
+    "WL027", "raman-unbound-qubit", E,
+    "@raman local targets a qubit not bound to any atom.",
+)
+
+# WL03x — qubit liveness
+QUBIT_NEVER_BOUND = register_rule(
+    "WL030", "qubit-never-bound", E,
+    "A logical qubit is never bound to an atom.",
+)
+QUBIT_UNCOVERED = register_rule(
+    "WL031", "qubit-uncovered", W,
+    "A bound qubit is never driven by any recorded gate.",
+)
+GATE_QUBIT_RANGE = register_rule(
+    "WL032", "pulse-gate-qubit-range", E,
+    "A recorded gate references a qubit outside the program's register.",
+)
+
+# WL04x — Rydberg interference sets & pulse/gate agreement
+CLUSTER_MISMATCH = register_rule(
+    "WL040", "rydberg-cluster-mismatch", E,
+    "The interacting clusters implied by static atom positions do not "
+    "match the gates recorded for the Rydberg pulse.",
+)
+CLUSTER_ARITY = register_rule(
+    "WL041", "rydberg-gate-arity", E,
+    "A recorded entangling gate's name does not match its cluster size "
+    "(cz=2, ccz=3, mcz>=4).",
+)
+CLUSTER_EQUIDISTANCE = register_rule(
+    "WL042", "rydberg-cluster-equidistance", E,
+    "A cluster of three or more atoms is not equidistant within tolerance; "
+    "the digital C^nZ semantics does not apply (paper §7).",
+)
+RAMAN_GATE_MISMATCH = register_rule(
+    "WL043", "raman-gate-mismatch", E,
+    "A Raman pulse's Euler angles disagree with the recorded logical gate "
+    "(unitaries differ beyond global phase).",
+)
+PULSE_GATE_ORPHAN = register_rule(
+    "WL044", "pulse-gate-orphan", E,
+    "Logical gates are recorded for an operation whose instruction stream "
+    "contains no pulse, or the recorded gates do not fit the pulse kind.",
+)
+
+# WL05x — cost-model bounds
+PULSE_COUNT_MISMATCH = register_rule(
+    "WL050", "pulse-count-mismatch", E,
+    "The recorded pulse count disagrees with the instruction stream.",
+)
+DURATION_MISMATCH = register_rule(
+    "WL051", "duration-mismatch", E,
+    "The recorded execution duration disagrees with the device cost model.",
+)
+EPS_MISMATCH = register_rule(
+    "WL052", "eps-mismatch", E,
+    "The recorded EPS disagrees with the device cost model.",
+)
+COHERENCE_BUDGET = register_rule(
+    "WL053", "coherence-budget", W,
+    "The program's duration is a large fraction of the device T2 time; "
+    "idle decoherence will dominate the error budget.",
+)
+
+# WL06x — circuit IR (gate-level targets)
+CIRCUIT_QUBIT_RANGE = register_rule(
+    "WL060", "circuit-qubit-range", E,
+    "A circuit instruction references a qubit outside the register.",
+)
+CIRCUIT_DUPLICATE_OPERAND = register_rule(
+    "WL061", "circuit-duplicate-operand", E,
+    "A circuit instruction lists the same qubit twice.",
+)
+CIRCUIT_GATE_AFTER_MEASURE = register_rule(
+    "WL062", "circuit-gate-after-measure", W,
+    "A gate acts on a qubit after it was measured.",
+)
+CIRCUIT_EMPTY = register_rule(
+    "WL063", "circuit-empty", I,
+    "The circuit contains no instructions.",
+)
+
+del E, W, I

@@ -24,8 +24,7 @@ import time
 
 import numpy as np
 
-from ..circuits import QuantumCircuit, dependency_layers
-from ..exceptions import RoutingError
+from ..circuits import QuantumCircuit
 from ..fpqa.hardware import FPQAHardwareParams
 from ..passes.native_synthesis import nativize_circuit
 from ..qaoa.builder import QaoaParameters

@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import enum
 
-import numpy as np
-
 from ..circuits import QuantumCircuit, circuit_statevector, circuit_unitary
 from ..rng import as_generator
 from ..linalg import (

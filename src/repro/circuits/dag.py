@@ -9,8 +9,6 @@ ASAP layering used by schedulers and the execution-time model.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 from .circuit import Instruction, QuantumCircuit
 
 

@@ -7,6 +7,7 @@ Commands
 ``targets``   list the registered compilation targets
 ``devices``   list the registered device profiles
 ``check``     verify a wQasm file with the wChecker
+``lint``      statically verify a compiled artifact with wLint
 ``export``    DIMACS CNF -> DPQA-format JSON (artifact step 6)
 ``bench``     run the laptop-scale artifact sweep (same as run.py --quick)
 ``serve``     host the async compilation service on a local socket
@@ -22,6 +23,8 @@ Examples::
     weaver targets
     weaver devices rubidium-baseline
     weaver check program.wqasm
+    weaver lint program.wqasm
+    weaver lint uf20-01 --device rubidium-baseline --json
     weaver export problem.cnf -o gates.json
     weaver serve --socket /tmp/weaver.sock --shards 4 &
     weaver submit problem.cnf --socket /tmp/weaver.sock --target fpqa
@@ -35,6 +38,8 @@ same seed.
 
 Exit codes: 0 success, 1 internal error (or failed verification),
 2 user error (bad input file, unknown target, malformed wQasm).
+``lint`` additionally exits 2 when the analyzer reports error-severity
+findings — the exit code a CI gate keys on.
 """
 
 from __future__ import annotations
@@ -284,6 +289,59 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .analysis import analyze_program, format_report
+
+    path = Path(args.input)
+    if path.suffix == ".wqasm" or (
+        path.exists() and not path.suffix in (".cnf", ".qasm")
+    ):
+        # Lint a compiled artifact directly.  Without cost-metric
+        # provenance (a raw file records none), the bounds pass has
+        # nothing to compare against and is skipped.
+        text = path.read_text(encoding="utf-8")
+        program = parse_wqasm(text, name=path.stem)
+        hardware = None
+        if args.device is not None:
+            from .devices import get_device
+            from .devices.profile import KIND_FPQA
+
+            profile = get_device(args.device)
+            if profile.kind != KIND_FPQA:
+                print(
+                    f"error: device {args.device!r} is not an FPQA machine; "
+                    "a wQasm file can only be linted against FPQA hardware",
+                    file=sys.stderr,
+                )
+                return 2
+            hardware = profile.hardware
+        report = analyze_program(program, hardware=hardware, name=path.stem)
+    else:
+        # Compile a workload (file or SATLIB-style name) and lint the
+        # artifact, bounds pass included.
+        workload = _simulate_workload(args.input)
+        result = compile_workload(
+            workload,
+            target=args.target,
+            budget_seconds=args.budget,
+            device=args.device,
+        )
+        print(
+            f"compiled {workload.name} for {result.target}"
+            + (f" on {result.device}" if result.device else "")
+            + f" ({result.compile_seconds * 1e3:.0f} ms)",
+            file=sys.stderr,
+        )
+        report = result.analyze()
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=1))
+    else:
+        print(format_report(report))
+    return 0 if not report.errors else 2
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     formula = _load_formula(args.input)
     circuit = nativize_circuit(qaoa_circuit(formula, measure=False))
@@ -378,6 +436,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 priority=args.priority,
                 timeout=args.budget,
                 simulate=simulate,
+                analyze=True if args.lint else None,
                 **options,
             )
             result = out.result
@@ -399,6 +458,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             if result.timed_out:
                 print("error: compilation timed out", file=sys.stderr)
                 return 1
+            if result.analysis is not None and not args.json:
+                diags = result.analysis.get("diagnostics", [])
+                print(
+                    "wLint: "
+                    + ("clean" if result.analysis.get("ok") else "FAILED")
+                    + (f" ({len(diags)} finding(s))" if diags else ""),
+                    file=sys.stderr,
+                )
             if result.execution is not None and not args.json:
                 execution = result.execution
                 eps = execution.get("eps_sampled")
@@ -541,6 +608,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("input", help="wQasm file")
     p_check.set_defaults(func=_cmd_check)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically verify a compiled artifact with the wLint analyzer",
+    )
+    p_lint.add_argument(
+        "input",
+        help="wQasm file to lint, or a DIMACS .cnf / OpenQASM .qasm file "
+             "or SATLIB-style instance name (like uf20-01) to compile "
+             "and lint",
+    )
+    p_lint.add_argument(
+        "-t", "--target", default=None,
+        help="target for the compile-and-lint path (default fpqa, or the "
+             "target matching --device's kind)",
+    )
+    p_lint.add_argument(
+        "-d", "--device", default=None,
+        help="registered device profile to lint against",
+    )
+    p_lint.add_argument(
+        "--budget", type=float, default=None, help="compile budget in seconds"
+    )
+    p_lint.add_argument(
+        "--json", action="store_true",
+        help="print the full AnalysisReport record as JSON",
+    )
+    p_lint.set_defaults(func=_cmd_lint)
+
     p_export = sub.add_parser("export", help="DIMACS CNF -> DPQA JSON")
     p_export.add_argument("input", help="DIMACS .cnf file")
     p_export.add_argument("-o", "--output", help="JSON output path (default stdout)")
@@ -609,6 +704,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--simulate", action="store_true",
         help="request a sim job: the service also executes the compiled "
              "artifact on the noise-aware simulator",
+    )
+    p_submit.add_argument(
+        "--lint", action="store_true",
+        help="request a lint job: the service also statically verifies "
+             "the compiled artifact with the wLint analyzer",
     )
     p_submit.add_argument(
         "--shots", type=int, default=1024,

@@ -85,6 +85,10 @@ class VerificationError(WeaverError):
     """wChecker could not complete verification (unsupported instruction...)."""
 
 
+class AnalysisError(WeaverError):
+    """The static analyzer (wLint) was misused (bad options, no artifact)."""
+
+
 class TargetError(WeaverError):
     """A compilation target was misused (wrong workload kind, bad options)."""
 

@@ -16,7 +16,7 @@ wQasm      instruction class
 
 :class:`ParallelShuttle` groups order-preserving moves that execute
 simultaneously (the output of Algorithm 2's ``create_shuttle``); it prints
-as consecutive ``@shuttle`` annotations in wQasm.
+as one ``@shuttle`` annotation with ``;``-joined moves in wQasm.
 """
 
 from __future__ import annotations
@@ -83,9 +83,9 @@ class ShuttleMove:
     """A single row/column displacement (one ``@shuttle`` annotation).
 
     ``loaded`` records whether the moved row/column carried atoms at
-    emission time; it only affects the timing model (empty moves are fast)
-    and is not part of the wQasm surface syntax — re-parsed programs
-    conservatively assume loaded moves.
+    emission time; it only affects the timing model (empty moves are fast).
+    It serializes as a trailing ``empty`` marker in the ``@shuttle``
+    payload so re-parsed programs derive the same duration and EPS.
     """
 
     axis: str  # "row" | "column"

@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..exceptions import CircuitError
 from ..sat.cnf import CnfFormula
 from .builder import QaoaParameters, qaoa_circuit

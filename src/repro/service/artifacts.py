@@ -61,6 +61,7 @@ def artifact_key(
     budget: float | None = None,
     target_options: dict | None = None,
     simulate: dict | None = None,
+    analyze: dict | None = None,
 ) -> str:
     """Content address of one compilation: hex SHA-256 of its identity.
 
@@ -68,8 +69,10 @@ def artifact_key(
     matches; the workload contributes its *content* (DIMACS/QASM text),
     not its name, so renamed copies of the same problem still hit.
     ``sim`` jobs additionally mix in the canonical simulate options —
-    program + noise + seed + shots address the execution — and are keyed
-    only when present, so plain compile keys are unchanged.
+    program + noise + seed + shots address the execution — and ``lint``
+    jobs mix in the canonical analyze options (an empty dict counts:
+    the stored artifact carries the report); both are keyed only when
+    present, so plain compile keys are unchanged.
     """
     identity = {
         "workload": _workload_payload(workload),
@@ -82,6 +85,8 @@ def artifact_key(
     }
     if simulate:
         identity["simulate"] = jsonify(sorted(simulate.items()))
+    if analyze is not None:
+        identity["analyze"] = jsonify(sorted(analyze.items()))
     payload = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 

@@ -168,6 +168,7 @@ class ServiceClient:
         priority: int = 0,
         timeout: float | None = None,
         simulate=None,
+        analyze=None,
         wait_timeout: float | None = None,
         on_event=None,
         **options,
@@ -179,8 +180,10 @@ class ServiceClient:
         protocol event.  ``simulate`` (``True`` or an options dict)
         requests a ``sim`` job: the server also executes the compiled
         artifact and the returned result carries ``execution``.
-        ``on_event(event_name, payload)`` observes the queued/started
-        stream.
+        ``analyze`` (``True`` or an options dict) requests a ``lint``
+        job: the server statically verifies the artifact and the result
+        carries ``analysis``.  ``on_event(event_name, payload)``
+        observes the queued/started stream.
         """
         resolved: Workload = coerce_workload(workload)
         message = {
@@ -195,6 +198,8 @@ class ServiceClient:
         }
         if simulate:
             message["simulate"] = simulate
+        if analyze:
+            message["analyze"] = True if analyze is True else analyze
         req, inbox = await self._request(message)
         events: list[str] = []
         try:

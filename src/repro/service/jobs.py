@@ -49,6 +49,10 @@ class CompileJob:
     #: Canonical simulate options for ``sim`` jobs (``None`` = compile
     #: only); part of the job's content address.
     simulate: dict | None = None
+    #: Canonical analyze options for ``lint`` jobs (``None`` = no static
+    #: analysis; an empty dict means "lint with defaults"); part of the
+    #: job's content address.
+    analyze: dict | None = None
     client: str = "default"
     priority: int = 0
     timeout: float | None = None
@@ -72,8 +76,15 @@ class CompileJob:
 
     @property
     def kind(self) -> str:
-        """``"sim"`` for compile+execute jobs, ``"compile"`` otherwise."""
-        return "sim" if self.simulate else "compile"
+        """``"sim"`` for compile+execute jobs, ``"lint"`` for
+        compile+static-analysis jobs, ``"compile"`` otherwise.  A job
+        that both simulates and lints counts as ``"sim"`` (the simulator
+        dominates its cost)."""
+        if self.simulate:
+            return "sim"
+        if self.analyze is not None:
+            return "lint"
+        return "compile"
 
     @property
     def result(self) -> CompilationResult | None:

@@ -13,11 +13,15 @@ Requests::
      "name": "uf20-01"}, "target": "fpqa", "device": null, "options": {},
      "client": "alice", "priority": 0, "timeout": null}
     {"op": "submit", "req": "r8", ..., "simulate": {"shots": 2000, "seed": 7}}
+    {"op": "submit", "req": "r9", ..., "analyze": true}
     {"op": "shutdown", "req": "r4"}
 
 ``simulate`` (``true`` or an options object) makes the submission a
 ``sim`` job: the worker also executes the compiled artifact on the
 noise-aware simulator and the ``done`` result carries ``execution``.
+``analyze`` (``true`` or an options object) makes it a ``lint`` job:
+the worker statically verifies the artifact with the wLint analyzer
+and the ``done`` result carries ``analysis``.
 
 Responses (``submit`` streams its job's lifecycle)::
 

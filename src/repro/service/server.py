@@ -197,6 +197,9 @@ class ServiceServer:
         simulate = message.get("simulate")
         if simulate is not None and not isinstance(simulate, (bool, dict)):
             raise ProtocolError("'simulate' must be true or an options object")
+        analyze = message.get("analyze")
+        if analyze is not None and not isinstance(analyze, (bool, dict)):
+            raise ProtocolError("'analyze' must be true or an options object")
         job = await self.service.submit(
             workload,
             target=message.get("target") or "fpqa",
@@ -205,6 +208,7 @@ class ServiceServer:
             priority=int(message.get("priority") or 0),
             timeout=message.get("timeout"),
             simulate=simulate,
+            analyze=analyze,
             on_progress=on_progress,
             **options,
         )

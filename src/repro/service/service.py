@@ -30,7 +30,7 @@ from ..perf import Profiler
 from ..targets.registry import resolve_target_name
 from ..targets.result import CompilationResult
 from ..targets.session import _canonical_device, compile_spec
-from ..targets.workload import Workload, coerce_workload
+from ..targets.workload import coerce_workload
 from .artifacts import ArtifactStore, artifact_key
 from .jobs import CompileJob, FairQueue, JobStatus
 
@@ -206,6 +206,7 @@ class CompilationService:
         priority: int = 0,
         timeout: float | None = None,
         simulate=None,
+        analyze=None,
         on_progress: Callable[[CompileJob, str], None] | None = None,
         **options,
     ) -> CompileJob:
@@ -222,6 +223,12 @@ class CompilationService:
         noise-aware simulator, and the stored artifact — content-
         addressed by program + noise + seed + shots — carries the
         execution payload on ``result.execution``.
+
+        ``analyze`` (``True`` or an options dict) makes this a ``lint``
+        job: the worker statically verifies the compiled artifact with
+        the wLint analyzer (:mod:`repro.analysis`) and the stored
+        artifact carries the report on ``result.analysis``.  Lint timing
+        accrues under the ``service.lint.<target>`` perf counters.
         """
         if not self._running:
             raise TargetError("service is not running; use `async with` or start()")
@@ -234,6 +241,12 @@ class CompilationService:
             simulate = canonical_sim_options(simulate)
         else:
             simulate = None
+        if analyze:
+            from ..analysis import canonical_analyze_options
+
+            analyze = canonical_analyze_options(analyze)
+        else:
+            analyze = None
         key = artifact_key(
             resolved,
             name,
@@ -243,6 +256,7 @@ class CompilationService:
             budget=self._budget_for(name, timeout),
             target_options=self.target_options.get(name),
             simulate=simulate,
+            analyze=analyze,
         )
         job = CompileJob(
             workload=resolved,
@@ -250,6 +264,7 @@ class CompilationService:
             device=device,
             options=dict(options),
             simulate=simulate,
+            analyze=analyze,
             client=client,
             priority=priority,
             timeout=timeout,
@@ -342,8 +357,11 @@ class CompilationService:
             self._budget_for(job.target, job.timeout),
             job.options,
         )
-        # ``sim`` jobs ride the same worker seam: compile_spec runs the
-        # simulator after a successful compile (seventh spec element).
+        # ``sim``/``lint`` jobs ride the same worker seam: compile_spec
+        # runs the simulator and/or the static analyzer after a
+        # successful compile (seventh/eighth spec elements).
+        if job.analyze is not None:
+            return spec + (job.simulate, job.analyze)
         return spec + (job.simulate,) if job.simulate else spec
 
     def _executor_for(self, shard: int):

@@ -28,6 +28,7 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
     target_options: dict | None = None,
     device=None,
     simulate=None,
+    analyze=None,
     **options,
 ) -> CompilationResult:
     """Compile ``workload`` for ``target`` and return the unified result.
@@ -62,6 +63,10 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
         ``max_trajectories``) to execute the compiled artifact on the
         noise-aware simulator (:mod:`repro.sim`); the execution payload
         lands on ``result.execution``.
+    analyze:
+        ``True`` (or ``{}``) to statically verify the compiled artifact
+        with the wLint analyzer (:mod:`repro.analysis`); the report
+        payload lands on ``result.analysis``.
     options:
         Target-specific compile options (e.g. ``measure=False``,
         ``compression=True`` for the FPQA path).
@@ -99,4 +104,8 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
         from ..sim import attach_simulation
 
         attach_simulation(result, workload=coerced, options=simulate)
+    if analyze:
+        from ..analysis import attach_analysis
+
+        attach_analysis(result, options=analyze)
     return result

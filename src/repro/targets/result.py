@@ -69,6 +69,11 @@ class CompilationResult:
     #: populated by ``repro.compile(..., simulate=...)`` and the
     #: service's ``sim`` jobs.  Decode with ``ExecutionResult.from_dict``.
     execution: dict | None = None
+    #: JSON payload of a static-analysis report (see
+    #: :mod:`repro.analysis`); populated by
+    #: ``repro.compile(..., analyze=...)`` and the service's ``lint``
+    #: jobs.  Decode with ``AnalysisReport.from_dict``.
+    analysis: dict | None = None
     cached: bool = False
 
     @property
@@ -100,6 +105,9 @@ class CompilationResult:
             "profile": jsonify(self.profile) if self.profile is not None else None,
             "execution": jsonify(self.execution)
             if self.execution is not None
+            else None,
+            "analysis": jsonify(self.analysis)
+            if self.analysis is not None
             else None,
         }
         if include_program and self.program is not None:
@@ -151,6 +159,7 @@ class CompilationResult:
             stats=payload.get("stats", {}),
             profile=payload.get("profile"),
             execution=payload.get("execution"),
+            analysis=payload.get("analysis"),
             cached=True,
         )
 
@@ -228,6 +237,21 @@ class CompilationResult:
             max_trajectories=max_trajectories,
             profiler=profiler,
         )
+
+    def analyze(self):
+        """Statically verify this result with the wLint analyzer.
+
+        Returns an :class:`~repro.analysis.AnalysisReport`: one linear
+        pass over the compiled artifact (the pulse IR for FPQA targets,
+        the circuit IR otherwise) proving constraint safety without
+        simulation — the cheapest tier of the evidence ladder (lint ->
+        wChecker -> simulate).  This method is pure — use
+        ``repro.compile(..., analyze=...)`` to record the report on the
+        result itself.
+        """
+        from ..analysis import analyze_result
+
+        return analyze_result(self)
 
     # ------------------------------------------------------------------
     # Interop with the legacy evaluation record

@@ -62,7 +62,8 @@ def _canonical_device(device):
 
 def compile_spec(spec: tuple) -> CompilationResult:
     """Compile one ``(workload, target, target_options, parameters,
-    budget, options[, simulate])`` spec tuple into a result row.
+    budget, options[, simulate[, analyze]])`` spec tuple into a result
+    row.
 
     Module-level so specs pickle cleanly into a process pool; this is the
     shared unit of work behind ``CompilerSession.compile_many`` and the
@@ -70,11 +71,16 @@ def compile_spec(spec: tuple) -> CompilationResult:
     a canonical simulate-options dict (see
     :func:`repro.sim.canonical_sim_options`): the compiled artifact is
     then executed on the noise-aware simulator and the execution payload
-    attached to the result.  Errors never propagate — they become result
+    attached to the result.  The optional eighth element is a canonical
+    analyze-options dict (see
+    :func:`repro.analysis.canonical_analyze_options`): the artifact is
+    statically verified by the wLint analyzer and the report attached as
+    ``result.analysis``.  Errors never propagate — they become result
     rows, the sweep/service contract.
     """
     workload, target_name, target_options, parameters, budget, options, *rest = spec
     simulate = rest[0] if rest else None
+    analyze = rest[1] if len(rest) > 1 else None
     try:
         target = get_target(target_name, **(target_options or {}))
     except Exception as exc:  # noqa: BLE001 — sessions report, never crash
@@ -96,6 +102,10 @@ def compile_spec(spec: tuple) -> CompilationResult:
     )
     if simulate and result.succeeded:
         _simulate_row(result, workload, simulate)
+    # An empty dict is the canonical "analyze with defaults", so the
+    # gate is on presence, not truthiness.
+    if analyze is not None and result.succeeded:
+        _analyze_row(result, analyze)
     return result
 
 
@@ -105,6 +115,16 @@ def _simulate_row(result: CompilationResult, workload: Workload, simulate) -> No
 
     try:
         attach_simulation(result, workload=workload, options=simulate)
+    except Exception as exc:  # noqa: BLE001 — sweeps report, never crash
+        result.error = f"{type(exc).__name__}: {exc}"
+
+
+def _analyze_row(result: CompilationResult, analyze) -> None:
+    """Attach a static-analysis report to a sweep row (errors become rows)."""
+    from ..analysis import attach_analysis
+
+    try:
+        attach_analysis(result, options=analyze)
     except Exception as exc:  # noqa: BLE001 — sweeps report, never crash
         result.error = f"{type(exc).__name__}: {exc}"
 
@@ -248,6 +268,7 @@ class CompilerSession:
         options: dict,
         device=None,
         simulate=None,
+        analyze=None,
     ) -> tuple:
         spec = (
             workload,
@@ -257,6 +278,8 @@ class CompilerSession:
             self.budgets.get(target_name),
             options,
         )
+        if analyze is not None:
+            return spec + (simulate, analyze)
         return spec + (simulate,) if simulate else spec
 
     @staticmethod
@@ -269,16 +292,31 @@ class CompilerSession:
         return canonical_sim_options(simulate)
 
     @staticmethod
-    def _key_options(options: dict, simulate) -> dict:
+    def _canonical_analyze(analyze):
+        """Normalize ``analyze=`` once per call (it keys the cache)."""
+        if not analyze:
+            return None
+        from ..analysis import canonical_analyze_options
+
+        return canonical_analyze_options(analyze)
+
+    @staticmethod
+    def _key_options(options: dict, simulate, analyze=None) -> dict:
         """Cache-key view of the compile options.
 
-        The simulate options ride inside the fingerprint under a
-        reserved key, so a simulated cell never shares a cache slot with
-        its compile-only twin (or with different shots/noise/seed).
+        The simulate/analyze options ride inside the fingerprint under
+        reserved keys, so a simulated or linted cell never shares a
+        cache slot with its compile-only twin (or with different
+        shots/noise/seed).
         """
-        if not simulate:
+        if not simulate and analyze is None:
             return options
-        return {**options, "simulate": tuple(sorted(simulate.items()))}
+        keyed = dict(options)
+        if simulate:
+            keyed["simulate"] = tuple(sorted(simulate.items()))
+        if analyze is not None:
+            keyed["analyze"] = tuple(sorted(analyze.items()))
+        return keyed
 
     def compile(
         self,
@@ -286,17 +324,20 @@ class CompilerSession:
         target: str | Target = "fpqa",
         device=None,
         simulate=None,
+        analyze=None,
         **options,
     ) -> CompilationResult:
         """Compile one cell (cached; failures become result rows).
 
         ``simulate`` executes the compiled artifact on the noise-aware
-        simulator (see :func:`repro.compile`); the execution payload is
-        part of the cached row.
+        simulator (see :func:`repro.compile`); ``analyze`` statically
+        verifies it with the wLint analyzer.  Both payloads are part of
+        the cached row.
         """
         resolved = coerce_workload(workload)
         device = _canonical_device(device)
         simulate = self._canonical_simulate(simulate)
+        analyze = self._canonical_analyze(analyze)
         if isinstance(target, Target):
             if device is not None:
                 raise TargetError(
@@ -312,7 +353,7 @@ class CompilerSession:
             key = self._key(
                 resolved,
                 name,
-                self._key_options(options, simulate),
+                self._key_options(options, simulate, analyze),
                 target_config=sorted(vars(target).items()),
             )
             hit = self._cache_get(key)
@@ -327,17 +368,25 @@ class CompilerSession:
             )
             if simulate and result.succeeded:
                 _simulate_row(result, resolved, simulate)
+            if analyze is not None and result.succeeded:
+                _analyze_row(result, analyze)
             self._cache_put(key, result)
             return result
         name = resolve_target_name(target)
         key = self._key(
-            resolved, name, self._key_options(options, simulate), device=device
+            resolved,
+            name,
+            self._key_options(options, simulate, analyze),
+            device=device,
         )
         hit = self._cache_get(key)
         if hit is not None:
             return hit
         result = compile_spec(
-            self._spec(resolved, name, options, device=device, simulate=simulate)
+            self._spec(
+                resolved, name, options,
+                device=device, simulate=simulate, analyze=analyze,
+            )
         )
         self._cache_put(key, result)
         return result
@@ -349,6 +398,7 @@ class CompilerSession:
         parallel: int = 1,
         devices: Sequence | None = None,
         simulate=None,
+        analyze=None,
         **options,
     ) -> list[CompilationResult]:
         """Compile every (workload, target[, device]) cell, in input order.
@@ -363,9 +413,11 @@ class CompilerSession:
         accept them — other combinations become error rows, the sweep
         contract.  ``simulate`` additionally executes every successful
         cell on the noise-aware simulator (same seed per cell, so the
-        grid is reproducible).
+        grid is reproducible), and ``analyze`` statically verifies every
+        successful cell with the wLint analyzer.
         """
         simulate = self._canonical_simulate(simulate)
+        analyze = self._canonical_analyze(analyze)
         target_names = (
             [targets] if isinstance(targets, str) else list(targets)
         )
@@ -384,7 +436,10 @@ class CompilerSession:
         keys: list[tuple] = []
         for index, (workload, name, device) in enumerate(jobs):
             key = self._key(
-                workload, name, self._key_options(options, simulate), device=device
+                workload,
+                name,
+                self._key_options(options, simulate, analyze),
+                device=device,
             )
             keys.append(key)
             hit = self._cache_get(key)
@@ -422,7 +477,8 @@ class CompilerSession:
                 workload, name, device = jobs[index]
                 result = compile_spec(
                     self._spec(
-                        workload, name, options, device=device, simulate=simulate
+                        workload, name, options,
+                        device=device, simulate=simulate, analyze=analyze,
                     )
                 )
                 self._cache_put(keys[index], result)
@@ -437,7 +493,7 @@ class CompilerSession:
                     compile_spec,
                     self._spec(
                         jobs[index][0], jobs[index][1], options,
-                        device=jobs[index][2], simulate=simulate,
+                        device=jobs[index][2], simulate=simulate, analyze=analyze,
                     ),
                 ): index
                 for index in submit

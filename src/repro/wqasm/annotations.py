@@ -7,15 +7,18 @@ Annotation syntax follows the grammar of paper Figure 4:
 ``@aod``              ``[x0, x1, ...] [y0, y1, ...]``
 ``@bind``             ``q<id> slm <index>`` or ``q<id> aod <col> <row>``
 ``@transfer``         ``<slm_index> (<aod_col>, <aod_row>)``
-``@shuttle``          ``row|column <index> <offset>``
+``@shuttle``          ``row|column <index> <offset>[ empty][; <move> ...]``
 ``@raman``            ``global <x> <y> <z>`` or ``local q<id> <x> <y> <z>``
 ``@rydberg``          (no arguments)
 ====================  ==========================================
 
-:class:`repro.fpqa.ParallelShuttle` has no dedicated syntax; it serializes
-as consecutive ``@shuttle`` annotations and is re-grouped by consumers that
-care about timing (equivalence is unaffected because simultaneous moves
-touch disjoint rows/columns).
+A :class:`repro.fpqa.ParallelShuttle` serializes as one ``@shuttle``
+annotation with its moves joined by ``;`` — the grouping is part of the
+program's semantics (a parallel batch executes in one movement step, so
+it determines the derived duration and EPS), so the text must preserve
+it exactly.  A bare single-move payload is a sequential :class:`Shuttle`.
+A move's trailing ``empty`` marks an unloaded (fast) displacement — also
+timing-relevant, so it round-trips too; loaded is the unmarked default.
 """
 
 from __future__ import annotations
@@ -54,6 +57,13 @@ def _literal(text: str, what: str):
         return python_ast.literal_eval(text)
     except (ValueError, SyntaxError) as exc:
         raise AnnotationError(f"malformed {what} payload: {text!r}") from exc
+
+
+def _move_text(move: ShuttleMove) -> str:
+    # The trailing "empty" marks an unloaded (fast) move; loaded is the
+    # default so typical payloads stay three tokens.
+    suffix = "" if move.loaded else " empty"
+    return f"{move.axis} {move.index} {move.offset!r}{suffix}"
 
 
 def annotation_to_instruction(annotation: Annotation) -> FPQAInstruction:
@@ -98,10 +108,21 @@ def annotation_to_instruction(annotation: Annotation) -> FPQAInstruction:
             aod_row=int(match.group(3)),
         )
     if keyword == "shuttle":
-        parts = content.split()
-        if len(parts) != 3 or parts[0] not in ("row", "column"):
-            raise AnnotationError(f"malformed @shuttle payload: {content!r}")
-        return Shuttle(ShuttleMove(parts[0], int(parts[1]), float(parts[2])))
+        moves = []
+        for chunk in content.split(";"):
+            parts = chunk.split()
+            loaded = True
+            if len(parts) == 4 and parts[3] == "empty":
+                loaded = False
+                parts = parts[:3]
+            if len(parts) != 3 or parts[0] not in ("row", "column"):
+                raise AnnotationError(f"malformed @shuttle payload: {content!r}")
+            moves.append(
+                ShuttleMove(parts[0], int(parts[1]), float(parts[2]), loaded=loaded)
+            )
+        if len(moves) == 1:
+            return Shuttle(moves[0])
+        return ParallelShuttle(tuple(moves))
     if keyword == "raman":
         parts = content.split()
         if len(parts) == 4 and parts[0] == "global":
@@ -144,13 +165,10 @@ def instruction_to_annotation(instruction: FPQAInstruction) -> list[Annotation]:
             )
         ]
     if isinstance(instruction, Shuttle):
-        move = instruction.move
-        return [Annotation("shuttle", f"{move.axis} {move.index} {move.offset!r}")]
+        return [Annotation("shuttle", _move_text(instruction.move))]
     if isinstance(instruction, ParallelShuttle):
-        return [
-            Annotation("shuttle", f"{m.axis} {m.index} {m.offset!r}")
-            for m in instruction.moves
-        ]
+        body = "; ".join(_move_text(m) for m in instruction.moves)
+        return [Annotation("shuttle", body)]
     if isinstance(instruction, RamanLocal):
         return [
             Annotation(

@@ -12,24 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..circuits import Instruction, QuantumCircuit
-from ..exceptions import QasmSemanticError
 from ..fpqa.instructions import (
-    AodInit,
-    BindAtom,
     FPQAInstruction,
     ParallelShuttle,
     RamanGlobal,
     RamanLocal,
     RydbergPulse,
     Shuttle,
-    ShuttleMove,
-    SlmInit,
     Transfer,
 )
-from ..qasm.ast import Annotation
 from ..qasm.loader import load_circuit
 from ..qasm.parser import parse_qasm
-from ..qasm.printer import circuit_to_qasm
 from .annotations import instruction_to_annotation, instructions_from_annotations
 
 
@@ -141,49 +134,15 @@ class WQasmProgram:
         return "\n".join(lines) + "\n"
 
 
-def _regroup_shuttles(
-    instructions: list[FPQAInstruction],
-) -> list[FPQAInstruction]:
-    """Merge consecutive single ``@shuttle`` lines back into parallel moves.
-
-    :class:`ParallelShuttle` has no dedicated wQasm syntax; it prints as
-    consecutive ``@shuttle`` annotations.  Re-grouping restores the original
-    pulse counts.  A run is split when the same row/column appears twice,
-    which can only come from genuinely sequential moves.
-    """
-    out: list[FPQAInstruction] = []
-    run: list[ShuttleMove] = []
-    seen: set[tuple[str, int]] = set()
-
-    def flush_run() -> None:
-        nonlocal run, seen
-        if len(run) == 1:
-            out.append(Shuttle(run[0]))
-        elif run:
-            out.append(ParallelShuttle(tuple(run)))
-        run = []
-        seen = set()
-
-    for instruction in instructions:
-        if isinstance(instruction, Shuttle):
-            key = (instruction.move.axis, instruction.move.index)
-            if key in seen:
-                flush_run()
-            run.append(instruction.move)
-            seen.add(key)
-        else:
-            flush_run()
-            out.append(instruction)
-    flush_run()
-    return out
-
-
 def parse_wqasm(source: str, name: str = "wqasm") -> WQasmProgram:
     """Parse wQasm text back into a :class:`WQasmProgram`.
 
     Statements without annotations join the preceding operation (e.g. the
     extra gates applied by the same Rydberg pulse); annotated statements
-    start a new operation.
+    start a new operation.  Parallel shuttle groups arrive as single
+    ``@shuttle`` annotations with ``;``-joined moves, so the parsed
+    instruction stream — and therefore the derived schedule, duration,
+    and EPS — matches the serialized program exactly.
     """
     loaded = load_circuit(parse_qasm(source), name=name)
     setup = tuple(instructions_from_annotations(loaded.setup_annotations))
@@ -208,7 +167,7 @@ def parse_wqasm(source: str, name: str = "wqasm") -> WQasmProgram:
     ):
         if annotations:
             flush()
-            current_instructions = _regroup_shuttles(
+            current_instructions = list(
                 instructions_from_annotations(list(annotations))
             )
         if inst.name == "measure":

@@ -12,7 +12,6 @@ from repro.checker.statistics import (
 from repro.circuits import QuantumCircuit
 from repro.cli import build_parser, main
 from repro.exceptions import VerificationError
-from repro.qaoa import QaoaParameters, qaoa_circuit
 from repro.qaoa.optimizer import coordinate_descent, grid_search, optimize_angles
 from repro.sat import CnfFormula, to_dimacs
 

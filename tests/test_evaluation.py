@@ -8,7 +8,6 @@ from repro.evaluation import (
     ResultStore,
     SCALING_SIZES,
     fig10a_complexity,
-    fig10c_ccz_threshold,
     format_table,
     format_value,
     load_workload,

@@ -4,12 +4,23 @@ DESIGN.md §6 commits to failure-injection coverage: a lost atom (the
 dominant neutral-atom hardware failure) must make subsequent device
 operations raise or the wChecker report mismatches — never silently
 produce a wrong program.
+
+The mutation-catch sweep extends the same discipline to the static
+analyzer: every fault class in the wLint mutation corpus
+(:mod:`repro.analysis.mutations`) must be flagged on every
+(target, device) cell that emits wQasm, with zero findings of *any*
+severity on the clean compile — the analyzer's measured catch rate and
+false-positive rate, not its opinion of healthy programs.
 """
 
 import pytest
 
+import repro
+from repro.analysis import analyze_program, analyze_result
+from repro.analysis.mutations import ALL_MUTATIONS
 from repro.checker import PulseToGateConverter
-from repro.exceptions import FPQAConstraintError
+from repro.devices import list_devices
+from repro.exceptions import FPQAConstraintError, WeaverError
 from repro.fpqa import (
     BindAtom,
     FPQADevice,
@@ -18,7 +29,7 @@ from repro.fpqa import (
     SlmInit,
     Transfer,
 )
-from repro.fpqa.instructions import Shuttle, ShuttleMove
+from repro.sat import random_ksat
 
 
 @pytest.fixture
@@ -97,3 +108,61 @@ class TestLossDuringPrograms:
                 lost = True
         assert lost
         assert failed
+
+
+# ----------------------------------------------------------------------
+# wLint mutation-catch sweep
+# ----------------------------------------------------------------------
+
+#: The wQasm-emitting (target, device) matrix the sweep covers: both
+#: FPQA pipelines on their default hardware plus every built-in FPQA
+#: device large enough for the sweep formula.
+def _sweep_cells():
+    cells = [("fpqa", None), ("fpqa-nocompress", None)]
+    for device in list_devices(kind="fpqa"):
+        profile = repro.get_device(device)
+        if profile.max_qubits is None or profile.max_qubits >= 6:
+            cells.append(("fpqa", device))
+    return cells
+
+
+@pytest.fixture(
+    scope="module",
+    params=_sweep_cells(),
+    ids=lambda cell: f"{cell[0]}@{cell[1] or 'default'}",
+)
+def sweep_cell(request):
+    """One clean compile of the sweep formula per (target, device) cell."""
+    target, device = request.param
+    formula = random_ksat(6, 11, seed=5, name="mutation-sweep-6v")
+    return repro.compile(formula, target=target, device=device)
+
+
+class TestMutationCatchSweep:
+    def test_clean_compile_is_finding_free(self, sweep_cell):
+        """Zero false positives: not even a warning on a healthy compile."""
+        report = analyze_result(sweep_cell)
+        assert report.diagnostics == [], [str(d) for d in report.diagnostics]
+        assert report.ok
+
+    @pytest.mark.parametrize("mutation", sorted(ALL_MUTATIONS))
+    def test_mutant_is_caught(self, sweep_cell, mutation):
+        """100% catch rate: every fault class yields error findings."""
+        mutant = ALL_MUTATIONS[mutation](sweep_cell.program)
+        report = analyze_program(mutant, hardware=sweep_cell.fpqa_hardware())
+        assert not report.ok, f"{mutation} escaped the analyzer"
+        assert report.errors
+
+    @pytest.mark.parametrize("mutation", sorted(ALL_MUTATIONS))
+    def test_checker_agrees_on_mutants(self, sweep_cell, mutation):
+        """Differential: the dynamic wChecker also rejects every mutant."""
+        mutant = ALL_MUTATIONS[mutation](sweep_cell.program)
+        try:
+            dynamic = repro.check_program(
+                mutant,
+                reference=sweep_cell.native_circuit,
+                hardware=sweep_cell.fpqa_hardware(),
+            )
+        except WeaverError:
+            return  # replay itself blew up on the fault: rejected
+        assert not dynamic.ok, f"wChecker accepted the {mutation} mutant"

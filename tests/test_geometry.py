@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.exceptions import FPQAConstraintError
-from repro.fpqa import FPQAHardwareParams, zone_layout
+from repro.fpqa import zone_layout
 
 
 @pytest.fixture

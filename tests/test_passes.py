@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuits import QuantumCircuit, circuit_unitary, circuits_equivalent
+from repro.circuits import QuantumCircuit, circuit_unitary
 from repro.exceptions import CompilationError
 from repro.fpqa import FPQAHardwareParams, zone_layout
 from repro.linalg import allclose_up_to_global_phase

@@ -15,7 +15,7 @@ from repro.circuits.random_circuits import random_circuit
 from repro.passes import compile_formula, nativize_circuit, plan_waves
 from repro.qasm import circuit_to_qasm, qasm_to_circuit
 from repro.sat import random_ksat
-from repro.superconducting import SabreRouter, grid_coupling, line_coupling
+from repro.superconducting import SabreRouter, grid_coupling
 
 
 @settings(max_examples=20, deadline=None)

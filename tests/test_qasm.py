@@ -14,7 +14,7 @@ from repro.qasm import (
     qasm_to_circuit,
     tokenize,
 )
-from repro.qasm.ast import GateCall, MeasureStmt, QubitDecl
+from repro.qasm.ast import MeasureStmt, QubitDecl
 from repro.qasm.lexer import TokenType
 
 

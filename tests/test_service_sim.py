@@ -6,7 +6,6 @@ import asyncio
 
 import pytest
 
-import repro
 from repro import CnfFormula
 from repro.exceptions import SimulationError
 from repro.service import CompilationService

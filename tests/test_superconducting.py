@@ -6,7 +6,6 @@ import pytest
 from repro.circuits import QuantumCircuit, circuit_unitary, circuits_equivalent
 from repro.exceptions import RoutingError
 from repro.linalg import allclose_up_to_global_phase
-from repro.passes import nativize_circuit
 from repro.passes.native_synthesis import fuse_single_qubit_runs
 from repro.superconducting import (
     SabreRouter,

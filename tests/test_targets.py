@@ -4,7 +4,6 @@ import pytest
 
 import repro
 from repro import (
-    CnfFormula,
     CompilationResult,
     UnknownTargetError,
     Workload,

@@ -31,6 +31,10 @@ ROUNDTRIP_INSTRUCTIONS = [
     Transfer(slm_index=3, aod_col=2, aod_row=0),
     Shuttle(ShuttleMove("row", 0, -17.5)),
     Shuttle(ShuttleMove("column", 3, 2.25)),
+    Shuttle(ShuttleMove("column", 1, 8.0, loaded=False)),
+    ParallelShuttle(
+        (ShuttleMove("row", 2, 4.5), ShuttleMove("column", 0, -1.0, loaded=False))
+    ),
     RamanLocal(7, 0.1, -0.2, 0.3),
     RamanGlobal(1.5707963, 0.0, -3.14159),
     RydbergPulse(),
@@ -45,13 +49,25 @@ class TestAnnotationCodec:
         decoded = annotation_to_instruction(annotations[0])
         assert decoded == instruction
 
-    def test_parallel_shuttle_serializes_as_multiple_lines(self):
+    def test_parallel_shuttle_serializes_as_one_grouped_line(self):
+        """Grouping is schedule semantics: one annotation, moves ;-joined."""
         group = ParallelShuttle(
             (ShuttleMove("column", 0, 1.0), ShuttleMove("column", 1, 2.0))
         )
         annotations = instruction_to_annotation(group)
-        assert len(annotations) == 2
-        assert all(a.keyword == "shuttle" for a in annotations)
+        assert len(annotations) == 1
+        assert annotations[0].keyword == "shuttle"
+        assert ";" in annotations[0].content
+        assert annotation_to_instruction(annotations[0]) == group
+
+    def test_sequential_shuttles_stay_sequential(self):
+        """Two bare @shuttle lines must NOT merge into a parallel group."""
+        lines = [
+            Annotation("shuttle", "column 0 1.0"),
+            Annotation("shuttle", "column 1 2.0"),
+        ]
+        decoded = [annotation_to_instruction(a) for a in lines]
+        assert all(isinstance(i, Shuttle) for i in decoded)
 
     def test_qubit_identifier_forms(self):
         plain = annotation_to_instruction(Annotation("raman", "local 3 0.1 0.2 0.3"))
@@ -92,6 +108,17 @@ class TestProgramSerialization:
         program = compiled_paper_example.program
         again = parse_wqasm(program.to_wqasm())
         assert again.pulse_counts() == program.pulse_counts()
+
+    def test_schedule_semantics_preserved(self, compiled_uf20):
+        """Grouping and loaded flags round-trip: derived duration and EPS
+        are exactly the recorded ones, so re-analyzing a deserialized
+        artifact cannot raise WL051/WL052 cost-bound findings."""
+        from repro.metrics import program_duration_us, program_eps
+
+        program = compiled_uf20.program
+        again = parse_wqasm(program.to_wqasm())
+        assert program_duration_us(again) == program_duration_us(program)
+        assert program_eps(again) == program_eps(program)
 
     def test_setup_preserved(self, compiled_paper_example):
         program = compiled_paper_example.program
