@@ -32,7 +32,12 @@ API centers on one retargetable entrypoint backed by a target registry:
   agreement, cost bounds) without simulation —
   ``repro.compile(..., analyze=...)``, ``result.analyze()``, ``weaver
   lint``, and ``lint`` service jobs; the cheapest tier of the evidence
-  ladder (lint -> wChecker -> simulate).
+  ladder (lint -> wChecker -> simulate);
+* :mod:`repro.telemetry` — end-to-end observability: hierarchical span
+  tracing across compile, service, and sim (``weaver trace``, Chrome
+  trace-event export for Perfetto), a metrics registry with
+  exponential-bucket histograms (p50/p90/p99 quantiles), and Prometheus
+  text exposition — off by default and nearly free when disabled.
 
 The paper's three components remain available underneath:
 
@@ -185,6 +190,10 @@ def __getattr__(name: str):
         from . import analysis
 
         return getattr(analysis, name)
+    if name == "telemetry":
+        from . import telemetry
+
+        return telemetry
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -280,6 +289,7 @@ __all__ = [
     "simulate_program",
     "simulate_result",
     "target_info",
+    "telemetry",
     "to_dimacs",
     "washington_backend",
 ]

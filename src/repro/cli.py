@@ -12,6 +12,8 @@ Commands
 ``bench``     run the laptop-scale artifact sweep (same as run.py --quick)
 ``serve``     host the async compilation service on a local socket
 ``submit``    send a workload to a running service (or query its stats)
+``trace``     record any weaver command as a Chrome trace (Perfetto)
+``top``       one-shot metrics snapshot of a running service
 
 Examples::
 
@@ -30,6 +32,9 @@ Examples::
     weaver submit problem.cnf --socket /tmp/weaver.sock --target fpqa
     weaver submit problem.cnf --socket /tmp/weaver.sock --simulate
     weaver submit --stats --socket /tmp/weaver.sock
+    weaver trace -o trace.json simulate uf20-01 --shots 200
+    weaver trace trace.json
+    weaver top --socket /tmp/weaver.sock
 
 ``simulate`` accepts either a workload file or a SATLIB-style instance
 name (``uf20-07``); its stdout (counts, sampled EPS with confidence
@@ -370,8 +375,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import json as json_module
 
     from .service import serve
+    from .telemetry import configure, format_metrics_table
 
     print(
         f"serving on {args.socket} "
@@ -379,17 +386,118 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "stop with Ctrl-C or `weaver submit --shutdown`",
         file=sys.stderr,
     )
-    asyncio.run(
-        serve(
-            args.socket,
-            shards=args.shards,
-            backend=args.backend,
-            store_dir=args.store_dir,
-            max_artifacts=args.max_artifacts,
+    tracer = None
+    if args.trace:
+        tracer = configure(True)
+    try:
+        stats = asyncio.run(
+            serve(
+                args.socket,
+                shards=args.shards,
+                backend=args.backend,
+                store_dir=args.store_dir,
+                max_artifacts=args.max_artifacts,
+            )
         )
-    )
+    finally:
+        if tracer is not None:
+            from .telemetry import chrome_trace
+
+            spans = tracer.export()
+            configure(False)
+            Path(args.trace).write_text(
+                json_module.dumps(chrome_trace(spans)), encoding="utf-8"
+            )
+            print(
+                f"wrote {len(spans)} span(s) to {args.trace} "
+                "(open in ui.perfetto.dev)",
+                file=sys.stderr,
+            )
     print("service stopped", file=sys.stderr)
+    table = format_metrics_table(stats.get("metrics") or {})
+    if table:
+        print(table, file=sys.stderr)
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .telemetry import (
+        chrome_trace,
+        configure,
+        format_trace_tree,
+        spans_from_chrome_trace,
+        write_spans_jsonl,
+    )
+
+    command = list(args.args)
+    if command and command[0] == "--":
+        command = command[1:]
+    if len(command) == 1 and command[0].endswith(".json") and Path(command[0]).exists():
+        # Summarize an existing recording instead of making a new one.
+        payload = json_module.loads(Path(command[0]).read_text(encoding="utf-8"))
+        spans = spans_from_chrome_trace(payload)
+        print(format_trace_tree(spans))
+        return 0
+    if not command:
+        print(
+            "error: trace needs a weaver command to record "
+            "(or an existing trace .json to summarize)",
+            file=sys.stderr,
+        )
+        return 2
+    if command[0] == "trace":
+        print("error: trace cannot record itself", file=sys.stderr)
+        return 2
+    tracer = configure(True)
+    try:
+        rc = main(command)
+    finally:
+        spans = tracer.export()
+        configure(False)
+    if args.jsonl:
+        write_spans_jsonl(spans, args.output)
+    else:
+        Path(args.output).write_text(
+            json_module.dumps(chrome_trace(spans)), encoding="utf-8"
+        )
+    print(
+        f"wrote {len(spans)} span(s) to {args.output}"
+        + ("" if args.jsonl else " (open in ui.perfetto.dev)"),
+        file=sys.stderr,
+    )
+    print(format_trace_tree(spans), file=sys.stderr)
+    return rc
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import ServiceClient
+    from .telemetry import format_metrics_table
+
+    async def run() -> int:
+        client = await ServiceClient.connect(args.socket)
+        try:
+            stats = await client.stats()
+        finally:
+            await client.close()
+        print(
+            f"service on {args.socket}: "
+            f"{stats.get('shards')} shard(s), {stats.get('backend')} backend; "
+            f"{stats.get('jobs_submitted')} submitted, "
+            f"{stats.get('jobs_completed')} completed, "
+            f"{stats.get('jobs_pending')} pending"
+        )
+        table = format_metrics_table(stats.get("metrics") or {})
+        if table:
+            print(table)
+        else:
+            print("(no metrics recorded yet)")
+        return 0
+
+    return asyncio.run(run())
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -408,7 +516,29 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 return 0
             if args.stats:
                 stats = await client.stats()
-                print(json_module.dumps(stats, indent=2))
+                if args.json:
+                    print(json_module.dumps(stats, indent=2))
+                    return 0
+                from .telemetry import format_metrics_table
+
+                print(
+                    f"{stats.get('jobs_submitted')} submitted, "
+                    f"{stats.get('jobs_completed')} completed, "
+                    f"{stats.get('jobs_pending')} pending "
+                    f"({stats.get('shards')} shard(s), "
+                    f"{stats.get('backend')} backend)"
+                )
+                artifacts = stats.get("artifacts") or {}
+                rate = artifacts.get("hit_rate")
+                print(
+                    f"artifacts: {artifacts.get('entries')} entries, "
+                    f"{artifacts.get('hits')} hits / "
+                    f"{artifacts.get('misses')} misses"
+                    + (f" ({rate:.0%} hit rate)" if rate is not None else "")
+                )
+                table = format_metrics_table(stats.get("metrics") or {})
+                if table:
+                    print(table)
                 return 0
             if args.input is None:
                 print(
@@ -671,7 +801,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-artifacts", type=int, default=512,
         help="in-memory artifact LRU bound (default 512)",
     )
+    p_serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record every job as a Chrome trace and write it here "
+             "on shutdown",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="record a weaver command as a Chrome trace (Perfetto), or "
+             "summarize an existing trace .json",
+    )
+    p_trace.add_argument(
+        "-o", "--output", default="trace.json",
+        help="trace output path (default trace.json)",
+    )
+    p_trace.add_argument(
+        "--jsonl", action="store_true",
+        help="write raw span records (JSON lines) instead of Chrome "
+             "trace-event JSON",
+    )
+    p_trace.add_argument(
+        "args", nargs=argparse.REMAINDER,
+        help="the weaver command to record (e.g. `simulate uf20-01`), or "
+             "one existing trace .json file to summarize",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_top = sub.add_parser(
+        "top", help="one-shot metrics snapshot of a running service"
+    )
+    p_top.add_argument(
+        "--socket", default="/tmp/weaver.sock",
+        help="service socket path (default /tmp/weaver.sock)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_submit = sub.add_parser(
         "submit", help="send a workload to a running service"

@@ -19,6 +19,11 @@ pieces:
   ``python -m repro.perf.bench``; it appends compile-time measurements
   (sizes x targets x devices, optimized vs reference) to
   ``BENCH_compile.json`` so the repo keeps a performance trajectory.
+
+The package is rebased on :mod:`repro.telemetry`: with tracing enabled,
+every :meth:`Profiler.add_pass` pass boundary also emits a trace span,
+and :meth:`Profiler.merge_profile` folds worker-process profiles back
+into a parent registry (the service's fleet-wide ``stats``).
 """
 
 from .flags import OptimizationFlags

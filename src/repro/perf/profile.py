@@ -5,9 +5,18 @@ do one dict lookup and two float adds, so instrumentation stays on for
 every compile (the profile is part of every ``CompilationResult``).  The
 finished profile is a plain JSON-safe dict with a schema version, so it
 round-trips through the result serializers unchanged.
+
+The profiler doubles as the telemetry layer's pass-boundary hook:
+when tracing is enabled (:func:`repro.telemetry.configure`), every
+:meth:`Profiler.add_pass` also records a completed span under the
+ambient parent — the codegen pass boundaries already instrumented for
+the profile become trace spans for free.  Disabled, the hook is one
+``ContextVar`` read.
 """
 
 from __future__ import annotations
+
+from ..telemetry.trace import current_tracer
 
 #: Bump when the profile dict layout changes.
 PROFILE_SCHEMA_VERSION = 1
@@ -31,6 +40,9 @@ class Profiler:
     # ------------------------------------------------------------------
     def add_pass(self, name: str, seconds: float) -> None:
         self.passes[name] = self.passes.get(name, 0.0) + seconds
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.record(name, seconds=seconds)
 
     def add(self, name: str, seconds: float, count: int = 1) -> None:
         entry = self.primitives.get(name)
@@ -57,6 +69,46 @@ class Profiler:
     def set_cache(self, name: str, hits: int, misses: int) -> None:
         """Overwrite a cache's counters (for caches tracked elsewhere)."""
         self.caches[name] = [int(hits), int(misses)]
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def merge_profile(self, profile: dict | None) -> None:
+        """Fold a frozen profile dict into this profiler's counters.
+
+        The cross-process aggregation path: a pool worker's counters
+        ride back inside ``result.profile`` (and
+        ``result.execution["profile"]``), and the parent merges them so
+        fleet-wide stats see every pass and cache, not just the parent
+        process's own.  Bypasses :meth:`add_pass` deliberately — merged
+        history must not emit trace spans timestamped "now".  Sim
+        profiles strip ``seconds`` from primitives for determinism;
+        missing fields merge as zero.
+        """
+        if not profile:
+            return
+        for name, data in (profile.get("passes") or {}).items():
+            self.passes[name] = self.passes.get(name, 0.0) + float(
+                data.get("seconds") or 0.0
+            )
+        for name, data in (profile.get("primitives") or {}).items():
+            entry = self.primitives.get(name)
+            count = int(data.get("count") or 0)
+            seconds = float(data.get("seconds") or 0.0)
+            if entry is None:
+                self.primitives[name] = [count, seconds]
+            else:
+                entry[0] += count
+                entry[1] += seconds
+        for name, data in (profile.get("caches") or {}).items():
+            entry = self.caches.get(name)
+            hits = int(data.get("hits") or 0)
+            misses = int(data.get("misses") or 0)
+            if entry is None:
+                self.caches[name] = [hits, misses]
+            else:
+                entry[0] += hits
+                entry[1] += misses
 
     # ------------------------------------------------------------------
     # Reporting

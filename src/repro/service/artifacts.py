@@ -106,6 +106,10 @@ class ArtifactStore:
     profiler:
         A :class:`repro.perf.Profiler` whose ``service.artifacts`` cache
         counters mirror this store's hits and misses.
+    metrics:
+        A :class:`repro.telemetry.MetricsRegistry` receiving
+        ``service.artifacts.hits`` / ``service.artifacts.misses``
+        counters (the service wires its own registry in by default).
     """
 
     def __init__(
@@ -113,12 +117,14 @@ class ArtifactStore:
         max_entries: int = 512,
         directory: str | Path | None = None,
         profiler=None,
+        metrics=None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = max_entries
         self.directory = Path(directory) if directory is not None else None
         self.profiler = profiler
+        self.metrics = metrics
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         #: Lazily decoded result objects, so repeated hits skip the JSON +
         #: wQasm re-parse (the artifact *bytes* stay authoritative).
@@ -151,6 +157,10 @@ class ArtifactStore:
             self.misses += 1
         if self.profiler is not None:
             (self.profiler.hit if hit else self.profiler.miss)("service.artifacts")
+        if self.metrics is not None:
+            self.metrics.inc(
+                "service.artifacts.hits" if hit else "service.artifacts.misses"
+            )
 
     def _lookup(self, key: str) -> bytes | None:
         """Find the artifact bytes (memory first, then disk); no counting."""

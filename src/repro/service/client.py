@@ -16,6 +16,7 @@ from pathlib import Path
 from ..exceptions import TargetError, WeaverError
 from ..targets.result import CompilationResult
 from ..targets.workload import Workload, coerce_workload
+from ..telemetry.trace import current_context
 from .protocol import ProtocolError, decode_line, encode_line, workload_to_payload
 from .server import MAX_LINE_BYTES
 
@@ -38,6 +39,9 @@ class RemoteResult:
     job_id: str
     from_cache: bool
     events: list[str] = field(default_factory=list)
+    #: Trace id echoed by the server's ``done`` event (``None`` when
+    #: nothing traced the job).
+    trace: str | None = None
 
 
 class ServiceClient:
@@ -200,6 +204,11 @@ class ServiceClient:
             message["simulate"] = simulate
         if analyze:
             message["analyze"] = True if analyze is True else analyze
+        # With client-side tracing on, ship the ambient span's context
+        # so the server parents the job's spans on this call site.
+        ctx = current_context()
+        if ctx is not None:
+            message["trace"] = ctx
         req, inbox = await self._request(message)
         events: list[str] = []
         try:
@@ -217,6 +226,7 @@ class ServiceClient:
                         job_id=payload.get("job", ""),
                         from_cache=bool(payload.get("from_cache")),
                         events=events,
+                        trace=payload.get("trace"),
                     )
         finally:
             self._inboxes.pop(req, None)

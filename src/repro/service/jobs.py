@@ -68,8 +68,24 @@ class CompileJob:
     #: ``True`` when the result came from the artifact store or an
     #: in-flight duplicate rather than a fresh compile.
     from_cache: bool = False
+    #: Client-supplied trace context (``{"trace": ..., "span": ...}``)
+    #: carried over the protocol; the service parents this job's spans
+    #: on it so one trace spans client, server, and worker process.
+    trace: dict | None = None
     on_progress: Callable[["CompileJob", str], None] | None = None
     future: asyncio.Future = field(default_factory=asyncio.Future, repr=False)
+    #: The open ``service.job.<kind>`` span while server-side tracing is
+    #: enabled (``None`` otherwise); finished by the service.
+    span: object = field(default=None, repr=False)
+
+    @property
+    def trace_id(self) -> str | None:
+        """The trace this job belongs to (server span or client context)."""
+        if self.span is not None:
+            return self.span.trace_id
+        if self.trace:
+            return self.trace.get("trace")
+        return None
 
     def __await__(self):
         return self.future.__await__()
@@ -124,6 +140,7 @@ class CompileJob:
             "shard": self.shard,
             "from_cache": self.from_cache,
             "queue_seconds": self.queue_seconds,
+            "trace": self.trace_id,
         }
 
 

@@ -23,13 +23,23 @@ noise-aware simulator and the ``done`` result carries ``execution``.
 the worker statically verifies the artifact with the wLint analyzer
 and the ``done`` result carries ``analysis``.
 
+A ``submit`` may carry an optional ``trace`` field — a span context
+object ``{"trace": "...", "span": "..."}`` from
+:func:`repro.telemetry.current_context` — and a server recording a
+trace parents the job's spans on it, so client and server stitch into
+one tree.  The field is additive (ignored by older servers, omitted by
+untraced clients), so the protocol version is unchanged.
+
 Responses (``submit`` streams its job's lifecycle)::
 
     {"req": "r3", "event": "queued",  "job": "job-1", "shard": 0}
     {"req": "r3", "event": "started", "job": "job-1"}
     {"req": "r3", "event": "done",    "job": "job-1", "from_cache": false,
-     "result": {...CompilationResult.to_dict()...}}
+     "trace": "86f2...", "result": {...CompilationResult.to_dict()...}}
     {"req": "r9", "event": "error", "kind": "user", "error": "unknown target 'pixie'"}
+
+``done`` events echo the job's trace id (``null`` when nothing traced
+it), so a client can correlate its spans with a server-side recording.
 
 Workload payloads travel as full content (DIMACS or OpenQASM text), not
 file paths — the server never reads client filesystems.

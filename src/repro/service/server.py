@@ -200,6 +200,9 @@ class ServiceServer:
         analyze = message.get("analyze")
         if analyze is not None and not isinstance(analyze, (bool, dict)):
             raise ProtocolError("'analyze' must be true or an options object")
+        trace = message.get("trace")
+        if trace is not None and not isinstance(trace, dict):
+            raise ProtocolError("'trace' must be a span-context object")
         job = await self.service.submit(
             workload,
             target=message.get("target") or "fpqa",
@@ -210,6 +213,7 @@ class ServiceServer:
             simulate=simulate,
             analyze=analyze,
             on_progress=on_progress,
+            trace=trace,
             **options,
         )
         result = await job.future
@@ -219,6 +223,7 @@ class ServiceServer:
                 "event": "done",
                 "job": job.job_id,
                 "from_cache": job.from_cache,
+                "trace": job.trace_id,
                 "result": result.to_dict(),
             }
         )
@@ -232,11 +237,14 @@ async def serve(
     max_artifacts: int = 512,
     budgets: dict[str, float] | None = None,
     ready: asyncio.Event | None = None,
-) -> None:
+) -> dict:
     """Run a service on ``socket_path`` until a client sends ``shutdown``.
 
     The coroutine behind ``weaver serve``; ``ready`` (when given) is set
     once the socket is accepting connections, for embedding in tests.
+    Returns the service's final ``stats()`` snapshot (counters, profile,
+    metric histograms), taken just before teardown — the CLI renders it
+    as the shutdown report.
     """
     from .artifacts import ArtifactStore
 
@@ -253,4 +261,6 @@ async def serve(
     try:
         await server.serve_until_shutdown()
     finally:
+        stats = service.stats()
         await server.stop()
+    return stats

@@ -29,8 +29,14 @@ from ..exceptions import TargetError
 from ..perf import Profiler
 from ..targets.registry import resolve_target_name
 from ..targets.result import CompilationResult
-from ..targets.session import _canonical_device, compile_spec
+from ..targets.session import (
+    _canonical_device,
+    compile_spec,
+    traced_compile_spec,
+)
 from ..targets.workload import coerce_workload
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import SpanContext, current_tracer, span_context
 from .artifacts import ArtifactStore, artifact_key
 from .jobs import CompileJob, FairQueue, JobStatus
 
@@ -101,6 +107,7 @@ class CompilationService:
         parameters=None,
         target_options: dict[str, dict] | None = None,
         profiler: Profiler | None = None,
+        metrics: MetricsRegistry | None = None,
         max_tracked_jobs: int = 1024,
     ):
         if shards < 1:
@@ -113,9 +120,15 @@ class CompilationService:
         self.shards = shards
         self.backend = backend
         self.profiler = profiler if profiler is not None else Profiler()
+        #: Latency/queue metrics (histograms with quantiles) — the
+        #: structured counterpart of the flat profiler counters; the
+        #: ``stats`` op surfaces its snapshot under ``"metrics"``.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.store = store if store is not None else ArtifactStore()
         if self.store.profiler is None:
             self.store.profiler = self.profiler
+        if self.store.metrics is None:
+            self.store.metrics = self.metrics
         self.budgets = dict(budgets or {})
         self.parameters = parameters
         self.target_options = {k: dict(v) for k, v in (target_options or {}).items()}
@@ -181,12 +194,30 @@ class CompilationService:
     def _cancel_job(self, job: CompileJob) -> None:
         job.status = JobStatus.CANCELLED
         job.finished_at = time.monotonic()
+        self.metrics.inc("service.jobs.cancelled", kind=job.kind)
         if not job.future.done():
             job.future.set_result(
                 self._failure_result(job, "ServiceStopped: service shut down")
             )
+        self._finish_span(job, "cancelled")
         self._retire(job)
         job._emit("cancelled")
+
+    def _finish_span(self, job: CompileJob, status: str, result=None) -> None:
+        """Close the job's lifecycle span, if one is open."""
+        span = job.span
+        if span is None:
+            return
+        job.span = None
+        if job.trace is None:
+            # Keep the id resolvable after the span closes (the `done`
+            # protocol event echoes it for client-side correlation).
+            job.trace = span_context(span)
+        span.set_attribute("status", status)
+        span.set_attribute("from_cache", job.from_cache)
+        if result is not None and result.error is not None:
+            span.set_attribute("error", result.error)
+        span.finish(end=job.finished_at)
 
     def _retire(self, job: CompileJob) -> None:
         """Bound the job registry: forget the oldest finished jobs."""
@@ -208,9 +239,15 @@ class CompilationService:
         simulate=None,
         analyze=None,
         on_progress: Callable[[CompileJob, str], None] | None = None,
+        trace: dict | None = None,
         **options,
     ) -> CompileJob:
         """Queue one compilation and return its (awaitable) job.
+
+        ``trace`` is an optional client span context
+        (:func:`repro.telemetry.current_context`): when server-side
+        tracing is on, this job's spans parent on it, so client and
+        server stitch into one trace.
 
         The call returns as soon as the job is routed: instantly with a
         finished job on an artifact-store hit, otherwise after enqueuing
@@ -270,13 +307,43 @@ class CompilationService:
             timeout=timeout,
             key=key,
             shard=_shard_of(shard_key(name, device), self.shards),
+            trace=trace if isinstance(trace, dict) else None,
             on_progress=on_progress,
         )
         self._jobs[job.job_id] = job
         self._jobs_submitted += 1
+        self.metrics.inc("service.jobs.submitted", kind=job.kind, target=name)
+        tracer = current_tracer()
+        if tracer is not None:
+            # The job span stays open across the whole lifecycle
+            # (explicitly managed — an asyncio service has no single
+            # ambient context); closed by _finish_job/_cancel_job.
+            parent = None
+            if job.trace is not None and isinstance(
+                job.trace.get("trace"), str
+            ) and isinstance(job.trace.get("span"), str):
+                parent = SpanContext(job.trace["trace"], job.trace["span"])
+            job.span = tracer.start(
+                f"service.job.{job.kind}",
+                parent=parent,
+                attributes={
+                    "job": job.job_id,
+                    "target": name,
+                    "client": client,
+                    "shard": job.shard,
+                },
+            )
         job._emit("queued")
 
+        lookup_started = time.monotonic()
         hit = self.store.get(key)
+        if tracer is not None:
+            tracer.record(
+                "service.artifact.lookup",
+                start=lookup_started,
+                parent=job.span,
+                attributes={"hit": hit is not None},
+            )
         if hit is not None:
             job.from_cache = True
             self._finish_job(job, hit)
@@ -294,6 +361,7 @@ class CompilationService:
 
         self._inflight[key] = job
         self._queues[job.shard].put_nowait(job)
+        self.metrics.set_gauge("service.queue.depth", self._queue_depth())
         return job
 
     async def submit_many(
@@ -376,6 +444,43 @@ class CompilationService:
             self._executors[shard] = executor
         return executor
 
+    def _queue_depth(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    async def _execute(self, job: CompileJob, shard: int, loop) -> CompilationResult:
+        """Run one job on the shard's executor (traced when enabled).
+
+        With tracing on, the spec ships through
+        :func:`traced_compile_spec` carrying the execute span's context;
+        the worker's spans (the compile span, every pass span, sim
+        phases) come back by value and are ingested here — the stitch
+        that makes one trace cross the process boundary.
+        """
+        tracer = current_tracer()
+        if tracer is None or job.span is None:
+            if self.backend == "inline":
+                return compile_spec(self._spec(job))
+            return await loop.run_in_executor(
+                self._executor_for(shard), compile_spec, self._spec(job)
+            )
+        exec_span = tracer.start(
+            "service.execute",
+            parent=job.span,
+            attributes={"shard": shard, "backend": self.backend},
+        )
+        payload = (span_context(exec_span), self._spec(job))
+        try:
+            if self.backend == "inline":
+                result, worker_spans = traced_compile_spec(payload)
+            else:
+                result, worker_spans = await loop.run_in_executor(
+                    self._executor_for(shard), traced_compile_spec, payload
+                )
+        finally:
+            exec_span.finish()
+        tracer.ingest(worker_spans)
+        return result
+
     async def _worker(self, shard: int) -> None:
         queue = self._queues[shard]
         loop = asyncio.get_running_loop()
@@ -383,15 +488,25 @@ class CompilationService:
             job = await queue.get()
             job.status = JobStatus.RUNNING
             job.started_at = time.monotonic()
+            self.metrics.set_gauge("service.queue.depth", self._queue_depth())
+            # submitted_at/started_at share the tracer's monotonic
+            # clock, so the wait renders as a real span retroactively.
+            self.metrics.observe(
+                "service.queue_wait_seconds", job.started_at - job.submitted_at
+            )
+            tracer = current_tracer()
+            if tracer is not None and job.span is not None:
+                tracer.record(
+                    "service.queue.wait",
+                    start=job.submitted_at,
+                    end=job.started_at,
+                    parent=job.span,
+                    attributes={"shard": shard},
+                )
             job._emit("started")
             start = time.perf_counter()
             try:
-                if self.backend == "inline":
-                    result = compile_spec(self._spec(job))
-                else:
-                    result = await loop.run_in_executor(
-                        self._executor_for(shard), compile_spec, self._spec(job)
-                    )
+                result = await self._execute(job, shard, loop)
             except asyncio.CancelledError:
                 self._inflight.pop(job.key, None)
                 self._cancel_job(job)
@@ -402,10 +517,28 @@ class CompilationService:
                 result = self._failure_result(job, f"{type(exc).__name__}: {exc}")
             elapsed = time.perf_counter() - start
             self.profiler.add(f"service.{job.kind}.{job.target}", elapsed)
+            device_name = (
+                job.device
+                if isinstance(job.device, str)
+                else getattr(job.device, "name", None)
+            )
+            self.metrics.observe(
+                "service.compile_seconds", elapsed,
+                target=job.target, device=device_name or "-",
+            )
+            # The worker process (or thread) profiled its own passes,
+            # primitives, and caches; fold them into the service
+            # registry so `stats` reflects the whole fleet, not just
+            # this process (pool-worker counters used to be dropped).
+            if result.profile:
+                self.profiler.merge_profile(result.profile)
+            if result.execution:
+                self.profiler.merge_profile(result.execution.get("profile"))
             self._per_shard_jobs[shard] += 1
             if result.error is None:
                 # Serialize off the loop (a big program's JSON is the
                 # costly part); the store call itself is bookkeeping.
+                store_started = time.monotonic()
                 if self.backend == "inline":
                     entry = ArtifactStore.encode(result)
                 else:
@@ -413,6 +546,13 @@ class CompilationService:
                         None, ArtifactStore.encode, result
                     )
                 self.store.put(job.key, result, entry=entry)
+                if tracer is not None and job.span is not None:
+                    tracer.record(
+                        "service.artifact.store",
+                        start=store_started,
+                        parent=job.span,
+                        attributes={"bytes": len(entry)},
+                    )
             self._inflight.pop(job.key, None)
             followers = self._followers.pop(job.key, [])
             self._finish_job(job, result)
@@ -425,8 +565,13 @@ class CompilationService:
         if job.started_at is None:  # cache/in-flight hits never ran
             job.started_at = job.finished_at
         self._jobs_completed += 1
+        self.metrics.inc("service.jobs.completed", kind=job.kind, target=job.target)
+        self.metrics.observe(
+            "service.job_seconds", job.finished_at - job.submitted_at, kind=job.kind
+        )
         if not job.future.done():
             job.future.set_result(result)
+        self._finish_span(job, "done", result)
         self._retire(job)
         job._emit("done")
 
@@ -455,4 +600,5 @@ class CompilationService:
             "jobs_per_shard": list(self._per_shard_jobs),
             "artifacts": self.store.stats(),
             "profile": self.profiler.profile(),
+            "metrics": self.metrics.to_dict(),
         }

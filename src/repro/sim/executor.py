@@ -39,6 +39,8 @@ import numpy as np
 from ..exceptions import SimulationError
 from ..perf import Profiler
 from ..rng import as_generator
+from ..telemetry.metrics import get_metrics
+from ..telemetry.trace import span as _span
 from .engine import StatevectorEngine, bitstring
 from .noise import KIND_PAULI, KIND_READOUT, resolve_noise
 from .result import ExecutionResult, wilson_interval
@@ -236,6 +238,37 @@ def run_schedule(
         raise SimulationError(f"shots must be positive, got {shots}")
     if max_trajectories < 0:
         raise SimulationError("max_trajectories must be non-negative")
+    # The span (phases nest via the profiler's pass hook) and the global
+    # shots/sec metric observe wall time, which must never reach the
+    # execution payload itself — see _deterministic_profile.
+    wall_started = time.perf_counter()
+    with _span(
+        "sim.run", workload=schedule.name,
+        shots=shots, qubits=schedule.num_qubits,
+    ):
+        execution = _run_schedule(
+            schedule, shots, noise, seed, formula, max_trajectories,
+            profiler, target, device,
+        )
+    elapsed = time.perf_counter() - wall_started
+    metrics = get_metrics()
+    metrics.inc("sim.shots", shots)
+    if elapsed > 0:
+        metrics.observe("sim.shots_per_second", shots / elapsed)
+    return execution
+
+
+def _run_schedule(
+    schedule: Schedule,
+    shots: int,
+    noise,
+    seed,
+    formula,
+    max_trajectories: int,
+    profiler: Profiler | None,
+    target: str | None,
+    device: str | None,
+) -> ExecutionResult:
     rng = as_generator(seed)
     profiler = profiler if profiler is not None else Profiler()
     model = resolve_noise(noise, schedule.events)

@@ -14,6 +14,7 @@ the pipeline, a device profile picks the machine::
 from __future__ import annotations
 
 from ..qaoa.builder import QaoaParameters
+from ..telemetry.trace import span as _span
 from .base import Target
 from .registry import get_target
 from .result import CompilationResult
@@ -94,18 +95,23 @@ def compile(  # noqa: A001 — deliberate: the framework's verb
             )
     resolved = get_target(target if target is not None else "fpqa", **resolved_options)
     coerced = coerce_workload(workload)
-    result = resolved.compile(
-        coerced,
-        parameters=parameters,
-        budget_seconds=budget_seconds,
-        **options,
-    )
-    if simulate:
-        from ..sim import attach_simulation
+    # One root span covers the whole request — compile plus the optional
+    # simulate/analyze attachments — so a traced `compile(simulate=True)`
+    # renders as a single tree (pass spans nest via the Profiler hook,
+    # sim phases via the executor's own spans).
+    with _span(f"compile.{resolved.name}", workload=coerced.name):
+        result = resolved.compile(
+            coerced,
+            parameters=parameters,
+            budget_seconds=budget_seconds,
+            **options,
+        )
+        if simulate:
+            from ..sim import attach_simulation
 
-        attach_simulation(result, workload=coerced, options=simulate)
-    if analyze:
-        from ..analysis import attach_analysis
+            attach_simulation(result, workload=coerced, options=simulate)
+        if analyze:
+            from ..analysis import attach_analysis
 
-        attach_analysis(result, options=analyze)
+            attach_analysis(result, options=analyze)
     return result

@@ -29,6 +29,15 @@ from typing import Iterable, Sequence
 from ..exceptions import TargetError
 from ..perf import Profiler
 from ..qaoa.builder import QaoaParameters
+from ..telemetry.trace import (
+    Tracer,
+    adopt_context,
+    current_context,
+    current_tracer,
+    pop_tracer,
+    push_tracer,
+    span as _span,
+)
 from .base import Target
 from .registry import get_target, resolve_target_name
 from .result import CompilationResult
@@ -81,6 +90,17 @@ def compile_spec(spec: tuple) -> CompilationResult:
     workload, target_name, target_options, parameters, budget, options, *rest = spec
     simulate = rest[0] if rest else None
     analyze = rest[1] if len(rest) > 1 else None
+    with _span(f"compile.{target_name}", workload=workload.name):
+        return _compile_spec_body(
+            workload, target_name, target_options, parameters, budget,
+            options, simulate, analyze,
+        )
+
+
+def _compile_spec_body(
+    workload, target_name, target_options, parameters, budget,
+    options, simulate, analyze,
+) -> CompilationResult:
     try:
         target = get_target(target_name, **(target_options or {}))
     except Exception as exc:  # noqa: BLE001 — sessions report, never crash
@@ -127,6 +147,30 @@ def _analyze_row(result: CompilationResult, analyze) -> None:
         attach_analysis(result, options=analyze)
     except Exception as exc:  # noqa: BLE001 — sweeps report, never crash
         result.error = f"{type(exc).__name__}: {exc}"
+
+
+def traced_compile_spec(payload: tuple) -> tuple[CompilationResult, list[dict]]:
+    """:func:`compile_spec` under a worker-local tracer.
+
+    ``payload`` is ``(ctx, spec)`` where ``ctx`` is the submitting
+    side's span context (:func:`repro.telemetry.current_context`).  The
+    worker — a pool process, an executor thread, or the caller itself —
+    records its spans into a fresh :class:`~repro.telemetry.Tracer`
+    parented on ``ctx``, and ships them back by value for the parent to
+    :meth:`~repro.telemetry.Tracer.ingest`; that is how one trace
+    stitches across process boundaries.  Only dispatched when tracing is
+    enabled; the untraced fan-out keeps calling :func:`compile_spec`
+    directly.
+    """
+    ctx, spec = payload
+    tracer = Tracer()
+    token = push_tracer(tracer)
+    try:
+        with adopt_context(ctx):
+            result = compile_spec(spec)
+    finally:
+        pop_tracer(token)
+    return result, tracer.export()
 
 
 class CompilerSession:
@@ -416,6 +460,16 @@ class CompilerSession:
         grid is reproducible), and ``analyze`` statically verifies every
         successful cell with the wLint analyzer.
         """
+        with _span("session.compile_many", parallel=parallel):
+            return self._compile_many(
+                workloads, targets, parallel, devices, simulate, analyze,
+                **options,
+            )
+
+    def _compile_many(
+        self, workloads, targets, parallel, devices, simulate, analyze,
+        **options,
+    ) -> list[CompilationResult]:
         simulate = self._canonical_simulate(simulate)
         analyze = self._canonical_analyze(analyze)
         target_names = (
@@ -487,17 +541,23 @@ class CompilerSession:
                 results[index] = results[source]
             return results  # type: ignore[return-value]
 
+        # With tracing enabled, misses go through traced_compile_spec so
+        # each pool worker's spans come back parented on this batch's
+        # ambient span; untraced batches pay nothing.
+        tracer = current_tracer()
+        ctx = current_context() if tracer is not None else None
         with ProcessPoolExecutor(max_workers=parallel) as pool:
-            futures = {
-                pool.submit(
-                    compile_spec,
-                    self._spec(
-                        jobs[index][0], jobs[index][1], options,
-                        device=jobs[index][2], simulate=simulate, analyze=analyze,
-                    ),
-                ): index
-                for index in submit
-            }
+            futures = {}
+            for index in submit:
+                spec = self._spec(
+                    jobs[index][0], jobs[index][1], options,
+                    device=jobs[index][2], simulate=simulate, analyze=analyze,
+                )
+                if tracer is not None:
+                    future = pool.submit(traced_compile_spec, (ctx, spec))
+                else:
+                    future = pool.submit(compile_spec, spec)
+                futures[future] = index
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
@@ -505,6 +565,9 @@ class CompilerSession:
                     index = futures[future]
                     try:
                         result = future.result()
+                        if tracer is not None:
+                            result, worker_spans = result
+                            tracer.ingest(worker_spans)
                     except Exception as exc:  # noqa: BLE001 — worker died
                         workload, name, device = jobs[index]
                         result = CompilationResult(

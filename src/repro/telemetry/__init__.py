@@ -1,0 +1,96 @@
+"""End-to-end observability: span tracing, metrics, and exporters.
+
+The telemetry layer underneath :mod:`repro.perf`, the service, and the
+simulator.  Three pieces:
+
+* :mod:`~repro.telemetry.trace` — hierarchical spans with a no-op fast
+  path, ambient nesting via ``ContextVar``, and cross-process stitching
+  (``span`` / ``configure`` / ``current_context`` / ``adopt_context``);
+* :mod:`~repro.telemetry.metrics` — counters, gauges, and
+  exponential-bucket histograms with p50/p90/p99 estimates
+  (:class:`MetricsRegistry`), mergeable across processes;
+* :mod:`~repro.telemetry.export` / :mod:`~repro.telemetry.summary` —
+  Chrome trace-event JSON (Perfetto), Prometheus text exposition,
+  JSON-lines spans, and the terminal tree/table renderings behind
+  ``weaver trace`` and ``weaver top``.
+
+Quickstart::
+
+    from repro import telemetry
+
+    tracer = telemetry.configure(enabled=True)
+    result = repro.compile(formula, target="fpqa", simulate=True)
+    print(telemetry.format_trace_tree(tracer.export()))
+    payload = telemetry.chrome_trace(tracer.export())   # open in Perfetto
+"""
+
+from .trace import (
+    NOOP_SPAN,
+    SPAN_SCHEMA_VERSION,
+    Span,
+    SpanContext,
+    Tracer,
+    adopt_context,
+    configure,
+    current_context,
+    current_tracer,
+    pop_tracer,
+    push_tracer,
+    span,
+    span_context,
+    tracing_enabled,
+)
+from .metrics import (
+    BASE,
+    METRICS_SCHEMA_VERSION,
+    QUANTILES,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_upper,
+    get_metrics,
+    reset_metrics,
+)
+from .export import (
+    chrome_trace,
+    prometheus_text,
+    read_spans_jsonl,
+    spans_from_chrome_trace,
+    validate_chrome_trace,
+    write_spans_jsonl,
+)
+from .summary import format_metrics_table, format_trace_tree
+
+__all__ = [
+    "BASE",
+    "NOOP_SPAN",
+    "METRICS_SCHEMA_VERSION",
+    "QUANTILES",
+    "SPAN_SCHEMA_VERSION",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "adopt_context",
+    "bucket_index",
+    "bucket_upper",
+    "chrome_trace",
+    "configure",
+    "current_context",
+    "current_tracer",
+    "format_metrics_table",
+    "format_trace_tree",
+    "get_metrics",
+    "pop_tracer",
+    "prometheus_text",
+    "push_tracer",
+    "read_spans_jsonl",
+    "reset_metrics",
+    "span",
+    "span_context",
+    "spans_from_chrome_trace",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,124 @@
+"""Tracing-overhead benchmark runner -> ``BENCH_telemetry.json``.
+
+Measures end-to-end ``repro.compile`` wall time on a uf-sized random
+3-SAT instance with tracing disabled and enabled, and appends one run
+record to the trajectory file.  The committed numbers back the <5%
+overhead acceptance bar (also pinned live by
+``benchmarks/test_telemetry_overhead.py``).
+
+Usage::
+
+    python -m repro.telemetry.bench
+    python -m repro.telemetry.bench --sizes 100 --repeats 5 --label "PR 7"
+
+File format (``schema`` 1): same run-record envelope as
+``BENCH_compile.json``, with cells of the form::
+
+    {"num_vars": 100, "seed": 7, "repeats": 3,
+     "disabled_seconds": ..., "enabled_seconds": ...,
+     "overhead_ratio": ..., "spans": ...}
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+
+from ..perf.bench import CLAUSE_RATIO, write_bench_file
+from .trace import configure
+
+DEFAULT_SIZES = (100,)
+DEFAULT_OUTPUT = "BENCH_telemetry.json"
+
+
+def _best_of(func, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_overhead_bench(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    seed: int = 7,
+    repeats: int = 3,
+    verbose: bool = False,
+) -> dict:
+    """Measure disabled vs enabled tracing and return one run record."""
+    import repro
+    from ..sat.generator import random_ksat
+
+    cells = []
+    for num_vars in sizes:
+        formula = random_ksat(num_vars, round(num_vars * CLAUSE_RATIO), seed=seed)
+        repro.compile(formula, target="fpqa")  # warm every cache once
+        configure(enabled=False)
+        disabled = _best_of(lambda: repro.compile(formula, target="fpqa"), repeats)
+        tracer = configure(enabled=True)
+        try:
+            enabled = _best_of(lambda: repro.compile(formula, target="fpqa"), repeats)
+            spans = len(tracer.export())
+        finally:
+            configure(enabled=False)
+        cell = {
+            "num_vars": num_vars,
+            "num_clauses": formula.num_clauses,
+            "seed": seed,
+            "repeats": repeats,
+            "disabled_seconds": disabled,
+            "enabled_seconds": enabled,
+            "overhead_ratio": enabled / disabled,
+            "spans": spans,
+        }
+        cells.append(cell)
+        if verbose:
+            print(
+                f"[telemetry-bench] n={num_vars}: off {disabled:.3f}s, "
+                f"on {enabled:.3f}s (x{cell['overhead_ratio']:.3f}, "
+                f"{spans} spans)",
+                file=sys.stderr,
+            )
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or platform.machine(),
+        },
+        "cells": cells,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.bench", description=__doc__
+    )
+    parser.add_argument(
+        "--sizes", default=",".join(map(str, DEFAULT_SIZES)),
+        help="comma-separated variable counts (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--label", default=None, help="tag for this run")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    sizes = tuple(int(s) for s in args.sizes.split(",") if s)
+    run = run_overhead_bench(sizes=sizes, seed=args.seed, repeats=args.repeats, verbose=True)
+    if args.label:
+        run["label"] = args.label
+    path = write_bench_file(run, args.output)
+    print(
+        f"[telemetry-bench] wrote {len(run['cells'])} cells to {path}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

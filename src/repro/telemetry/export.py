@@ -1,0 +1,232 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, JSON-lines spans.
+
+``chrome_trace`` produces the Trace Event Format (the ``traceEvents``
+array of ``"ph": "X"`` complete events) that Perfetto and
+``chrome://tracing`` load directly; every span's ids ride along in the
+event ``args`` so :func:`spans_from_chrome_trace` can rebuild the tree
+from a saved file.  ``prometheus_text`` renders a
+:class:`~repro.telemetry.metrics.MetricsRegistry` snapshot in the
+text exposition format (cumulative ``_bucket{le=...}`` series, ``_sum``,
+``_count``) for scraping.  The JSON-lines sink is the raw form: one
+span dict per line, append-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from .metrics import MetricsRegistry, bucket_upper
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def chrome_trace(spans: list[dict]) -> dict:
+    """Spans -> a Chrome trace-event payload (Perfetto-loadable).
+
+    Timestamps rebase to the earliest span start (microseconds from
+    zero), so the monotonic-clock origin never leaks into the file.
+    """
+    events: list[dict] = []
+    starts = [s["start"] for s in spans if s.get("start") is not None]
+    base = min(starts) if starts else 0.0
+    seen_processes: set[int] = set()
+    for span in spans:
+        start = span.get("start")
+        end = span.get("end")
+        if start is None or end is None:
+            continue
+        pid = int(span.get("pid") or 0)
+        if pid not in seen_processes:
+            seen_processes.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"weaver (pid {pid})"},
+                }
+            )
+        args = dict(span.get("attrs") or {})
+        args["trace"] = span.get("trace")
+        args["span"] = span.get("span")
+        args["parent"] = span.get("parent")
+        events.append(
+            {
+                "ph": "X",
+                "name": str(span.get("name")),
+                "cat": "weaver",
+                "ts": (start - base) * 1e6,
+                "dur": max(end - start, 0.0) * 1e6,
+                "pid": pid,
+                "tid": int(span.get("tid") or 0),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: dict) -> int:
+    """Check a Chrome trace payload's schema; returns the complete-event
+    count.  Raises ``ValueError`` with a specific complaint otherwise —
+    the helper both the test suite and the CI smoke step call.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace payload needs a 'traceEvents' array")
+    complete = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ValueError(f"traceEvents[{i}] has no phase ('ph')")
+        if ph == "M":
+            continue
+        if ph != "X":
+            raise ValueError(f"traceEvents[{i}] has unexpected phase {ph!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"traceEvents[{i}] has no name")
+        for field in ("ts", "dur"):
+            value = event.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"traceEvents[{i}].{field} must be a non-negative number"
+                )
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                raise ValueError(f"traceEvents[{i}].{field} must be an integer")
+        complete += 1
+    if complete == 0:
+        raise ValueError("trace has no complete ('X') events")
+    return complete
+
+
+def spans_from_chrome_trace(payload: dict) -> list[dict]:
+    """Rebuild span dicts from a saved Chrome trace (for summarizing)."""
+    spans: list[dict] = []
+    for event in payload.get("traceEvents") or []:
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        attrs = {
+            k: v for k, v in args.items() if k not in ("trace", "span", "parent")
+        }
+        start = float(event.get("ts") or 0.0) / 1e6
+        spans.append(
+            {
+                "name": event.get("name"),
+                "trace": args.get("trace"),
+                "span": args.get("span"),
+                "parent": args.get("parent"),
+                "start": start,
+                "end": start + float(event.get("dur") or 0.0) / 1e6,
+                "pid": event.get("pid"),
+                "tid": event.get("tid"),
+                "attrs": attrs,
+            }
+        )
+    return spans
+
+
+# ----------------------------------------------------------------------
+# JSON-lines span sink
+# ----------------------------------------------------------------------
+def write_spans_jsonl(spans: list[dict], path: str | Path) -> Path:
+    """Append spans to ``path``, one JSON object per line."""
+    path = Path(path)
+    with path.open("a", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span, separators=(",", ":")) + "\n")
+    return path
+
+
+def read_spans_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSON-lines span file (skipping blank/corrupt lines)."""
+    spans: list[dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(payload, dict):
+            spans.append(payload)
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, namespace: str) -> str:
+    return _NAME_RE.sub("_", f"{namespace}_{name}" if namespace else name)
+
+
+def _label_text(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{_NAME_RE.sub("_", str(k))}="{v}"' for k, v in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(
+    metrics: MetricsRegistry | dict, namespace: str = "weaver"
+) -> str:
+    """Render a registry (or its ``to_dict`` payload) for a scraper."""
+    payload = metrics.to_dict() if isinstance(metrics, MetricsRegistry) else metrics
+    lines: list[str] = []
+    typed: set[str] = set()
+    for row in payload.get("series") or []:
+        kind = row.get("kind")
+        labels = row.get("labels") or {}
+        if kind == "counter":
+            name = _metric_name(str(row["name"]), namespace) + "_total"
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{_label_text(labels)} {row.get('value', 0)}")
+        elif kind == "gauge":
+            name = _metric_name(str(row["name"]), namespace)
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_label_text(labels)} {row.get('value', 0)}")
+        elif kind == "histogram":
+            name = _metric_name(str(row["name"]), namespace)
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} histogram")
+            cumulative = int(row.get("zeros") or 0)
+            if cumulative:
+                lines.append(
+                    f"{name}_bucket{_label_text(labels, {'le': '0.0'})} {cumulative}"
+                )
+            buckets = row.get("buckets") or {}
+            for index in sorted(int(i) for i in buckets):
+                cumulative += int(buckets[str(index)])
+                le = f"{bucket_upper(index):.9g}"
+                lines.append(
+                    f"{name}_bucket{_label_text(labels, {'le': le})} {cumulative}"
+                )
+            count = int(row.get("count") or 0)
+            lines.append(
+                f"{name}_bucket{_label_text(labels, {'le': '+Inf'})} {count}"
+            )
+            lines.append(f"{name}_sum{_label_text(labels)} {row.get('sum', 0.0)}")
+            lines.append(f"{name}_count{_label_text(labels)} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,252 @@
+"""Counters, gauges, and exponential-bucket histograms.
+
+The :class:`MetricsRegistry` replaces the ad-hoc stat dicts the service
+grew organically: every series is ``(name, labels)``-keyed, JSON-safe
+via :meth:`~MetricsRegistry.to_dict`, and mergeable across processes
+via :meth:`~MetricsRegistry.merge` (the cross-fleet aggregation the
+``stats`` op needs).
+
+Histograms use exponential buckets with growth factor ``BASE`` (about
+1.19 — four buckets per doubling), so a latency distribution spanning
+microseconds to minutes needs ~100 integer counters and any quantile
+estimate is off by at most one bucket width (~9% relative, and clamped
+to the observed min/max).  That trade — tiny fixed memory, bounded
+relative error — is the standard production histogram design
+(Prometheus native histograms, HdrHistogram).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: Bump when the registry payload layout changes.
+METRICS_SCHEMA_VERSION = 1
+
+#: Histogram bucket growth factor: 2**0.25, four buckets per doubling.
+BASE = 2 ** 0.25
+_LOG_BASE = math.log(BASE)
+
+#: Quantiles reported in every histogram payload.
+QUANTILES = (0.5, 0.9, 0.99)
+
+
+def bucket_index(value: float) -> int:
+    """The bucket holding ``value``: index ``i`` covers [BASE^i, BASE^(i+1))."""
+    return math.floor(math.log(value) / _LOG_BASE + 1e-9)
+
+
+def bucket_upper(index: int) -> float:
+    """The exclusive upper bound of bucket ``index``."""
+    return BASE ** (index + 1)
+
+
+class Histogram:
+    """Exponential-bucket histogram with streaming quantile estimates."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "zeros", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum: float | None = None
+        self.maximum: float | None = None
+        #: observations <= 0 (e.g. a zero-length wait) get their own slot.
+        self.zeros = 0
+        #: bucket index -> observation count.
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (0..1); ``None`` when empty.
+
+        Walks the cumulative counts to the target rank and returns the
+        geometric midpoint of the landing bucket, clamped to the exact
+        observed extremes — so p0/p100 are exact and everything between
+        is within one bucket width of the true value.
+        """
+        if self.count == 0:
+            return None
+        rank = q * (self.count - 1)
+        cumulative = self.zeros
+        if rank < cumulative:
+            return 0.0 if self.minimum is None else max(self.minimum, 0.0)
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if rank < cumulative:
+                estimate = BASE ** (index + 0.5)
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum
+
+    def to_dict(self) -> dict:
+        payload = {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "zeros": self.zeros,
+            "buckets": {str(index): n for index, n in sorted(self.buckets.items())},
+        }
+        payload["quantiles"] = {
+            f"p{int(q * 100)}": self.quantile(q) for q in QUANTILES
+        }
+        return payload
+
+    def merge(self, payload: dict) -> None:
+        """Fold another histogram's :meth:`to_dict` payload into this one."""
+        self.count += int(payload.get("count") or 0)
+        self.total += float(payload.get("sum") or 0.0)
+        self.zeros += int(payload.get("zeros") or 0)
+        for bound in ("min", "max"):
+            value = payload.get(bound)
+            if value is None:
+                continue
+            current = self.minimum if bound == "min" else self.maximum
+            if current is None:
+                better = value
+            else:
+                better = min(current, value) if bound == "min" else max(current, value)
+            if bound == "min":
+                self.minimum = better
+            else:
+                self.maximum = better
+        for index, n in (payload.get("buckets") or {}).items():
+            index = int(index)
+            self.buckets[index] = self.buckets.get(index, 0) + int(n)
+
+
+def _series_key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Named, labeled metric series: counters, gauges, histograms.
+
+    Thread-safe (the simulator observes from executor threads while the
+    service loop updates its own series).  A name is bound to one kind
+    on first use; reusing it as a different kind raises — silently
+    coercing would corrupt dashboards.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (name, labels) -> ("counter"|"gauge", float) | ("histogram", Histogram)
+        self._series: dict[tuple, list] = {}
+
+    def _entry(self, name: str, labels: dict, kind: str) -> list:
+        key = _series_key(name, labels)
+        entry = self._series.get(key)
+        if entry is None:
+            entry = [kind, Histogram() if kind == "histogram" else 0.0]
+            self._series[key] = entry
+        elif entry[0] != kind:
+            raise ValueError(
+                f"metric {name!r} is a {entry[0]}, not a {kind}"
+            )
+        return entry
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels) -> None:
+        with self._lock:
+            entry = self._entry(name, labels, "counter")
+            entry[1] += value
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        with self._lock:
+            entry = self._entry(name, labels, "gauge")
+            entry[1] = float(value)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        with self._lock:
+            entry = self._entry(name, labels, "histogram")
+            entry[1].observe(value)
+
+    # -- reading --------------------------------------------------------
+    def value(self, name: str, **labels) -> float | None:
+        """A counter/gauge's current value (``None`` if absent)."""
+        with self._lock:
+            entry = self._series.get(_series_key(name, labels))
+            if entry is None or entry[0] == "histogram":
+                return None
+            return entry[1]
+
+    def histogram(self, name: str, **labels) -> Histogram | None:
+        with self._lock:
+            entry = self._series.get(_series_key(name, labels))
+            if entry is None or entry[0] != "histogram":
+                return None
+            return entry[1]
+
+    def quantile(self, name: str, q: float, **labels) -> float | None:
+        hist = self.histogram(name, **labels)
+        return hist.quantile(q) if hist is not None else None
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot: the ``metrics`` section of service stats."""
+        with self._lock:
+            series = []
+            for (name, labels), (kind, value) in sorted(self._series.items()):
+                row = {"name": name, "labels": dict(labels), "kind": kind}
+                if kind == "histogram":
+                    row.update(value.to_dict())
+                else:
+                    row["value"] = value
+                series.append(row)
+        return {"schema": METRICS_SCHEMA_VERSION, "series": series}
+
+    def merge(self, payload: dict | None) -> None:
+        """Fold another registry's :meth:`to_dict` payload into this one.
+
+        Counters and histogram counts add; gauges take the incoming
+        value (last writer wins — they are point-in-time readings).
+        The cross-process aggregation path: worker registries serialize,
+        the parent merges.
+        """
+        if not payload:
+            return
+        for row in payload.get("series") or []:
+            name = row.get("name")
+            kind = row.get("kind")
+            labels = row.get("labels") or {}
+            if not isinstance(name, str) or kind not in (
+                "counter", "gauge", "histogram"
+            ):
+                continue
+            with self._lock:
+                entry = self._entry(name, labels, kind)
+                if kind == "counter":
+                    entry[1] += float(row.get("value") or 0.0)
+                elif kind == "gauge":
+                    entry[1] = float(row.get("value") or 0.0)
+                else:
+                    entry[1].merge(row)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+#: Process-global registry: ambient sinks (the simulator's shots/sec)
+#: record here; the service owns its own registry instance.
+_global_registry = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    return _global_registry
+
+
+def reset_metrics() -> None:
+    _global_registry.clear()

@@ -1,0 +1,147 @@
+"""Terminal renderings: the trace tree and the metrics table.
+
+Both feed the CLI (``weaver trace``, ``weaver top``, ``weaver submit
+--stats``, the ``weaver serve`` shutdown report) and deliberately mirror
+the existing ``format_profile_table`` aesthetic: plain aligned text, no
+box-drawing dependencies.
+"""
+
+from __future__ import annotations
+
+
+def _duration_ms(span: dict) -> float:
+    start = span.get("start") or 0.0
+    end = span.get("end")
+    return max((end - start) * 1e3, 0.0) if end is not None else 0.0
+
+
+def format_trace_tree(spans: list[dict], max_spans: int = 200) -> str:
+    """Render spans as an indented tree, children under parents.
+
+    Spans whose parent is unknown (roots, or remote parents whose span
+    never shipped back) render at top level.  Sibling order is start
+    time; cross-process children carry a ``[pid N]`` marker.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {s.get("span"): s for s in spans if s.get("span")}
+    children: dict[str | None, list[dict]] = {}
+    roots: list[dict] = []
+    for span in spans:
+        parent = span.get("parent")
+        if parent and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    for group in children.values():
+        group.sort(key=lambda s: s.get("start") or 0.0)
+    roots.sort(key=lambda s: s.get("start") or 0.0)
+
+    lines: list[str] = []
+    truncated = [False]
+
+    def render(span: dict, depth: int, root_pid) -> None:
+        if len(lines) >= max_spans:
+            truncated[0] = True
+            return
+        marker = ""
+        if root_pid is not None and span.get("pid") not in (None, root_pid):
+            marker = f"  [pid {span['pid']}]"
+        attrs = span.get("attrs") or {}
+        error = f"  !{attrs['error']}" if "error" in attrs else ""
+        lines.append(
+            f"{'  ' * depth}{span.get('name')}  "
+            f"{_duration_ms(span):.2f} ms{marker}{error}"
+        )
+        for child in children.get(span.get("span"), []):
+            render(child, depth + 1, root_pid)
+
+    for root in roots:
+        render(root, 0, root.get("pid"))
+    if truncated[0]:
+        lines.append(f"... ({len(spans)} spans total)")
+    return "\n".join(lines)
+
+
+def _rows(title: tuple[str, ...], rows: list[tuple[str, ...]]) -> list[str]:
+    widths = [
+        max(len(str(cell)) for cell in column) for column in zip(title, *rows)
+    ]
+    lines = []
+    for row in (title, *rows):
+        lines.append(
+            "  ".join(
+                str(cell).ljust(width) for cell, width in zip(row, widths)
+            ).rstrip()
+        )
+    return lines
+
+
+def _fmt_seconds(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.1f} ms" if value < 10 else f"{value:.2f} s"
+
+
+def _fmt_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def format_metrics_table(metrics: dict) -> str:
+    """Render a registry snapshot (``MetricsRegistry.to_dict``) as text.
+
+    Histograms get one row each with count and p50/p90/p99 — the view
+    the acceptance criteria name (p50/p99 job latency, queue depth).
+    """
+    series = (metrics or {}).get("series") or []
+    if not series:
+        return "(no metrics recorded)"
+    scalar_rows: list[tuple[str, ...]] = []
+    histogram_rows: list[tuple[str, ...]] = []
+    for row in series:
+        name = f"{row.get('name')}{_label_suffix(row.get('labels') or {})}"
+        if row.get("kind") == "histogram":
+            # Series named *_seconds render as durations; anything else
+            # (rates like sim.shots_per_second) as plain numbers.
+            fmt = (
+                _fmt_seconds
+                if "seconds" in str(row.get("name"))
+                and not str(row.get("name")).endswith("per_second")
+                else _fmt_value
+            )
+            quantiles = row.get("quantiles") or {}
+            histogram_rows.append(
+                (
+                    name,
+                    str(row.get("count", 0)),
+                    fmt(quantiles.get("p50")),
+                    fmt(quantiles.get("p90")),
+                    fmt(quantiles.get("p99")),
+                    fmt(row.get("max")),
+                )
+            )
+        else:
+            scalar_rows.append((name, _fmt_value(row.get("value"))))
+    sections: list[str] = []
+    if scalar_rows:
+        sections.extend(_rows(("metric", "value"), scalar_rows))
+    if histogram_rows:
+        if sections:
+            sections.append("")
+        sections.extend(
+            _rows(
+                ("histogram", "count", "p50", "p90", "p99", "max"),
+                histogram_rows,
+            )
+        )
+    return "\n".join(sections)

@@ -1,0 +1,348 @@
+"""Hierarchical span tracing: the causal skeleton of a request.
+
+A *span* is one timed operation — ``compile.fpqa``, ``service.queue.wait``,
+``sim.run`` — with monotonic start/end timestamps, attributes, and a
+parent link.  Spans belonging to one request share a *trace id*, so a
+service job that crosses the socket, the shard queue, and a worker
+process still renders as a single tree.
+
+Design constraints, in order:
+
+1. **Cheap when off.**  Tracing is disabled by default; the only cost a
+   hot path pays is one ``ContextVar`` read plus a ``None`` check, and
+   ``span(...)`` returns a shared no-op object.  The compile pipeline,
+   the simulator, and the service are instrumented unconditionally and
+   rely on this fast path (pinned by ``benchmarks/test_telemetry_overhead``).
+2. **Ambient nesting.**  The current span lives in a ``ContextVar``:
+   ``with span("a"): with span("b"): ...`` links ``b`` under ``a`` with
+   no plumbing, per-thread and per-asyncio-task.
+3. **Cross-process stitching.**  A span's identity serializes to a
+   small context dict (:func:`current_context`); a pool worker adopts it
+   (:func:`adopt_context`) into a worker-local :class:`Tracer` pushed
+   via :func:`push_tracer`, and ships its finished spans back as plain
+   dicts for the parent to :meth:`Tracer.ingest`.  Timestamps are
+   ``time.monotonic()`` — on Linux the clock is system-wide, so spans
+   recorded in different processes still order correctly.
+
+Finished spans are stored as JSON-safe dicts (one representation for
+export, ingest, and the wire), bounded by ``max_spans`` so a long-lived
+server cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from contextvars import ContextVar
+from typing import Iterable, Iterator
+
+#: Bump when the exported span-dict layout changes.
+SPAN_SCHEMA_VERSION = 1
+
+#: Finished spans kept per tracer; beyond it the newest are dropped
+#: (and counted), so tracing a long-running server stays bounded.
+DEFAULT_MAX_SPANS = 100_000
+
+#: The ambient (innermost open) span of the current thread/task.  Holds
+#: either a live :class:`Span` or a :class:`SpanContext` adopted from
+#: another process.
+_current_span: ContextVar = ContextVar("repro_current_span", default=None)
+
+#: Per-context tracer override (pool/thread workers push their own
+#: tracer here so concurrently-traced work never interleaves), falling
+#: back to the process-global tracer set by :func:`configure`.
+_tracer_var: ContextVar = ContextVar("repro_tracer", default=None)
+
+_global_tracer: "Tracer | None" = None
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class SpanContext:
+    """A span's serializable identity: enough to parent remote children."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: str):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext(trace={self.trace_id}, span={self.span_id})"
+
+
+class Span:
+    """One timed operation; usable as a context manager for ambient
+    nesting, or driven explicitly via :meth:`Tracer.start` /
+    :meth:`Tracer.finish` (the service's async job spans)."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id",
+        "start", "end", "attributes", "pid", "tid",
+        "_tracer", "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        attributes: dict | None = None,
+        start: float | None = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start = time.monotonic() if start is None else start
+        self.end: float | None = None
+        self.attributes = dict(attributes) if attributes else {}
+        self.pid = os.getpid()
+        self.tid = threading.get_ident()
+        self._tracer = tracer
+        self._token = None
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def finish(self, end: float | None = None) -> None:
+        """Close an explicitly-managed span (see :meth:`Tracer.start`)."""
+        self._tracer.finish(self, end=end)
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SPAN_SCHEMA_VERSION,
+            "name": self.name,
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attrs": self.attributes,
+        }
+
+    # -- context-manager protocol: ambient nesting ---------------------
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        self._tracer.finish(self)
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled.
+
+    Reentrant and stateless, so one singleton serves every call site.
+    """
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Collects finished spans (as JSON-safe dicts) for one recording.
+
+    Thread-safe: the compile pipeline runs spans from executor threads
+    while the service loop records job spans on the same tracer.
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS):
+        self.max_spans = max_spans
+        self.spans: list[dict] = []
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    # -- creating spans -------------------------------------------------
+    def _resolve_parent(self, parent) -> tuple[str, str | None]:
+        """(trace_id, parent_id) from an explicit or ambient parent."""
+        if parent is None:
+            parent = _current_span.get()
+        if parent is None:
+            return _new_id(), None
+        return parent.trace_id, parent.span_id
+
+    def span(self, name: str, parent=None, **attributes) -> Span:
+        """A new span (use ``with``); ``parent`` overrides the ambient one."""
+        trace_id, parent_id = self._resolve_parent(parent)
+        return Span(self, name, trace_id, parent_id, attributes or None)
+
+    def start(self, name: str, parent=None, attributes: dict | None = None) -> Span:
+        """An explicitly-managed span: finish it with :meth:`finish`.
+
+        Never touches the ambient ``ContextVar`` — the right tool for
+        async lifecycles (a job span stays open across many event-loop
+        turns without leaking into unrelated tasks).
+        """
+        trace_id, parent_id = self._resolve_parent(parent)
+        return Span(self, name, trace_id, parent_id, attributes)
+
+    def record(
+        self,
+        name: str,
+        seconds: float | None = None,
+        start: float | None = None,
+        end: float | None = None,
+        parent=None,
+        attributes: dict | None = None,
+    ) -> None:
+        """Record an already-completed operation as a span.
+
+        Used where the duration is known after the fact: the Profiler's
+        pass hook (``seconds`` elapsed, ending now) and the service's
+        retroactive queue-wait spans (explicit ``start``/``end`` on the
+        same monotonic clock).
+        """
+        if end is None:
+            end = time.monotonic()
+        if start is None:
+            start = end - (seconds or 0.0)
+        span = Span(self, name, "", None, attributes, start=start)
+        span.trace_id, span.parent_id = self._resolve_parent(parent)
+        span.end = end
+        self._store(span.to_dict())
+
+    # -- collecting spans -----------------------------------------------
+    def finish(self, span: Span, end: float | None = None) -> None:
+        if span.end is None:
+            span.end = time.monotonic() if end is None else end
+        self._store(span.to_dict())
+
+    def _store(self, payload: dict) -> None:
+        with self._lock:
+            if len(self.spans) < self.max_spans:
+                self.spans.append(payload)
+            else:
+                self.dropped += 1
+
+    def ingest(self, spans: Iterable[dict]) -> None:
+        """Merge finished spans shipped back from another process."""
+        for payload in spans:
+            if isinstance(payload, dict):
+                self._store(payload)
+
+    def export(self) -> list[dict]:
+        """The finished spans so far, oldest first (a copy)."""
+        with self._lock:
+            return list(self.spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.dropped = 0
+
+
+# ----------------------------------------------------------------------
+# Module-level switchboard
+# ----------------------------------------------------------------------
+def configure(enabled: bool = True, max_spans: int = DEFAULT_MAX_SPANS) -> Tracer | None:
+    """Turn process-global tracing on (returning the live tracer) or off."""
+    global _global_tracer
+    _global_tracer = Tracer(max_spans=max_spans) if enabled else None
+    return _global_tracer
+
+
+def current_tracer() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is disabled.
+
+    The context-local override (:func:`push_tracer`) wins over the
+    global one, so worker-scoped recordings stay isolated.
+    """
+    tracer = _tracer_var.get()
+    if tracer is not None:
+        return tracer
+    return _global_tracer
+
+
+def tracing_enabled() -> bool:
+    return current_tracer() is not None
+
+
+def span(name: str, parent=None, **attributes):
+    """The one-call instrumentation point: a context-manager span.
+
+    Returns the shared no-op when tracing is disabled — the only cost a
+    call site pays by default.
+    """
+    tracer = current_tracer()
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, parent=parent, **attributes)
+
+
+def push_tracer(tracer: Tracer):
+    """Install a context-local tracer; returns the token for :func:`pop_tracer`.
+
+    Executor threads and pool workers do not inherit the caller's
+    context, so a traced worker pushes its own tracer explicitly and
+    ships the spans back by value.
+    """
+    return _tracer_var.set(tracer)
+
+
+def pop_tracer(token) -> None:
+    _tracer_var.reset(token)
+
+
+def span_context(span_like) -> dict:
+    """A span's identity as a wire-safe dict (protocol ``trace`` field)."""
+    return {"trace": span_like.trace_id, "span": span_like.span_id}
+
+
+def current_context() -> dict | None:
+    """The ambient span's context dict, or ``None`` (also when disabled).
+
+    This is what crosses process and socket boundaries: the receiver
+    adopts it and its spans join the sender's trace.
+    """
+    if current_tracer() is None:
+        return None
+    current = _current_span.get()
+    if current is None:
+        return None
+    return span_context(current)
+
+
+@contextlib.contextmanager
+def adopt_context(ctx: dict | None) -> Iterator[None]:
+    """Treat a remote context dict as the ambient parent for this block."""
+    if not ctx or current_tracer() is None:
+        yield
+        return
+    trace_id = ctx.get("trace")
+    parent_id = ctx.get("span")
+    if not isinstance(trace_id, str) or not isinstance(parent_id, str):
+        yield
+        return
+    token = _current_span.set(SpanContext(trace_id, parent_id))
+    try:
+        yield
+    finally:
+        _current_span.reset(token)

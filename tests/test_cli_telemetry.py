@@ -1,0 +1,193 @@
+"""CLI front door for telemetry: ``weaver trace`` / ``weaver top``."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.sat import CnfFormula, to_dimacs
+from repro.telemetry import (
+    read_spans_jsonl,
+    tracing_enabled,
+    validate_chrome_trace,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture()
+def cnf_file(tmp_path) -> Path:
+    formula = CnfFormula.from_lists(
+        [[1, -2, 3], [-1, 2, 4], [2, 3, -4]], num_vars=4, name="cli-tel"
+    )
+    path = tmp_path / "cli-tel.cnf"
+    path.write_text(to_dimacs(formula), encoding="utf-8")
+    return path
+
+
+class TestTraceCommand:
+    def test_records_a_compile_as_valid_chrome_trace(
+        self, tmp_path, cnf_file, capsys
+    ):
+        trace_path = tmp_path / "compile-trace.json"
+        out_path = tmp_path / "out.wqasm"
+        rc = main(
+            ["trace", "-o", str(trace_path),
+             "compile", str(cnf_file), "-o", str(out_path)]
+        )
+        assert rc == 0
+        # Tracing is off again after the recording.
+        assert not tracing_enabled()
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        count = validate_chrome_trace(payload)
+        assert count >= 2  # the compile span plus its passes
+        err = capsys.readouterr().err
+        assert "compile.fpqa" in err
+        assert str(trace_path) in err
+        assert "OPENQASM" in out_path.read_text(encoding="utf-8")
+
+    def test_trace_spans_compile_and_sim_end_to_end(
+        self, tmp_path, cnf_file, capsys
+    ):
+        """Acceptance: one recording covers compile -> sim."""
+        trace_path = tmp_path / "sim-trace.json"
+        rc = main(
+            ["trace", "-o", str(trace_path),
+             "simulate", str(cnf_file), "--shots", "50", "--seed", "3"]
+        )
+        assert rc == 0
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        validate_chrome_trace(payload)
+        names = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert "compile.fpqa" in names
+        assert "sim.run" in names
+
+    def test_jsonl_output(self, tmp_path, cnf_file):
+        trace_path = tmp_path / "spans.jsonl"
+        rc = main(
+            ["trace", "--jsonl", "-o", str(trace_path),
+             "compile", str(cnf_file), "-o", str(tmp_path / "x.wqasm")]
+        )
+        assert rc == 0
+        spans = read_spans_jsonl(trace_path)
+        assert any(s["name"] == "compile.fpqa" for s in spans)
+
+    def test_summarizes_existing_trace_file(self, tmp_path, cnf_file, capsys):
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["trace", "-o", str(trace_path),
+             "compile", str(cnf_file), "-o", str(tmp_path / "y.wqasm")]
+        ) == 0
+        capsys.readouterr()
+        rc = main(["trace", str(trace_path)])
+        assert rc == 0
+        assert "compile.fpqa" in capsys.readouterr().out
+
+    def test_without_command_exits_2(self, capsys):
+        rc = main(["trace"])
+        assert rc == 2
+        assert "needs a weaver command" in capsys.readouterr().err
+
+    def test_cannot_record_itself(self, capsys):
+        rc = main(["trace", "trace", "something"])
+        assert rc == 2
+
+    def test_inner_failure_still_writes_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "fail.json"
+        rc = main(
+            ["trace", "-o", str(trace_path), "compile", "/nonexistent.cnf"]
+        )
+        assert rc == 2  # the inner command's exit code propagates
+        assert not tracing_enabled()
+        assert trace_path.exists()
+
+
+class TestTopCommand:
+    def test_top_against_absent_socket_exits_2(self, tmp_path, capsys):
+        rc = main(["top", "--socket", str(tmp_path / "absent.sock")])
+        assert rc == 2
+        assert "weaver serve" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_serve_trace_top_round_trip(tmp_path, cnf_file, capsys):
+    """Subprocess loop: serve --trace, submit, top, stats, shutdown."""
+    socket = tmp_path / "weaver.sock"
+    trace_path = tmp_path / "serve-trace.json"
+    env = {
+        **os.environ,
+        "PYTHONPATH": REPO_SRC + os.pathsep + os.environ.get("PYTHONPATH", ""),
+    }
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", str(socket),
+         "--shards", "1", "--trace", str(trace_path)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        deadline = time.time() + 30
+        while not socket.exists():
+            assert server.poll() is None, "server died during startup"
+            assert time.time() < deadline, "server socket never appeared"
+            time.sleep(0.05)
+
+        rc = main(
+            ["submit", str(cnf_file), "--socket", str(socket),
+             "-o", str(tmp_path / "out.wqasm")]
+        )
+        assert rc == 0
+
+        rc = main(["top", "--socket", str(socket)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 submitted, 1 completed" in out
+        assert "service.job_seconds" in out
+        assert "p50" in out and "p99" in out
+
+        # Formatted stats table (quantiles), raw JSON behind --json.
+        rc = main(["submit", "--stats", "--socket", str(socket)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "service.jobs.completed" in out
+        assert "p99" in out
+
+        rc = main(["submit", "--stats", "--json", "--socket", str(socket)])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["metrics"]["series"]
+
+        rc = main(["submit", "--shutdown", "--socket", str(socket)])
+        assert rc == 0
+        assert server.wait(timeout=30) == 0
+
+        # The server recorded its side as a valid Chrome trace with the
+        # full job lifecycle.
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        validate_chrome_trace(payload)
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+        assert "service.job.compile" in names
+        assert "service.queue.wait" in names
+        assert "compile.fpqa" in names
+        # The shutdown report printed the metrics table to stderr.
+        stderr = server.stderr.read().decode("utf-8", "replace")
+        assert "service.job_seconds" in stderr
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGINT)
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        if server.stderr is not None:
+            server.stderr.close()
