@@ -1,0 +1,46 @@
+"""Resilience overhead guard: the job journal must stay <10% on the
+service path.
+
+The fault-tolerance layer's contract is *durability without a tax*:
+every accepted job writes a couple of small JSON lines to the
+write-ahead journal (batched fsync), which must not meaningfully slow
+the submit->done pipeline.  This gate pins that contract live by
+running the same mixed compile+sim stream with and without a journal,
+and also checks the committed trajectory in ``BENCH_service.json``
+(regenerate with ``python -m repro.service.bench``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.service.bench import run_service_bench
+
+#: The acceptance bar: journal/baseline wall-time ratio on the stream.
+MAX_JOURNAL_OVERHEAD = 1.10
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def test_journal_overhead_stays_under_bar(capsys):
+    run = run_service_bench(jobs=24, seed=7, repeats=2)
+    ratio = run["journal_overhead_ratio"]
+    with capsys.disabled():
+        print(f"\n[resilience-overhead] journal x{ratio:.3f} (bar {MAX_JOURNAL_OVERHEAD})")
+    assert ratio < MAX_JOURNAL_OVERHEAD, (
+        f"journal overhead x{ratio:.3f} exceeds the {MAX_JOURNAL_OVERHEAD} bar"
+    )
+    # Chaos retries must have actually exercised the supervision path.
+    chaos_cell = next(c for c in run["cells"] if c["scenario"] == "chaos")
+    assert chaos_cell["faults_injected"] >= 1
+
+
+def test_committed_bench_file_is_valid():
+    payload = json.loads(BENCH_FILE.read_text(encoding="utf-8"))
+    assert payload["schema"] == 1
+    assert payload["runs"], "BENCH_service.json has no runs"
+    latest = payload["runs"][-1]
+    assert latest["journal_overhead_ratio"] < MAX_JOURNAL_OVERHEAD
+    scenarios = {cell["scenario"] for cell in latest["cells"]}
+    assert scenarios == {"baseline", "journal", "chaos"}

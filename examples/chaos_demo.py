@@ -1,0 +1,152 @@
+"""Fault tolerance: chaos injection, crash recovery, dead letters.
+
+Three acts, all bit-reproducible from one seed:
+
+1. **Supervised retries** — a seeded :class:`repro.service.ChaosPolicy`
+   crashes 30% of worker executions; the service restarts the shard and
+   retries each victim under its :class:`repro.service.RetryPolicy`,
+   and a poison job (crashes twice) is quarantined as a dead letter.
+2. **Kill -9 and recover** — a service with a durable
+   :class:`repro.service.JobJournal` accepts a burst, is torn down with
+   most of it still queued, and a *fresh* service replays the journal:
+   every accepted job reaches done-or-dead, nothing runs twice.
+3. **Load shedding** — a tiny queue high-water mark sheds a burst with
+   structured ``retry_after`` hints; the resubmission drains clean.
+
+Run:  python examples/chaos_demo.py [seed]
+"""
+
+import asyncio
+import sys
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sat.generator import random_ksat
+from repro.service import (
+    ArtifactStore,
+    ChaosPolicy,
+    CompilationService,
+    JobJournal,
+    RetryPolicy,
+    ServiceOverloaded,
+    replay_journal,
+)
+
+SEED = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+
+
+def formulas(count: int, tag: str):
+    return [
+        random_ksat(8, 34, seed=SEED * 100 + i, name=f"{tag}-{i}")
+        for i in range(count)
+    ]
+
+
+async def act1_supervised_retries() -> None:
+    print(f"== act 1: 30% injected worker crashes (seed {SEED}) ==")
+    chaos = ChaosPolicy(worker_crash=0.30, seed=SEED)
+
+    def progress(job, event: str) -> None:
+        if event == "retrying":
+            print(f"    {job.job_id} crashed (attempt {job.attempts}); retrying")
+
+    async with CompilationService(
+        shards=2,
+        backend="inline",
+        chaos=chaos,
+        retry=RetryPolicy(base_delay=0.0, seed=SEED),
+    ) as service:
+        jobs = [
+            await service.submit(w, on_progress=progress)
+            for w in formulas(10, "retry")
+        ]
+        results = await service.gather(jobs)
+        stats = service.stats()["resilience"]
+        done = sum(1 for r in results if r.error is None)
+        dead = sum(
+            1 for r in results if r.error and r.error.startswith("DeadLetter")
+        )
+        print(
+            f"    {done} done, {dead} dead-lettered; "
+            f"{stats['retries']} retried, "
+            f"{stats['worker_restarts']} shard restart(s), "
+            f"{chaos.injected['worker_crash']} crashes injected"
+        )
+        for row in service.dead_letters:
+            print(f"    dead letter: {row['workload']} — {row['error']}")
+
+
+async def act2_kill9_recovery(workdir: Path) -> None:
+    print("== act 2: kill -9 mid-stream, then journal recovery ==")
+    journal_path = workdir / "journal.jsonl"
+    store_dir = workdir / "artifacts"
+    burst = formulas(12, "crashy")
+
+    service = CompilationService(
+        shards=2,
+        backend="inline",
+        store=ArtifactStore(directory=store_dir),
+        journal=JobJournal(journal_path),
+    )
+    await service.start()
+    head = [await service.submit(w) for w in burst[:3]]
+    await service.gather(head)  # three jobs finish...
+    for w in burst[3:]:
+        await service.submit(w)  # ...nine more are accepted, journaled,
+    await service.stop()  # and the "process" dies with them queued
+    service.journal.close()
+
+    pending = [r for r in replay_journal(journal_path) if not r.terminal]
+    print(f"    crashed with {len(pending)} of {len(burst)} jobs incomplete")
+
+    fresh = CompilationService(
+        shards=2,
+        backend="inline",
+        store=ArtifactStore(directory=store_dir),
+        journal=JobJournal(journal_path),
+    )
+    await fresh.start()
+    summary = await fresh.recover()
+    print(
+        f"    recovery: {summary['recovered']} resubmitted, "
+        f"{summary['completed']} already done, {summary['dead']} dead"
+    )
+    while fresh.stats()["jobs_pending"] or fresh._inflight:
+        await asyncio.sleep(0.01)
+    records = replay_journal(journal_path)
+    assert all(r.terminal for r in records)
+    print(f"    all {len(records)} recovered jobs reached a terminal state")
+    await fresh.stop()
+    fresh.journal.close()
+
+
+async def act3_load_shedding() -> None:
+    print("== act 3: queue high-water mark sheds the overflow ==")
+    async with CompilationService(
+        shards=1, backend="inline", max_pending=4
+    ) as service:
+        accepted, shed = [], 0
+        for w in formulas(8, "flood"):
+            try:
+                accepted.append(await service.submit(w))
+            except ServiceOverloaded as exc:
+                shed += 1
+                print(
+                    f"    shed at depth {exc.depth} "
+                    f"(retry_after {exc.retry_after:.2g}s)"
+                )
+        await service.gather(accepted)
+        print(f"    {len(accepted)} accepted+done, {shed} shed")
+
+
+async def main() -> None:
+    await act1_supervised_retries()
+    with TemporaryDirectory(prefix="chaos-demo-") as tmp:
+        await act2_kill9_recovery(Path(tmp))
+    await act3_load_shedding()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -14,6 +14,7 @@ Commands
 ``submit``    send a workload to a running service (or query its stats)
 ``trace``     record any weaver command as a Chrome trace (Perfetto)
 ``top``       one-shot metrics snapshot of a running service
+``jobs``      list a running service's jobs (``--dead``: its dead letters)
 
 Examples::
 
@@ -35,6 +36,8 @@ Examples::
     weaver trace -o trace.json simulate uf20-01 --shots 200
     weaver trace trace.json
     weaver top --socket /tmp/weaver.sock
+    weaver serve --store-dir /var/lib/weaver --max-pending 256 &
+    weaver jobs --dead --socket /tmp/weaver.sock
 
 ``simulate`` accepts either a workload file or a SATLIB-style instance
 name (``uf20-07``); its stdout (counts, sampled EPS with confidence
@@ -386,6 +389,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "stop with Ctrl-C or `weaver submit --shutdown`",
         file=sys.stderr,
     )
+    retry = None
+    if args.retries is not None:
+        from .service import RetryPolicy
+
+        # +1: the flag counts *retries*, the policy counts attempts.
+        retry = RetryPolicy(max_attempts=args.retries + 1)
+    chaos = None
+    if args.chaos_crash or args.chaos_stall or args.chaos_drop or args.chaos_disk:
+        from .service import ChaosPolicy
+
+        chaos = ChaosPolicy(
+            worker_crash=args.chaos_crash,
+            worker_stall=args.chaos_stall,
+            socket_drop=args.chaos_drop,
+            disk_fail=args.chaos_disk,
+            seed=args.chaos_seed,
+        )
+        print(
+            f"chaos enabled: crash={args.chaos_crash} stall={args.chaos_stall} "
+            f"drop={args.chaos_drop} disk={args.chaos_disk} "
+            f"seed={args.chaos_seed}",
+            file=sys.stderr,
+        )
     tracer = None
     if args.trace:
         tracer = configure(True)
@@ -397,6 +423,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 backend=args.backend,
                 store_dir=args.store_dir,
                 max_artifacts=args.max_artifacts,
+                journal_path=args.journal,
+                max_pending=args.max_pending,
+                hang_seconds=args.hang_seconds,
+                retry=retry,
+                chaos=chaos,
+                verbose=True,
             )
         )
     finally:
@@ -490,11 +522,57 @@ def _cmd_top(args: argparse.Namespace) -> int:
             f"{stats.get('jobs_completed')} completed, "
             f"{stats.get('jobs_pending')} pending"
         )
+        resilience = stats.get("resilience") or {}
+        if resilience:
+            line = (
+                f"faults: {resilience.get('retries', 0)} retried, "
+                f"{resilience.get('dead_letters', 0)} dead-lettered, "
+                f"{resilience.get('shed', 0)} shed, "
+                f"{resilience.get('worker_restarts', 0)} worker restart(s)"
+            )
+            recovered = resilience.get("recovered")
+            if recovered and recovered.get("recovered"):
+                line += f"; recovered {recovered['recovered']} from journal"
+            print(line)
         table = format_metrics_table(stats.get("metrics") or {})
         if table:
             print(table)
         else:
             print("(no metrics recorded yet)")
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_module
+
+    from .service import ServiceClient
+
+    async def run() -> int:
+        client = await ServiceClient.connect(args.socket)
+        try:
+            jobs = await client.jobs(dead=args.dead)
+        finally:
+            await client.close()
+        if args.json:
+            print(json_module.dumps(jobs, indent=2))
+            return 0
+        if not jobs:
+            print("(no dead-letter jobs)" if args.dead else "(no jobs)")
+            return 0
+        for row in jobs:
+            line = (
+                f"{row.get('job')}: {row.get('status')} "
+                f"{row.get('kind')} {row.get('workload')} -> {row.get('target')}"
+                + (f" on {row['device']}" if row.get("device") else "")
+                + f" [client {row.get('client')}, "
+                + f"attempts {row.get('attempts', 0)}]"
+            )
+            if row.get("error"):
+                line += f" error: {row['error']}"
+            print(line)
         return 0
 
     return asyncio.run(run())
@@ -806,6 +884,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="record every job as a Chrome trace and write it here "
              "on shutdown",
     )
+    p_serve.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="durable job journal path (default <store-dir>/journal.jsonl "
+             "when --store-dir is set); incomplete jobs are recovered on "
+             "the next start",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help="queue high-water mark: shed new submissions (with a "
+             "retry_after hint) past this many pending jobs",
+    )
+    p_serve.add_argument(
+        "--hang-seconds", type=float, default=None,
+        help="grace beyond a job's budget before its worker counts as "
+             "hung and the attempt is retried on a fresh executor",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=None,
+        help="transient-failure retries per job (default 2; "
+             "deterministic compile errors never retry)",
+    )
+    p_serve.add_argument(
+        "--chaos-crash", type=float, default=0.0, metavar="RATE",
+        help="fault injection: worker-crash probability per execution",
+    )
+    p_serve.add_argument(
+        "--chaos-stall", type=float, default=0.0, metavar="RATE",
+        help="fault injection: worker-stall probability per execution",
+    )
+    p_serve.add_argument(
+        "--chaos-drop", type=float, default=0.0, metavar="RATE",
+        help="fault injection: socket-drop probability per protocol event",
+    )
+    p_serve.add_argument(
+        "--chaos-disk", type=float, default=0.0, metavar="RATE",
+        help="fault injection: disk-write failure probability per artifact",
+    )
+    p_serve.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the chaos fault schedule (default 0)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser(
@@ -837,6 +956,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="service socket path (default /tmp/weaver.sock)",
     )
     p_top.set_defaults(func=_cmd_top)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a running service's jobs (or its dead letters)"
+    )
+    p_jobs.add_argument(
+        "--socket", default="/tmp/weaver.sock",
+        help="service socket path (default /tmp/weaver.sock)",
+    )
+    p_jobs.add_argument(
+        "--dead", action="store_true",
+        help="list quarantined poison jobs (dead letters) instead",
+    )
+    p_jobs.add_argument(
+        "--json", action="store_true", help="print the records as JSON"
+    )
+    p_jobs.set_defaults(func=_cmd_jobs)
 
     p_submit = sub.add_parser(
         "submit", help="send a workload to a running service"

@@ -16,7 +16,14 @@ multi-tenant server with four pieces:
   :class:`repro.perf.Profiler`;
 * front doors — the in-process async API
   (``await service.submit(...)``) and a JSON-lines socket protocol
-  behind ``weaver serve`` / ``weaver submit``.
+  behind ``weaver serve`` / ``weaver submit``;
+* a **fault-tolerance layer** (:mod:`repro.service.resilience`) — a
+  durable :class:`JobJournal` write-ahead log with
+  :meth:`CompilationService.recover` crash replay, a :class:`RetryPolicy`
+  supervising crashed/hung workers (backoff, poison-job dead letters),
+  :class:`ServiceOverloaded` load shedding past a queue high-water mark,
+  and a seeded :class:`ChaosPolicy` fault-injection harness that makes
+  all of the above testable deterministically.
 
 Quickstart::
 
@@ -43,25 +50,50 @@ from .protocol import (
     payload_to_workload,
     workload_to_payload,
 )
-from .client import RemoteResult, ServiceClient, ServiceUnavailable, submit_once
+from .resilience import (
+    ChaosPolicy,
+    JobJournal,
+    JournalRecord,
+    RetryPolicy,
+    ServiceOverloaded,
+    WorkerCrashed,
+    replay_journal,
+)
+from .client import (
+    ConnectionLost,
+    RemoteResult,
+    ServiceClient,
+    ServiceTimeout,
+    ServiceUnavailable,
+    submit_once,
+)
 from .server import ServiceServer, serve
 from .service import CompilationService, shard_key
 
 __all__ = [
     "ArtifactStore",
+    "ChaosPolicy",
     "CompilationService",
     "CompileJob",
+    "ConnectionLost",
     "FairQueue",
+    "JobJournal",
     "JobStatus",
+    "JournalRecord",
     "PROTOCOL_VERSION",
     "RemoteResult",
+    "RetryPolicy",
     "ServiceClient",
+    "ServiceOverloaded",
     "ServiceServer",
+    "ServiceTimeout",
     "ServiceUnavailable",
+    "WorkerCrashed",
     "artifact_key",
     "decode_line",
     "encode_line",
     "payload_to_workload",
+    "replay_journal",
     "serve",
     "shard_key",
     "submit_once",

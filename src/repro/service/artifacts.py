@@ -110,6 +110,11 @@ class ArtifactStore:
         A :class:`repro.telemetry.MetricsRegistry` receiving
         ``service.artifacts.hits`` / ``service.artifacts.misses``
         counters (the service wires its own registry in by default).
+    chaos:
+        A :class:`repro.service.ChaosPolicy` whose ``disk_fail`` rate
+        injects ``OSError`` into disk-tier writes (the service wires its
+        own policy in; the worker treats the failure as a degraded
+        store, not a failed job).
     """
 
     def __init__(
@@ -118,6 +123,7 @@ class ArtifactStore:
         directory: str | Path | None = None,
         profiler=None,
         metrics=None,
+        chaos=None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
@@ -125,6 +131,7 @@ class ArtifactStore:
         self.directory = Path(directory) if directory is not None else None
         self.profiler = profiler
         self.metrics = metrics
+        self.chaos = chaos
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         #: Lazily decoded result objects, so repeated hits skip the JSON +
         #: wQasm re-parse (the artifact *bytes* stay authoritative).
@@ -258,6 +265,8 @@ class ArtifactStore:
         self._put_memory(key, entry)
         self._decoded[key] = result
         if self.directory is not None:
+            if self.chaos is not None and self.chaos.roll("disk_fail"):
+                raise OSError("chaos: injected disk-write failure")
             path = self.directory / f"{key}.json"
             tmp = path.with_name(path.name + ".tmp")
             tmp.write_bytes(entry)

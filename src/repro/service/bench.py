@@ -1,0 +1,226 @@
+"""Service resilience benchmark runner -> ``BENCH_service.json``.
+
+Drives a :class:`~repro.service.CompilationService` with a mixed
+compile+sim job stream under three scenarios and appends one run record
+to the trajectory file:
+
+* ``baseline`` — no journal, no chaos: the raw service throughput;
+* ``journal`` — durable :class:`~repro.service.JobJournal` WAL on every
+  job; the committed ``journal_overhead_ratio`` backs the <1.10
+  acceptance bar (also pinned live by
+  ``benchmarks/test_service_resilience_overhead.py``);
+* ``chaos`` — journal plus a seeded 5% ``worker_crash``
+  :class:`~repro.service.ChaosPolicy`, showing what supervised retries
+  cost end to end.
+
+Every job compiles a *distinct* random 3-SAT instance (no artifact-cache
+hits), and every fourth job also executes on the simulator, so the
+stream exercises both job kinds.  Per-job latency is submit-to-done
+wall time including queue wait; the record keeps p50/p99.
+
+Usage::
+
+    python -m repro.service.bench
+    python -m repro.service.bench --jobs 60 --repeats 3 --label "PR 8"
+
+File format (``schema`` 1): same run-record envelope as
+``BENCH_compile.json``, with cells of the form::
+
+    {"scenario": "journal", "jobs": 40, "seed": 7,
+     "wall_seconds": ..., "jobs_per_second": ...,
+     "p50_seconds": ..., "p99_seconds": ...,
+     "retries": 0, "dead_letters": 0, "faults_injected": 0}
+
+and a top-level ``journal_overhead_ratio`` comparing the ``journal``
+and ``baseline`` wall times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import platform
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..perf.bench import write_bench_file
+from .artifacts import ArtifactStore
+from .resilience import ChaosPolicy, JobJournal, RetryPolicy
+from .service import CompilationService
+
+DEFAULT_JOBS = 40
+DEFAULT_OUTPUT = "BENCH_service.json"
+
+#: Per-instance size of the benchmark stream: small enough that the
+#: queueing/journal machinery (not the compiler) dominates what each
+#: scenario compares, large enough that a compile is real work.
+NUM_VARS = 10
+NUM_CLAUSES = 42
+
+
+def _workloads(jobs: int, seed: int):
+    from ..sat.generator import random_ksat
+
+    out = []
+    for i in range(jobs):
+        formula = random_ksat(
+            NUM_VARS, NUM_CLAUSES, seed=seed * 1000 + i, name=f"bench-{i}"
+        )
+        simulate = {"shots": 16, "seed": i} if i % 4 == 0 else None
+        out.append((formula, simulate))
+    return out
+
+
+async def _run_stream(
+    service: CompilationService, submissions, allow_dead: bool = False
+) -> list[float]:
+    """Submit the stream, await everything, return per-job latencies."""
+    async def one(i, workload, simulate):
+        start = time.perf_counter()
+        job = await service.submit(
+            workload, simulate=simulate, client=f"bench{i % 3}"
+        )
+        result = await job.future
+        if result.error is not None:
+            # Under chaos, a poison job (repeated injected crashes) is
+            # quarantined as a dead letter — a correct outcome, still a
+            # timed unit of service work.
+            if not (allow_dead and result.error.startswith("DeadLetter:")):
+                raise RuntimeError(f"bench job failed: {result.error}")
+        return time.perf_counter() - start
+
+    async with service:
+        return list(
+            await asyncio.gather(
+                *(one(i, w, sim) for i, (w, sim) in enumerate(submissions))
+            )
+        )
+
+
+def _percentile(latencies: list[float], q: float) -> float:
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _scenario_service(scenario: str, workdir: Path, seed: int):
+    """Build (service, journal) for one scenario; journal may be None."""
+    journal = None
+    chaos = None
+    retry = RetryPolicy(base_delay=0.0, seed=seed)
+    if scenario in ("journal", "chaos"):
+        journal = JobJournal(workdir / f"{scenario}-journal.jsonl")
+    if scenario == "chaos":
+        chaos = ChaosPolicy(worker_crash=0.05, seed=seed)
+    service = CompilationService(
+        shards=2,
+        backend="inline",
+        store=ArtifactStore(),  # memory-only: no disk noise in the timing
+        journal=journal,
+        retry=retry,
+        chaos=chaos,
+    )
+    return service, service.chaos, journal
+
+
+def run_service_bench(
+    jobs: int = DEFAULT_JOBS,
+    seed: int = 7,
+    repeats: int = 2,
+    verbose: bool = False,
+) -> dict:
+    """Time the three scenarios and return one run record."""
+    cells = []
+    walls: dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        workdir = Path(tmp)
+        for scenario in ("baseline", "journal", "chaos"):
+            best_wall = float("inf")
+            best: dict | None = None
+            for attempt in range(max(1, repeats)):
+                submissions = _workloads(jobs, seed)
+                (workdir / str(attempt)).mkdir(exist_ok=True)
+                service, chaos, journal = _scenario_service(
+                    scenario, workdir / str(attempt), seed
+                )
+                start = time.perf_counter()
+                latencies = asyncio.run(
+                    _run_stream(
+                        service, submissions, allow_dead=scenario == "chaos"
+                    )
+                )
+                wall = time.perf_counter() - start
+                if journal is not None:
+                    journal.close()
+                if wall < best_wall:
+                    best_wall = wall
+                    resilience = service.stats()["resilience"]
+                    best = {
+                        "scenario": scenario,
+                        "jobs": jobs,
+                        "seed": seed,
+                        "repeats": repeats,
+                        "wall_seconds": wall,
+                        "jobs_per_second": jobs / wall,
+                        "p50_seconds": _percentile(latencies, 0.50),
+                        "p99_seconds": _percentile(latencies, 0.99),
+                        "retries": resilience["retries"],
+                        "dead_letters": resilience["dead_letters"],
+                        "faults_injected": (
+                            chaos.total_injected if chaos is not None else 0
+                        ),
+                    }
+            walls[scenario] = best_wall
+            assert best is not None
+            cells.append(best)
+            if verbose:
+                print(
+                    f"[service-bench] {scenario}: {best_wall:.3f}s "
+                    f"({best['jobs_per_second']:.1f} jobs/s, "
+                    f"p50 {best['p50_seconds'] * 1e3:.1f}ms, "
+                    f"p99 {best['p99_seconds'] * 1e3:.1f}ms, "
+                    f"{best['retries']} retried)",
+                    file=sys.stderr,
+                )
+    return {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or platform.machine(),
+        },
+        "journal_overhead_ratio": walls["journal"] / walls["baseline"],
+        "cells": cells,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.bench", description=__doc__
+    )
+    parser.add_argument("--jobs", type=int, default=DEFAULT_JOBS)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--label", default=None, help="tag for this run")
+    parser.add_argument("-o", "--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    run = run_service_bench(
+        jobs=args.jobs, seed=args.seed, repeats=args.repeats, verbose=True
+    )
+    if args.label:
+        run["label"] = args.label
+    path = write_bench_file(run, args.output)
+    print(
+        f"[service-bench] journal overhead x{run['journal_overhead_ratio']:.3f}; "
+        f"wrote {len(run['cells'])} cells to {path}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -18,11 +18,30 @@ from ..targets.result import CompilationResult
 from ..targets.workload import Workload, coerce_workload
 from ..telemetry.trace import current_context
 from .protocol import ProtocolError, decode_line, encode_line, workload_to_payload
+from .resilience import ServiceOverloaded
 from .server import MAX_LINE_BYTES
 
 
 class ServiceUnavailable(WeaverError):
     """The service socket is absent, refused, or went away mid-request."""
+
+
+class ConnectionLost(ServiceUnavailable):
+    """The connection dropped *after* a request went out.
+
+    Distinct from a refused connect: the request may have reached the
+    server (a chaos ``socket_drop`` kills the reply, not the work), so
+    the safe reaction is an idempotent resubmission — the artifact key
+    turns a completed first attempt into a cache hit.
+    """
+
+
+class ServiceTimeout(WeaverError):
+    """``wait_timeout`` expired before the server sent the next event.
+
+    The job may still be running server-side; resubmitting later is
+    idempotent (same artifact key).  The client connection stays usable.
+    """
 
 
 @dataclass
@@ -63,8 +82,8 @@ class ServiceClient:
             )
         except (OSError, ValueError) as exc:
             raise ServiceUnavailable(
-                f"cannot connect to service socket {socket_path}: {exc} "
-                "(is `weaver serve` running?)"
+                f"server not running at {socket_path}: {exc} "
+                "(start it with `weaver serve`)"
             ) from exc
         return cls(reader, writer)
 
@@ -123,10 +142,21 @@ class ServiceClient:
         return req, inbox
 
     async def _next_event(self, inbox: asyncio.Queue, timeout: float | None):
-        payload = await asyncio.wait_for(inbox.get(), timeout)
+        try:
+            payload = await asyncio.wait_for(inbox.get(), timeout)
+        except asyncio.TimeoutError:
+            raise ServiceTimeout(
+                f"no event from server within {timeout:.3g}s"
+            ) from None
         if payload is None:
-            raise ServiceUnavailable("service connection closed mid-request")
-        if payload.get("event") == "error":
+            raise ConnectionLost("service connection closed mid-request")
+        event = payload.get("event")
+        if event == "shed":
+            raise ServiceOverloaded(
+                float(payload.get("retry_after") or 1.0),
+                depth=payload.get("depth"),
+            )
+        if event == "error":
             kind = payload.get("kind", "internal")
             error = payload.get("error", "unknown error")
             if kind == "user":
@@ -149,8 +179,15 @@ class ServiceClient:
         finally:
             self._inboxes.pop(req, None)
 
-    async def jobs(self, timeout: float | None = 10.0) -> list[dict]:
-        req, inbox = await self._request({"op": "jobs"})
+    async def jobs(
+        self, timeout: float | None = 10.0, dead: bool = False
+    ) -> list[dict]:
+        """The server's job registry — or, with ``dead``, its
+        dead-letter records of quarantined poison jobs."""
+        message: dict = {"op": "jobs"}
+        if dead:
+            message["dead"] = True
+        req, inbox = await self._request(message)
         try:
             return (await self._next_event(inbox, timeout))["jobs"]
         finally:
@@ -175,19 +212,29 @@ class ServiceClient:
         analyze=None,
         wait_timeout: float | None = None,
         on_event=None,
+        retries: int = 2,
         **options,
     ) -> RemoteResult:
         """Submit one workload and await its streamed lifecycle.
 
         ``timeout`` is the *compile budget* the server applies;
         ``wait_timeout`` bounds how long this client waits for each
-        protocol event.  ``simulate`` (``True`` or an options dict)
-        requests a ``sim`` job: the server also executes the compiled
-        artifact and the returned result carries ``execution``.
-        ``analyze`` (``True`` or an options dict) requests a ``lint``
-        job: the server statically verifies the artifact and the result
-        carries ``analysis``.  ``on_event(event_name, payload)``
-        observes the queued/started stream.
+        protocol event — on expiry the pending request is deregistered
+        (no orphaned inbox) and :class:`ServiceTimeout` is raised, with
+        the connection still usable for further calls.  ``simulate``
+        (``True`` or an options dict) requests a ``sim`` job: the server
+        also executes the compiled artifact and the returned result
+        carries ``execution``.  ``analyze`` (``True`` or an options
+        dict) requests a ``lint`` job: the server statically verifies
+        the artifact and the result carries ``analysis``.
+        ``on_event(event_name, payload)`` observes the
+        queued/started/retrying stream.
+
+        When the server sheds the submission
+        (:class:`~repro.service.ServiceOverloaded`), the client backs
+        off for the server's ``retry_after`` hint and resubmits, up to
+        ``retries`` extra attempts — safe because submissions are
+        idempotent under the artifact key.
         """
         resolved: Workload = coerce_workload(workload)
         message = {
@@ -209,6 +256,19 @@ class ServiceClient:
         ctx = current_context()
         if ctx is not None:
             message["trace"] = ctx
+        attempt = 0
+        while True:
+            try:
+                return await self._submit_attempt(message, wait_timeout, on_event)
+            except ServiceOverloaded as exc:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                await asyncio.sleep(min(exc.retry_after, 5.0))
+
+    async def _submit_attempt(
+        self, message: dict, wait_timeout: float | None, on_event
+    ) -> RemoteResult:
         req, inbox = await self._request(message)
         events: list[str] = []
         try:
@@ -229,15 +289,31 @@ class ServiceClient:
                         trace=payload.get("trace"),
                     )
         finally:
+            # Deregister whether we finished, timed out, or were shed:
+            # a long-lived client must not accumulate orphaned inboxes.
             self._inboxes.pop(req, None)
 
 
 async def submit_once(
-    socket_path: str | Path, workload, **submit_kwargs
+    socket_path: str | Path, workload, retries: int = 2, **submit_kwargs
 ) -> RemoteResult:
-    """Connect, submit one workload, disconnect (the ``weaver submit`` path)."""
-    client = await ServiceClient.connect(socket_path)
-    try:
-        return await client.submit(workload, **submit_kwargs)
-    finally:
-        await client.close()
+    """Connect, submit one workload, disconnect (the ``weaver submit`` path).
+
+    A connection that drops mid-request (:class:`ConnectionLost` — e.g.
+    a chaos ``socket_drop``) is retried with a fresh connection and
+    brief backoff, up to ``retries`` extra attempts; if the first
+    attempt actually completed server-side, the resubmission is a cache
+    hit, so the retry never runs the compilation twice.
+    """
+    attempt = 0
+    while True:
+        client = await ServiceClient.connect(socket_path)
+        try:
+            return await client.submit(workload, retries=retries, **submit_kwargs)
+        except ConnectionLost:
+            attempt += 1
+            if attempt > retries:
+                raise
+            await asyncio.sleep(0.05 * (2 ** (attempt - 1)))
+        finally:
+            await client.close()

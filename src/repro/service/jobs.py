@@ -27,6 +27,9 @@ class JobStatus(str, enum.Enum):
     RUNNING = "running"
     DONE = "done"
     CANCELLED = "cancelled"
+    #: Quarantined after repeatedly killing its worker (poison job);
+    #: the dead-letter record is surfaced by ``weaver jobs --dead``.
+    DEAD = "dead"
 
 
 _job_ids = itertools.count(1)
@@ -68,6 +71,15 @@ class CompileJob:
     #: ``True`` when the result came from the artifact store or an
     #: in-flight duplicate rather than a fresh compile.
     from_cache: bool = False
+    #: Execution attempts so far (first run included); incremented by
+    #: the shard worker each time the job starts.
+    attempts: int = 0
+    #: How many of those attempts crashed the worker (poison tracking).
+    crashes: int = 0
+    #: This job's id in the durable journal (``None`` when the service
+    #: runs without one).  Stable across restarts: a recovered job keeps
+    #: the id its original submission logged.
+    journal_id: str | None = None
     #: Client-supplied trace context (``{"trace": ..., "span": ...}``)
     #: carried over the protocol; the service parents this job's spans
     #: on it so one trace spans client, server, and worker process.
@@ -139,8 +151,10 @@ class CompileJob:
             "status": self.status.value,
             "shard": self.shard,
             "from_cache": self.from_cache,
+            "attempts": self.attempts,
             "queue_seconds": self.queue_seconds,
             "trace": self.trace_id,
+            "journal": self.journal_id,
         }
 
 

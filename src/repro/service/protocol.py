@@ -9,6 +9,7 @@ Requests::
     {"op": "ping",   "req": "r0"}
     {"op": "stats",  "req": "r1"}
     {"op": "jobs",   "req": "r2"}
+    {"op": "jobs",   "req": "r7", "dead": true}
     {"op": "submit", "req": "r3", "workload": {"kind": "cnf", "text": "p cnf ...",
      "name": "uf20-01"}, "target": "fpqa", "device": null, "options": {},
      "client": "alice", "priority": 0, "timeout": null}
@@ -37,9 +38,19 @@ Responses (``submit`` streams its job's lifecycle)::
     {"req": "r3", "event": "done",    "job": "job-1", "from_cache": false,
      "trace": "86f2...", "result": {...CompilationResult.to_dict()...}}
     {"req": "r9", "event": "error", "kind": "user", "error": "unknown target 'pixie'"}
+    {"req": "r3", "event": "retrying", "job": "job-1", "shard": 0}
+    {"req": "r3", "event": "shed", "retry_after": 0.5, "depth": 64,
+     "error": "service overloaded (64 job(s) queued); retry after 0.5s"}
 
 ``done`` events echo the job's trace id (``null`` when nothing traced
 it), so a client can correlate its spans with a server-side recording.
+``retrying`` reports a transient worker failure being retried under the
+server's RetryPolicy; ``shed`` is the structured load-shedding
+rejection — no job was accepted, come back in ``retry_after`` seconds
+(:class:`repro.service.ServiceClient` backs off and resubmits
+automatically; resubmission is idempotent under the artifact key).
+``jobs`` with ``"dead": true`` lists the dead-letter records of
+quarantined poison jobs instead of the live registry.
 
 Workload payloads travel as full content (DIMACS or OpenQASM text), not
 file paths — the server never reads client filesystems.

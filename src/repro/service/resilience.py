@@ -1,0 +1,471 @@
+"""Fault tolerance for the compilation service: journal, retries, chaos.
+
+Four pieces, each independently usable, all threaded through
+:class:`~repro.service.CompilationService`:
+
+* :class:`JobJournal` — an append-only JSON-lines write-ahead log of job
+  lifecycle transitions (``submit``/``start``/``fail``/``done``/``dead``)
+  with batched ``fsync``.  The ``submit`` record carries the job's full
+  wire payload (workload content, target, device, options), so a
+  restarted service can replay it verbatim: ``kill -9`` loses zero
+  accepted jobs.
+* :class:`RetryPolicy` — exponential backoff with seeded jitter for
+  *transient* worker failures (a crashed or hung executor).
+  Deterministic compile errors are result rows, never retried; a job
+  that crashes its worker ``poison_crashes`` times is quarantined as a
+  dead letter instead of wedging the shard forever.
+* :class:`ChaosPolicy` — seeded fault injection (worker crash, worker
+  stall, socket drop, disk-write failure) so the recovery invariants are
+  *provable* in tests: same seed, same faults, same summary.
+* :class:`ServiceOverloaded` — the structured load-shedding rejection.
+  Past the service's high-water mark, ``submit`` refuses new work with a
+  ``retry_after`` hint instead of queueing without bound; clients back
+  off and resubmit (idempotent: the artifact key makes a resubmission a
+  cache hit if the first attempt actually ran).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import WeaverError
+from ..rng import as_generator
+
+
+class ServiceOverloaded(WeaverError):
+    """The service shed this submission; retry after ``retry_after`` s."""
+
+    def __init__(self, retry_after: float, depth: int | None = None):
+        detail = f" ({depth} job(s) queued)" if depth is not None else ""
+        super().__init__(
+            f"service overloaded{detail}; retry after {retry_after:.3g}s"
+        )
+        self.retry_after = retry_after
+        self.depth = depth
+
+
+class WorkerCrashed(WeaverError):
+    """A shard worker died mid-job (real ``BrokenExecutor`` or chaos)."""
+
+
+# ----------------------------------------------------------------------
+# Durable job journal
+# ----------------------------------------------------------------------
+#: Journal line schema version; bump when the record layout changes.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Events that end a job's journal lifecycle.  ``fail`` is *not*
+#: terminal — it records a transient attempt that will be retried.
+TERMINAL_EVENTS = ("done", "dead")
+
+
+@dataclass
+class JournalRecord:
+    """One job's aggregated journal state after :func:`replay_journal`."""
+
+    journal_id: str
+    #: Last lifecycle event seen: submit/start/fail/done/dead.
+    status: str = "submit"
+    #: The wire workload payload (see :func:`protocol.workload_to_payload`).
+    workload: dict | None = None
+    target: str = "fpqa"
+    device: str | None = None
+    client: str = "default"
+    priority: int = 0
+    timeout: float | None = None
+    options: dict = field(default_factory=dict)
+    simulate: dict | None = None
+    analyze: dict | None = None
+    kind: str = "compile"
+    attempts: int = 0
+    error: str | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_EVENTS
+
+    def submit_line(self) -> dict:
+        """The ``submit`` record that re-creates this job (compaction)."""
+        return {
+            "e": "submit",
+            "id": self.journal_id,
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "kind": self.kind,
+            "workload": self.workload,
+            "target": self.target,
+            "device": self.device,
+            "client": self.client,
+            "priority": self.priority,
+            "timeout": self.timeout,
+            "options": self.options,
+            "simulate": self.simulate,
+            "analyze": self.analyze,
+        }
+
+
+def replay_journal(path: str | Path) -> list[JournalRecord]:
+    """Aggregate a journal file into per-job records, submission order.
+
+    Torn tails are expected after a crash (the last line may be half
+    written); unparseable lines are skipped, never fatal — a journal
+    must always be replayable.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: dict[str, JournalRecord] = {}
+    with path.open("r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue  # torn write at the crash point
+            if not isinstance(row, dict):
+                continue
+            event = row.get("e")
+            journal_id = row.get("id")
+            if not isinstance(journal_id, str) or not isinstance(event, str):
+                continue
+            if event == "submit":
+                records[journal_id] = JournalRecord(
+                    journal_id=journal_id,
+                    workload=row.get("workload"),
+                    target=row.get("target") or "fpqa",
+                    device=row.get("device"),
+                    client=row.get("client") or "default",
+                    priority=int(row.get("priority") or 0),
+                    timeout=row.get("timeout"),
+                    options=row.get("options") or {},
+                    simulate=row.get("simulate"),
+                    analyze=row.get("analyze"),
+                    kind=row.get("kind") or "compile",
+                )
+                continue
+            record = records.get(journal_id)
+            if record is None:
+                continue  # event for a compacted-away job
+            if event in ("start", "fail"):
+                record.status = event
+                record.attempts = int(row.get("attempt") or record.attempts)
+                if row.get("error"):
+                    record.error = row["error"]
+            elif event in TERMINAL_EVENTS:
+                record.status = event
+                record.error = row.get("error")
+    return list(records.values())
+
+
+class JobJournal:
+    """Append-only JSON-lines WAL of job lifecycle transitions.
+
+    Parameters
+    ----------
+    path:
+        The journal file; created (with parents) when absent.  Lives
+        beside the :class:`~repro.service.ArtifactStore` disk tier, so
+        journal + artifacts together survive a ``kill -9``.
+    fsync_batch:
+        Records are flushed on every append but ``fsync``-ed once per
+        ``fsync_batch`` appends (and on :meth:`sync`/:meth:`close`).
+        ``1`` syncs every record — maximum durability, the setting the
+        crash tests use; the default amortizes the sync over a batch,
+        keeping journal overhead under the 1.10x throughput budget.
+    """
+
+    def __init__(self, path: str | Path, fsync_batch: int = 8):
+        if fsync_batch < 1:
+            raise ValueError("fsync_batch must be at least 1")
+        self.path = Path(path)
+        self.fsync_batch = fsync_batch
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.records_written = 0
+        self.syncs = 0
+        self.write_errors = 0
+        self._unsynced = 0
+        self._sequence = self._initial_sequence()
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def _initial_sequence(self) -> int:
+        """Continue ids past everything already in the file."""
+        highest = 0
+        for record in replay_journal(self.path):
+            jid = record.journal_id
+            if jid.startswith("J") and jid[1:].isdigit():
+                highest = max(highest, int(jid[1:]))
+        return highest
+
+    # ------------------------------------------------------------------
+    def next_id(self) -> str:
+        self._sequence += 1
+        return f"J{self._sequence}"
+
+    def append(self, row: dict) -> None:
+        """Write one record (durability degrades, the service survives:
+        a full disk must not take the whole server down with it)."""
+        try:
+            self._handle.write(json.dumps(row, separators=(",", ":")) + "\n")
+            self._handle.flush()
+        except (OSError, ValueError):
+            self.write_errors += 1
+            return
+        self.records_written += 1
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_batch:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the batched ``fsync`` now."""
+        if self._unsynced == 0:
+            return
+        try:
+            os.fsync(self._handle.fileno())
+            self.syncs += 1
+        except (OSError, ValueError):
+            self.write_errors += 1
+        self._unsynced = 0
+
+    def close(self) -> None:
+        try:
+            self.sync()
+            self._handle.close()
+        except (OSError, ValueError):
+            self.write_errors += 1
+
+    # -- lifecycle records ---------------------------------------------
+    def record_submitted(self, job, workload_payload: dict) -> None:
+        """The acceptance record: everything needed to replay the job."""
+        self.append(
+            {
+                "e": "submit",
+                "id": job.journal_id,
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "kind": job.kind,
+                "workload": workload_payload,
+                "target": job.target,
+                "device": job.device
+                if isinstance(job.device, str) or job.device is None
+                else getattr(job.device, "name", None),
+                "client": job.client,
+                "priority": job.priority,
+                "timeout": job.timeout,
+                "options": _json_safe(job.options),
+                "simulate": job.simulate,
+                "analyze": job.analyze,
+            }
+        )
+
+    def record_started(self, job) -> None:
+        self.append({"e": "start", "id": job.journal_id, "attempt": job.attempts})
+
+    def record_failed(self, job, kind: str, error: str) -> None:
+        """A transient attempt failure (the job stays live for retry)."""
+        self.append(
+            {
+                "e": "fail",
+                "id": job.journal_id,
+                "attempt": job.attempts,
+                "kind": kind,
+                "error": error,
+            }
+        )
+
+    def record_done(self, job, error: str | None = None, cached: bool = False) -> None:
+        row: dict = {"e": "done", "id": job.journal_id}
+        if error is not None:
+            row["error"] = error
+        if cached:
+            row["cached"] = True
+        self.append(row)
+
+    def record_dead(self, job, error: str) -> None:
+        self.append(
+            {
+                "e": "dead",
+                "id": job.journal_id,
+                "error": error,
+                "attempts": job.attempts,
+                "crashes": job.crashes,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def replay(self) -> list[JournalRecord]:
+        """Aggregate the journal into per-job records (flushes first)."""
+        self._handle.flush()
+        return replay_journal(self.path)
+
+    def compact(self, pending: list[JournalRecord]) -> None:
+        """Atomically rewrite the journal to just ``pending`` jobs.
+
+        Run at recovery time: terminal records are dropped, incomplete
+        jobs keep their original ``submit`` payloads *and ids*, so a
+        crash mid-recovery still finds every outstanding job on the next
+        replay and a completed recovery never resurrects finished work.
+        """
+        self._handle.close()
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in pending:
+                handle.write(
+                    json.dumps(record.submit_line(), separators=(",", ":")) + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._unsynced = 0
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "records_written": self.records_written,
+            "syncs": self.syncs,
+            "write_errors": self.write_errors,
+            "fsync_batch": self.fsync_batch,
+        }
+
+
+def _json_safe(payload: dict) -> dict:
+    """Options as the journal can hold them (drop what JSON cannot)."""
+    try:
+        return json.loads(json.dumps(payload))
+    except (TypeError, ValueError):
+        return {k: v for k, v in payload.items() if isinstance(v, (str, int, float, bool, type(None)))}
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass
+class RetryPolicy:
+    """Backoff schedule for transient worker failures.
+
+    ``max_attempts`` bounds total tries (first run included);
+    ``poison_crashes`` quarantines a job that *crashes* its worker that
+    many times — the classic poison-pill input must not take a shard
+    down over and over.  Delays grow as ``base_delay * 2**(attempt-1)``,
+    capped at ``max_delay``, with multiplicative jitter up to ``jitter``
+    drawn from a generator seeded via :func:`repro.rng.as_generator`
+    (so a seeded service retries on a reproducible schedule).
+    """
+
+    max_attempts: int = 3
+    poison_crashes: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 5.0
+    jitter: float = 0.5
+    seed: int | np.random.Generator | None = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.poison_crashes < 1:
+            raise ValueError("poison_crashes must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+        self._rng = as_generator(self.seed)
+
+    def should_retry(self, attempts: int, crashes: int) -> bool:
+        """May a job with this history run again?"""
+        return attempts < self.max_attempts and crashes < self.poison_crashes
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt + 1`` (attempt >= 1)."""
+        base = min(self.max_delay, self.base_delay * (2.0 ** max(0, attempt - 1)))
+        if base <= 0:
+            return 0.0
+        scale = 1.0 + self.jitter * float(self._rng.random())
+        return min(self.max_delay, base * scale)
+
+
+# ----------------------------------------------------------------------
+# Chaos / fault injection
+# ----------------------------------------------------------------------
+#: Fault kinds a :class:`ChaosPolicy` can inject, in documentation order.
+CHAOS_KINDS = ("worker_crash", "worker_stall", "socket_drop", "disk_fail")
+
+
+@dataclass
+class ChaosPolicy:
+    """Seeded fault injection across executor, server, and artifacts.
+
+    Each rate is the per-opportunity probability of that fault:
+
+    * ``worker_crash`` — rolled once per job execution; fires as a
+      :class:`WorkerCrashed` exactly where a ``BrokenProcessPool`` would
+      surface, so the supervision/retry path under test is the real one.
+    * ``worker_stall`` — the worker sleeps ``stall_seconds`` before
+      dispatch, tripping the service's per-job hang deadline.
+    * ``socket_drop`` — the server aborts the connection instead of
+      writing the next protocol event.
+    * ``disk_fail`` — the artifact store's disk write raises ``OSError``.
+
+    All draws come from one lock-guarded generator in call order, so a
+    fixed seed gives a reproducible fault schedule; ``max_faults``
+    bounds the total injected (e.g. "exactly one crash, then behave"),
+    which is how tests script deterministic recoveries.  Counters in
+    ``injected`` feed the service's stats and the chaos-demo summary.
+    """
+
+    worker_crash: float = 0.0
+    worker_stall: float = 0.0
+    socket_drop: float = 0.0
+    disk_fail: float = 0.0
+    stall_seconds: float = 0.05
+    max_faults: int | None = None
+    seed: int | np.random.Generator | None = 0
+
+    def __post_init__(self) -> None:
+        for kind in CHAOS_KINDS:
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate must be in [0, 1], got {rate}")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds must be non-negative")
+        self._rng = as_generator(self.seed)
+        self._lock = threading.Lock()
+        self.injected: dict[str, int] = {kind: 0 for kind in CHAOS_KINDS}
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def roll(self, kind: str) -> bool:
+        """Draw once: should fault ``kind`` fire at this opportunity?
+
+        Zero-rate kinds never consume a draw, so enabling one fault kind
+        does not perturb another's schedule under the same seed.
+        """
+        if kind not in self.injected:
+            raise ValueError(f"unknown chaos kind {kind!r}; expected one of {CHAOS_KINDS}")
+        rate = getattr(self, kind)
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            fire = float(self._rng.random()) < rate
+            if fire and self.max_faults is not None and self.total_injected >= self.max_faults:
+                return False
+            if fire:
+                self.injected[kind] += 1
+            return fire
+
+    def describe(self) -> dict:
+        """JSON view for ``stats()`` and the chaos-demo summary."""
+        return {
+            "rates": {kind: getattr(self, kind) for kind in CHAOS_KINDS},
+            "stall_seconds": self.stall_seconds,
+            "max_faults": self.max_faults,
+            "injected": dict(self.injected),
+            "total_injected": self.total_injected,
+        }

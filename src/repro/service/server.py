@@ -22,6 +22,7 @@ from .protocol import (
     encode_line,
     payload_to_workload,
 )
+from .resilience import ChaosPolicy, RetryPolicy, ServiceOverloaded
 from .service import CompilationService
 
 #: Cap on one request line; a malformed client must not buffer-bomb the
@@ -129,9 +130,18 @@ class ServiceServer:
     async def _drain_outbox(
         self, outbox: asyncio.Queue, writer: asyncio.StreamWriter
     ) -> None:
+        chaos = self.service.chaos
         while True:
             payload = await outbox.get()
             if payload is None:
+                return
+            if chaos is not None and chaos.roll("socket_drop"):
+                # Chaos: the connection dies instead of delivering the
+                # next event — exactly what a flaky network does.  The
+                # job (if any) still completes server-side; the client's
+                # idempotent resubmission turns into a cache hit.
+                self.service.metrics.inc("service.chaos", kind="socket_drop")
+                writer.transport.abort()
                 return
             try:
                 writer.write(encode_line(payload))
@@ -155,7 +165,10 @@ class ServiceServer:
                     {"req": req, "event": "stats", "stats": self.service.stats()}
                 )
             elif op == "jobs":
-                jobs = [job.describe() for job in self.service._jobs.values()]
+                if message.get("dead"):
+                    jobs = list(self.service.dead_letters)
+                else:
+                    jobs = [job.describe() for job in self.service._jobs.values()]
                 outbox.put_nowait({"req": req, "event": "jobs", "jobs": jobs})
             elif op == "submit":
                 await self._handle_submit(message, req, outbox)
@@ -187,9 +200,11 @@ class ServiceServer:
             raise ProtocolError("'options' must be a JSON object")
 
         def on_progress(job: CompileJob, event: str) -> None:
-            # 'done' is reported by the awaiting handler below, with the
-            # full result attached; forward only the intermediate states.
-            if event in ("queued", "started"):
+            # 'done'/'dead' are reported by the awaiting handler below,
+            # with the full result attached; forward only the
+            # intermediate states (retries included, so a client watches
+            # its job survive a crashed worker in real time).
+            if event in ("queued", "started", "retrying"):
                 outbox.put_nowait(
                     {"req": req, "event": event, "job": job.job_id, "shard": job.shard}
                 )
@@ -203,19 +218,33 @@ class ServiceServer:
         trace = message.get("trace")
         if trace is not None and not isinstance(trace, dict):
             raise ProtocolError("'trace' must be a span-context object")
-        job = await self.service.submit(
-            workload,
-            target=message.get("target") or "fpqa",
-            device=message.get("device"),
-            client=message.get("client") or "remote",
-            priority=int(message.get("priority") or 0),
-            timeout=message.get("timeout"),
-            simulate=simulate,
-            analyze=analyze,
-            on_progress=on_progress,
-            trace=trace,
-            **options,
-        )
+        try:
+            job = await self.service.submit(
+                workload,
+                target=message.get("target") or "fpqa",
+                device=message.get("device"),
+                client=message.get("client") or "remote",
+                priority=int(message.get("priority") or 0),
+                timeout=message.get("timeout"),
+                simulate=simulate,
+                analyze=analyze,
+                on_progress=on_progress,
+                trace=trace,
+                **options,
+            )
+        except ServiceOverloaded as exc:
+            # Structured load shedding, not an error: the client is told
+            # when to come back (and ServiceClient retries on its own).
+            outbox.put_nowait(
+                {
+                    "req": req,
+                    "event": "shed",
+                    "retry_after": exc.retry_after,
+                    "depth": exc.depth,
+                    "error": str(exc),
+                }
+            )
+            return
         result = await job.future
         outbox.put_nowait(
             {
@@ -237,6 +266,12 @@ async def serve(
     max_artifacts: int = 512,
     budgets: dict[str, float] | None = None,
     ready: asyncio.Event | None = None,
+    journal_path: str | Path | None = None,
+    max_pending: int | None = None,
+    hang_seconds: float | None = None,
+    retry: RetryPolicy | None = None,
+    chaos: ChaosPolicy | None = None,
+    verbose: bool = False,
 ) -> dict:
     """Run a service on ``socket_path`` until a client sends ``shutdown``.
 
@@ -245,16 +280,45 @@ async def serve(
     Returns the service's final ``stats()`` snapshot (counters, profile,
     metric histograms), taken just before teardown — the CLI renders it
     as the shutdown report.
+
+    A journal is opened at ``journal_path`` — defaulting to
+    ``<store_dir>/journal.jsonl`` whenever a disk tier is configured, so
+    durability comes with persistence — and replayed via
+    :meth:`CompilationService.recover` *before* the socket accepts
+    connections: clients of the restarted server see the backlog already
+    re-enqueued.  ``max_pending``/``hang_seconds``/``retry``/``chaos``
+    thread straight through to the service.
     """
     from .artifacts import ArtifactStore
+    from .resilience import JobJournal
 
+    if journal_path is None and store_dir is not None:
+        journal_path = Path(store_dir) / "journal.jsonl"
+    journal = JobJournal(journal_path) if journal_path is not None else None
     service = CompilationService(
         shards=shards,
         backend=backend,
         store=ArtifactStore(max_entries=max_artifacts, directory=store_dir),
         budgets=budgets,
+        journal=journal,
+        retry=retry,
+        chaos=chaos,
+        max_pending=max_pending,
+        hang_seconds=hang_seconds,
     )
     server = ServiceServer(service, socket_path)
+    await service.start()
+    if journal is not None:
+        summary = await service.recover()
+        if verbose and summary["records"]:
+            import sys
+
+            print(
+                "recovered {recovered} job(s) from journal "
+                "({completed} done, {dead} dead, {unreplayable} unreplayable)"
+                .format(**summary),
+                file=sys.stderr,
+            )
     await server.start()
     if ready is not None:
         ready.set()
@@ -263,4 +327,6 @@ async def serve(
     finally:
         stats = service.stats()
         await server.stop()
+        if journal is not None:
+            journal.close()
     return stats

@@ -22,10 +22,10 @@ import asyncio
 import hashlib
 import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
-from ..exceptions import TargetError
+from ..exceptions import TargetError, WeaverError
 from ..perf import Profiler
 from ..targets.registry import resolve_target_name
 from ..targets.result import CompilationResult
@@ -39,6 +39,14 @@ from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.trace import SpanContext, current_tracer, span_context
 from .artifacts import ArtifactStore, artifact_key
 from .jobs import CompileJob, FairQueue, JobStatus
+from .protocol import payload_to_workload, workload_to_payload
+from .resilience import (
+    ChaosPolicy,
+    JobJournal,
+    RetryPolicy,
+    ServiceOverloaded,
+    WorkerCrashed,
+)
 
 #: Executor backends a shard worker may run compilations on.
 BACKENDS = ("thread", "process", "inline")
@@ -96,6 +104,29 @@ class CompilationService:
         protocol op) up to this bound; the oldest finished jobs are then
         forgotten so a long-lived server's registry cannot grow without
         limit.  Queued/running jobs are always tracked.
+    journal:
+        A :class:`~repro.service.JobJournal` to log lifecycle
+        transitions into (``None`` disables durability).  With a journal
+        wired in, :meth:`recover` replays incomplete jobs after a crash.
+    retry:
+        The :class:`~repro.service.RetryPolicy` governing transient
+        worker failures (crash/hang); the default policy retries twice
+        with exponential backoff and quarantines double-crashers.
+    chaos:
+        An optional :class:`~repro.service.ChaosPolicy` injecting
+        seeded faults into execution and (if the store has none of its
+        own) artifact disk writes — the test/benchmark harness.
+    max_pending:
+        Admission-control high-water mark: with this many jobs queued, a
+        genuinely *new* submission (not a cache or in-flight hit) is
+        shed with :class:`~repro.service.ServiceOverloaded` instead of
+        queueing without bound.  ``None`` (default) never sheds.
+    hang_seconds:
+        Grace beyond a job's compile budget before the worker is
+        declared hung: the attempt is abandoned, the shard executor
+        restarted, and the job retried.  ``None`` disables the deadline
+        (inline backends block the loop, so it only bites on
+        thread/process backends).
     """
 
     def __init__(
@@ -109,6 +140,12 @@ class CompilationService:
         profiler: Profiler | None = None,
         metrics: MetricsRegistry | None = None,
         max_tracked_jobs: int = 1024,
+        journal: JobJournal | None = None,
+        retry: RetryPolicy | None = None,
+        chaos: ChaosPolicy | None = None,
+        max_pending: int | None = None,
+        hang_seconds: float | None = None,
+        max_dead_letters: int = 256,
     ):
         if shards < 1:
             raise TargetError("a service needs at least one shard")
@@ -145,6 +182,28 @@ class CompilationService:
         self._jobs_submitted = 0
         self._jobs_completed = 0
         self._per_shard_jobs = [0] * shards
+        # -- resilience layer ------------------------------------------
+        self.journal = journal
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.chaos = chaos
+        if chaos is not None and self.store.chaos is None:
+            self.store.chaos = chaos
+        self.max_pending = max_pending
+        self.hang_seconds = hang_seconds
+        #: Quarantined poison jobs, newest last (`weaver jobs --dead`).
+        self.dead_letters: deque[dict] = deque(maxlen=max_dead_letters)
+        self._retry_tasks: set[asyncio.Task] = set()
+        #: Last time each shard worker picked up or finished a job —
+        #: the supervision heartbeat `stats()` surfaces as staleness.
+        self._heartbeats: list[float] = [time.monotonic()] * shards
+        self._retry_count = 0
+        self._shed_count = 0
+        self._worker_restarts = 0
+        #: Summary of the last `recover()` run (``None`` before one).
+        self._recovered: dict | None = None
+        #: Rolling average job latency, feeding the shed `retry_after`.
+        self._latency_sum = 0.0
+        self._latency_count = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -171,6 +230,13 @@ class CompilationService:
             task.cancel()
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers.clear()
+        # Pending backoff sleeps would re-enqueue into a dead queue;
+        # cancel them so their jobs fall through to the inflight drain.
+        for task in list(self._retry_tasks):
+            task.cancel()
+        if self._retry_tasks:
+            await asyncio.gather(*self._retry_tasks, return_exceptions=True)
+            self._retry_tasks.clear()
         for queue in self._queues:
             for job in queue.drain():
                 self._cancel_job(job)
@@ -184,6 +250,11 @@ class CompilationService:
             if executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
                 self._executors[index] = None
+        if self.journal is not None:
+            # Cancelled jobs stay *incomplete* in the journal on
+            # purpose: a shutdown with queued work is exactly what
+            # recover() replays on the next start.
+            self.journal.sync()
 
     async def __aenter__(self) -> "CompilationService":
         return await self.start()
@@ -240,6 +311,7 @@ class CompilationService:
         analyze=None,
         on_progress: Callable[[CompileJob, str], None] | None = None,
         trace: dict | None = None,
+        journal_id: str | None = None,
         **options,
     ) -> CompileJob:
         """Queue one compilation and return its (awaitable) job.
@@ -266,6 +338,14 @@ class CompilationService:
         the wLint analyzer (:mod:`repro.analysis`) and the stored
         artifact carries the report on ``result.analysis``.  Lint timing
         accrues under the ``service.lint.<target>`` perf counters.
+
+        ``journal_id`` is internal: :meth:`recover` passes the original
+        journal id so a replayed job keeps its identity (and is not
+        re-recorded or shed).  With ``max_pending`` configured, a brand
+        new submission past the high-water mark raises
+        :class:`~repro.service.ServiceOverloaded` with a ``retry_after``
+        hint; cache and in-flight hits are never shed (they cost no
+        queue slot).
         """
         if not self._running:
             raise TargetError("service is not running; use `async with` or start()")
@@ -295,6 +375,18 @@ class CompilationService:
             simulate=simulate,
             analyze=analyze,
         )
+        if (
+            self.max_pending is not None
+            and journal_id is None
+            and self._queue_depth() >= self.max_pending
+            and key not in self._inflight
+            and key not in self.store
+        ):
+            # Shed only work that would consume a queue slot; hits and
+            # followers are answered from state the service already has.
+            self._shed_count += 1
+            self.metrics.inc("service.shed")
+            raise ServiceOverloaded(self._retry_after(), depth=self._queue_depth())
         job = CompileJob(
             workload=resolved,
             target=name,
@@ -313,6 +405,12 @@ class CompilationService:
         self._jobs[job.job_id] = job
         self._jobs_submitted += 1
         self.metrics.inc("service.jobs.submitted", kind=job.kind, target=name)
+        if self.journal is not None:
+            job.journal_id = journal_id or self.journal.next_id()
+            if journal_id is None:
+                # Recovered jobs were compacted back in under their own
+                # ids; re-recording them would double-count on replay.
+                self.journal.record_submitted(job, workload_to_payload(resolved))
         tracer = current_tracer()
         if tracer is not None:
             # The job span stays open across the whole lifecycle
@@ -456,6 +554,17 @@ class CompilationService:
         phases) come back by value and are ingested here — the stitch
         that makes one trace cross the process boundary.
         """
+        if self.chaos is not None:
+            if self.chaos.roll("worker_stall"):
+                self.metrics.inc("service.chaos", kind="worker_stall")
+                await asyncio.sleep(self.chaos.stall_seconds)
+            if self.chaos.roll("worker_crash"):
+                # Raised where a real BrokenProcessPool would surface,
+                # so the supervision path under test is the real one.
+                self.metrics.inc("service.chaos", kind="worker_crash")
+                raise WorkerCrashed(
+                    f"chaos: injected worker crash on shard {shard}"
+                )
         tracer = current_tracer()
         if tracer is None or job.span is None:
             if self.backend == "inline":
@@ -481,6 +590,18 @@ class CompilationService:
         tracer.ingest(worker_spans)
         return result
 
+    def _deadline_for(self, job: CompileJob) -> float | None:
+        """Wall-clock bound on one attempt, or ``None`` (no supervision).
+
+        The compile budget already times passes out *cooperatively*
+        inside the worker; the deadline adds ``hang_seconds`` of grace
+        on top to catch a worker that stopped cooperating entirely.
+        """
+        if self.hang_seconds is None:
+            return None
+        budget = self._budget_for(job.target, job.timeout)
+        return self.hang_seconds + (budget or 0.0)
+
     async def _worker(self, shard: int) -> None:
         queue = self._queues[shard]
         loop = asyncio.get_running_loop()
@@ -488,6 +609,7 @@ class CompilationService:
             job = await queue.get()
             job.status = JobStatus.RUNNING
             job.started_at = time.monotonic()
+            self._heartbeats[shard] = job.started_at
             self.metrics.set_gauge("service.queue.depth", self._queue_depth())
             # submitted_at/started_at share the tracer's monotonic
             # clock, so the wait renders as a real span retroactively.
@@ -503,18 +625,45 @@ class CompilationService:
                     parent=job.span,
                     attributes={"shard": shard},
                 )
+            job.attempts += 1
+            if self.journal is not None and job.journal_id is not None:
+                self.journal.record_started(job)
             job._emit("started")
             start = time.perf_counter()
+            failure_kind: str | None = None
+            failure_error = ""
+            deadline = self._deadline_for(job)
             try:
-                result = await self._execute(job, shard, loop)
+                attempt = self._execute(job, shard, loop)
+                if deadline is not None:
+                    result = await asyncio.wait_for(attempt, deadline)
+                else:
+                    result = await attempt
             except asyncio.CancelledError:
                 self._inflight.pop(job.key, None)
                 self._cancel_job(job)
                 for follower in self._followers.pop(job.key, []):
                     self._cancel_job(follower)
                 raise
-            except Exception as exc:  # noqa: BLE001 — executor/worker death
+            except asyncio.TimeoutError:
+                # The executor stopped cooperating: abandon the attempt
+                # and recycle the shard so the next job gets a live pool.
+                failure_kind = "hang"
+                failure_error = f"worker hung past {deadline:.3g}s deadline"
+            except (WorkerCrashed, BrokenExecutor) as exc:
+                failure_kind = "crash"
+                failure_error = f"{type(exc).__name__}: {exc}"
+            except Exception as exc:  # noqa: BLE001 — deterministic failure
+                # Anything else is the job's own fault (bad options, a
+                # buggy pass): re-running it would fail identically, so
+                # it becomes an error row, never a retry.
                 result = self._failure_result(job, f"{type(exc).__name__}: {exc}")
+            self._heartbeats[shard] = time.monotonic()
+            if failure_kind is not None:
+                if failure_kind in ("crash", "hang"):
+                    self._restart_executor(shard)
+                self._handle_transient_failure(job, failure_kind, failure_error)
+                continue
             elapsed = time.perf_counter() - start
             self.profiler.add(f"service.{job.kind}.{job.target}", elapsed)
             device_name = (
@@ -545,7 +694,12 @@ class CompilationService:
                     entry = await loop.run_in_executor(
                         None, ArtifactStore.encode, result
                     )
-                self.store.put(job.key, result, entry=entry)
+                try:
+                    self.store.put(job.key, result, entry=entry)
+                except OSError:
+                    # A failed disk write degrades the cache, not the
+                    # job: the result is in hand and still delivered.
+                    self.metrics.inc("service.store_errors")
                 if tracer is not None and job.span is not None:
                     tracer.record(
                         "service.artifact.store",
@@ -559,21 +713,178 @@ class CompilationService:
             for follower in followers:
                 self._finish_job(follower, result)
 
-    def _finish_job(self, job: CompileJob, result: CompilationResult) -> None:
-        job.status = JobStatus.DONE
+    def _finish_job(
+        self,
+        job: CompileJob,
+        result: CompilationResult,
+        status: JobStatus = JobStatus.DONE,
+    ) -> None:
+        job.status = status
         job.finished_at = time.monotonic()
         if job.started_at is None:  # cache/in-flight hits never ran
             job.started_at = job.finished_at
-        self._jobs_completed += 1
-        self.metrics.inc("service.jobs.completed", kind=job.kind, target=job.target)
-        self.metrics.observe(
-            "service.job_seconds", job.finished_at - job.submitted_at, kind=job.kind
-        )
+        elapsed = job.finished_at - job.submitted_at
+        if status is JobStatus.DONE:
+            self._jobs_completed += 1
+            self.metrics.inc(
+                "service.jobs.completed", kind=job.kind, target=job.target
+            )
+            self._latency_sum += elapsed
+            self._latency_count += 1
+        self.metrics.observe("service.job_seconds", elapsed, kind=job.kind)
+        if self.journal is not None and job.journal_id is not None:
+            if status is JobStatus.DONE:
+                self.journal.record_done(
+                    job, error=result.error, cached=job.from_cache
+                )
+            elif status is JobStatus.DEAD:
+                self.journal.record_dead(job, result.error or "dead letter")
         if not job.future.done():
             job.future.set_result(result)
-        self._finish_span(job, "done", result)
+        self._finish_span(job, status.value, result)
         self._retire(job)
-        job._emit("done")
+        job._emit(status.value)
+
+    # ------------------------------------------------------------------
+    # Supervision: transient failures, retries, dead letters
+    # ------------------------------------------------------------------
+    def _restart_executor(self, shard: int) -> None:
+        """Recycle a shard's executor after a crash or hang."""
+        executor = self._executors[shard]
+        self._executors[shard] = None
+        self._worker_restarts += 1
+        self.metrics.inc("service.worker.restarts")
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _handle_transient_failure(
+        self, job: CompileJob, kind: str, error: str
+    ) -> None:
+        """Route a crashed/hung attempt: retry with backoff, or quarantine.
+
+        The job stays in ``_inflight`` throughout, so duplicate
+        submissions keep following it rather than racing a second
+        execution of the same key.
+        """
+        if kind == "crash":
+            job.crashes += 1
+        self.metrics.inc("service.failures", kind=kind)
+        if self.journal is not None and job.journal_id is not None:
+            self.journal.record_failed(job, kind, error)
+        if self.retry.should_retry(job.attempts, job.crashes):
+            self._retry_count += 1
+            self.metrics.inc("service.retries", kind=kind)
+            job.status = JobStatus.QUEUED
+            job._emit("retrying")
+            task = asyncio.create_task(
+                self._requeue_later(job, self.retry.delay(job.attempts)),
+                name=f"repro-service-retry-{job.job_id}",
+            )
+            self._retry_tasks.add(task)
+            task.add_done_callback(self._retry_tasks.discard)
+        else:
+            self._dead_letter(job, error)
+
+    async def _requeue_later(self, job: CompileJob, delay: float) -> None:
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if not self._running:
+            # stop() will fail the job via the inflight drain.
+            return
+        self._queues[job.shard].put_nowait(job)
+        self.metrics.set_gauge("service.queue.depth", self._queue_depth())
+
+    def _dead_letter(self, job: CompileJob, error: str) -> None:
+        """Quarantine a poison job: terminal error row + dead-letter record."""
+        message = f"DeadLetter: {error} (after {job.attempts} attempt(s))"
+        result = self._failure_result(job, message)
+        self.metrics.inc("service.dead_letter", kind=job.kind)
+        self._inflight.pop(job.key, None)
+        followers = self._followers.pop(job.key, [])
+        self._finish_job(job, result, status=JobStatus.DEAD)
+        for follower in followers:
+            self._finish_job(follower, result, status=JobStatus.DEAD)
+        self.dead_letters.append(
+            {**job.describe(), "error": message, "crashes": job.crashes}
+        )
+
+    def _retry_after(self) -> float:
+        """Shed-load backoff hint: roughly how long the backlog takes.
+
+        Average observed job latency times the per-shard backlog,
+        clamped to [0.1s, 30s] so a cold service still suggests
+        something sane.
+        """
+        avg = (
+            self._latency_sum / self._latency_count
+            if self._latency_count
+            else 0.1
+        )
+        backlog = max(1, self._queue_depth()) / max(1, self.shards)
+        return min(30.0, max(0.1, avg * backlog))
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    async def recover(self) -> dict:
+        """Replay the journal: re-enqueue every incomplete job.
+
+        Call after :meth:`start` on a journal-backed service.  Jobs
+        whose last journal event is terminal (``done``/``dead``) are
+        left alone — their artifacts are already content-addressed on
+        disk; everything else is resubmitted *under its original journal
+        id*.  The journal is compacted first, so a crash mid-recovery
+        still finds every outstanding job on the next replay.
+
+        Returns the recovery summary (also kept in ``stats()``):
+        ``records`` journaled jobs seen, ``completed``/``dead`` already
+        terminal, ``recovered`` re-enqueued, ``unreplayable`` dropped
+        because their payload no longer parses.
+        """
+        if self.journal is None:
+            raise TargetError("recover() requires a journal-backed service")
+        if not self._running:
+            raise TargetError("start() the service before recover()")
+        started = time.monotonic()
+        records = self.journal.replay()
+        pending = [record for record in records if not record.terminal]
+        self.journal.compact(pending)
+        recovered = 0
+        unreplayable = 0
+        for record in pending:
+            try:
+                workload = payload_to_workload(record.workload or {})
+                await self.submit(
+                    workload,
+                    target=record.target,
+                    device=record.device,
+                    client=record.client,
+                    priority=record.priority,
+                    timeout=record.timeout,
+                    simulate=record.simulate,
+                    analyze=record.analyze,
+                    journal_id=record.journal_id,
+                    **(record.options or {}),
+                )
+                recovered += 1
+            except WeaverError:
+                # A payload the current schema cannot replay (junk line
+                # that still parsed, retired target); losing it loudly
+                # beats wedging recovery.
+                unreplayable += 1
+        summary = {
+            "records": len(records),
+            "completed": sum(1 for r in records if r.status == "done"),
+            "dead": sum(1 for r in records if r.status == "dead"),
+            "recovered": recovered,
+            "unreplayable": unreplayable,
+        }
+        self._recovered = summary
+        self.metrics.inc("service.recovery.jobs", float(recovered))
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.record("service.recovery", start=started, attributes=summary)
+        return summary
 
     def _failure_result(self, job: CompileJob, error: str) -> CompilationResult:
         return CompilationResult(
@@ -590,6 +901,7 @@ class CompilationService:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Service counters: jobs, shards, artifacts, and the profile."""
+        now = time.monotonic()
         return {
             "running": self._running,
             "shards": self.shards,
@@ -599,6 +911,18 @@ class CompilationService:
             "jobs_pending": sum(len(queue) for queue in self._queues),
             "jobs_per_shard": list(self._per_shard_jobs),
             "artifacts": self.store.stats(),
+            "resilience": {
+                "retries": self._retry_count,
+                "dead_letters": len(self.dead_letters),
+                "shed": self._shed_count,
+                "worker_restarts": self._worker_restarts,
+                "recovered": self._recovered,
+                "heartbeat_seconds": [
+                    round(now - beat, 6) for beat in self._heartbeats
+                ],
+                "journal": self.journal.stats() if self.journal else None,
+                "chaos": self.chaos.describe() if self.chaos else None,
+            },
             "profile": self.profiler.profile(),
             "metrics": self.metrics.to_dict(),
         }
